@@ -1,0 +1,122 @@
+// E7 — factory path cost (Sec 2.3).
+//
+// Object creation: direct `new A(...)` in the original program vs the
+// transformed `A_O_Factory.make()` + `init(...)` pair.
+// Static access: direct getstatic/invokestatic vs the
+// `A_C_Factory.discover()` + interface-call path.
+//
+// Expected shape: small constant factors — the factory seam is a few extra
+// dispatches per creation/access, not an asymptotic change.  (This is the
+// price the paper pays for making every implementation choice late-bound.)
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "transform/local_binder.hpp"
+#include "transform/pipeline.hpp"
+#include "vm/interp.hpp"
+
+namespace {
+
+using namespace rafda;
+using vm::Value;
+
+void BM_DirectNew(benchmark::State& state) {
+    model::ClassPool pool = bench::assemble_app(bench::kAllocApp);
+    vm::Interpreter interp(pool);
+    vm::bind_prelude_natives(interp);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            interp.call_static("Alloc", "burst", "(I)I", {Value::of_int(100)}));
+    state.counters["allocs"] = static_cast<double>(interp.counters().allocations) /
+                               static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_DirectNew);
+
+void BM_FactoryMakeInit(benchmark::State& state) {
+    model::ClassPool pool = bench::assemble_app(bench::kAllocApp);
+    transform::PipelineResult result = transform::run_pipeline(pool);
+    vm::Interpreter interp(result.pool);
+    vm::bind_prelude_natives(interp);
+    transform::bind_local_factories(interp, result.report);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(transform::call_transformed_static(
+            interp, pool, result.report, "Alloc", "burst", "(I)I", {Value::of_int(100)}));
+    state.counters["allocs"] = static_cast<double>(interp.counters().allocations) /
+                               static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_FactoryMakeInit);
+
+constexpr const char* kStaticApp = R"RIR(
+class Store {
+  static field v J
+  static method spin (I)J {
+    locals 2
+  Top:
+    load 0
+    const 0
+    cmple
+    iftrue Done
+    getstatic Store.v J
+    const 1L
+    add
+    putstatic Store.v J
+    load 0
+    const 1
+    sub
+    store 0
+    goto Top
+  Done:
+    getstatic Store.v J
+    returnvalue
+  }
+}
+)RIR";
+
+void BM_DirectStatics(benchmark::State& state) {
+    model::ClassPool pool = bench::assemble_app(kStaticApp);
+    vm::Interpreter interp(pool);
+    vm::bind_prelude_natives(interp);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            interp.call_static("Store", "spin", "(I)J", {Value::of_int(200)}));
+}
+BENCHMARK(BM_DirectStatics);
+
+void BM_DiscoverStatics(benchmark::State& state) {
+    model::ClassPool pool = bench::assemble_app(kStaticApp);
+    transform::PipelineResult result = transform::run_pipeline(pool);
+    vm::Interpreter interp(result.pool);
+    vm::bind_prelude_natives(interp);
+    transform::bind_local_factories(interp, result.report);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(transform::call_transformed_static(
+            interp, pool, result.report, "Store", "spin", "(I)J", {Value::of_int(200)}));
+}
+BENCHMARK(BM_DiscoverStatics);
+
+// discover() itself: first call runs clinit, later calls are cached —
+// measure the steady-state lookup.
+void BM_DiscoverLookup(benchmark::State& state) {
+    model::ClassPool pool = bench::assemble_app(kStaticApp);
+    transform::PipelineResult result = transform::run_pipeline(pool);
+    vm::Interpreter interp(result.pool);
+    vm::bind_prelude_natives(interp);
+    transform::bind_local_factories(interp, result.report);
+    interp.call_static("Store_C_Factory", "discover", "()LStore_C_Int;");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            interp.call_static("Store_C_Factory", "discover", "()LStore_C_Int;"));
+}
+BENCHMARK(BM_DiscoverLookup);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::printf("=== E7: factory seams — make/init vs new, discover vs getstatic ===\n");
+    std::printf("expected shape: constant-factor overhead (a few extra dispatches).\n\n");
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

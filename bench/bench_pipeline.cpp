@@ -1,0 +1,89 @@
+// E1 — the transformation pipeline itself (Figures 2-5 at scale).
+//
+// Measures pipeline throughput over growing inputs and reports the
+// artefact expansion factor (a class becomes interfaces + local + proxies
+// + factories), plus a breakdown table for the Figure 2 example.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "corpus/program_gen.hpp"
+#include "transform/pipeline.hpp"
+#include "vm/prelude.hpp"
+
+namespace {
+
+using namespace rafda;
+
+void print_expansion_table() {
+    corpus::ProgramParams params;
+    params.classes = 10;
+    params.seed = 3;
+    model::ClassPool pool = corpus::generate_program(params);
+    std::size_t before = pool.size();
+    transform::PipelineResult result = transform::run_pipeline(pool);
+    std::printf("artefact expansion (10-class program + prelude):\n");
+    std::printf("  classes before: %zu   after: %zu   substituted: %zu\n", before,
+                result.pool.size(), result.report.substituted_classes().size());
+    std::printf(
+        "  per substituted class: O_Int, O_Local, %zu O-proxies, C_Int, C_Local,\n"
+        "  %zu C-proxies, O_Factory, C_Factory = %zu artefacts\n\n",
+        result.report.protocols().size(), result.report.protocols().size(),
+        6 + 2 * result.report.protocols().size());
+}
+
+void BM_Pipeline(benchmark::State& state) {
+    corpus::ProgramParams params;
+    params.classes = static_cast<std::size_t>(state.range(0));
+    params.seed = 5;
+    model::ClassPool pool = corpus::generate_program(params);
+    std::size_t out_classes = 0;
+    for (auto _ : state) {
+        transform::PipelineResult result = transform::run_pipeline(pool);
+        out_classes = result.pool.size();
+        benchmark::DoNotOptimize(out_classes);
+    }
+    state.counters["in_classes"] = static_cast<double>(pool.size());
+    state.counters["out_classes"] = static_cast<double>(out_classes);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(pool.size()));
+}
+BENCHMARK(BM_Pipeline)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_PipelineNoVerify(benchmark::State& state) {
+    corpus::ProgramParams params;
+    params.classes = static_cast<std::size_t>(state.range(0));
+    params.seed = 5;
+    model::ClassPool pool = corpus::generate_program(params);
+    transform::PipelineOptions options;
+    options.verify_output = false;
+    for (auto _ : state) {
+        transform::PipelineResult result = transform::run_pipeline(pool, options);
+        benchmark::DoNotOptimize(result.pool.size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(pool.size()));
+}
+BENCHMARK(BM_PipelineNoVerify)->Arg(64);
+
+void BM_AnalysisOnly(benchmark::State& state) {
+    corpus::ProgramParams params;
+    params.classes = 64;
+    params.seed = 5;
+    model::ClassPool pool = corpus::generate_program(params);
+    for (auto _ : state) {
+        transform::Analysis a = transform::analyze(pool);
+        benchmark::DoNotOptimize(a.non_transformable_count());
+    }
+}
+BENCHMARK(BM_AnalysisOnly);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::printf("=== E1: transformation pipeline throughput and expansion ===\n\n");
+    print_expansion_table();
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

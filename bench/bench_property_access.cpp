@@ -1,0 +1,84 @@
+// E8 — property-ization cost (Sec 2.1: "the first step of the
+// transformation is therefore to turn every attribute into a property").
+//
+// A tight loop incrementing a field of another object, under three
+// regimes: raw getfield/putfield (original), interface get_v/set_v calls
+// (RAFDA local) and wrapper get_v/set_v with the extra target hop.
+//
+// Expected shape: original < rafda < wrapper; rafda pays one interface
+// dispatch per access, the wrapper pays the dispatch plus the target
+// indirection.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "transform/local_binder.hpp"
+#include "transform/pipeline.hpp"
+#include "vm/interp.hpp"
+#include "wrapper/wrapper_pipeline.hpp"
+
+namespace {
+
+using namespace rafda;
+using vm::Value;
+
+constexpr int kSpin = 500;
+
+void BM_RawFieldAccess(benchmark::State& state) {
+    model::ClassPool pool = bench::assemble_app(bench::kHotFieldApp);
+    vm::Interpreter interp(pool);
+    vm::bind_prelude_natives(interp);
+    Value cell = interp.construct("Cell", "()V", {});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(interp.call_static("Driver", "spin", "(LCell;I)J",
+                                                    {cell, Value::of_int(kSpin)}));
+    state.counters["guest_insns_per_iter"] =
+        static_cast<double>(interp.counters().instructions) /
+        static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_RawFieldAccess);
+
+void BM_InterfacePropertyAccess(benchmark::State& state) {
+    model::ClassPool pool = bench::assemble_app(bench::kHotFieldApp);
+    transform::PipelineResult result = transform::run_pipeline(pool);
+    vm::Interpreter interp(result.pool);
+    vm::bind_prelude_natives(interp);
+    transform::bind_local_factories(interp, result.report);
+    Value cell = interp.call_static("Cell_O_Factory", "make", "()LCell_O_Int;");
+    interp.call_static("Cell_O_Factory", "init", "(LCell_O_Int;)V", {cell});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(transform::call_transformed_static(
+            interp, pool, result.report, "Driver", "spin", "(LCell;I)J",
+            {cell, Value::of_int(kSpin)}));
+    state.counters["guest_insns_per_iter"] =
+        static_cast<double>(interp.counters().instructions) /
+        static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_InterfacePropertyAccess);
+
+void BM_WrapperPropertyAccess(benchmark::State& state) {
+    model::ClassPool pool = bench::assemble_app(bench::kHotFieldApp);
+    wrapper::WrapperResult result = wrapper::run_wrapper_pipeline(pool);
+    vm::Interpreter interp(result.pool);
+    vm::bind_prelude_natives(interp);
+    Value cell = interp.call_static("Cell_Wrapper", "make", "()LCell_Wrapper;");
+    interp.call_static("Cell_Wrapper", "init", "(LCell_Wrapper;)V", {cell});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(interp.call_static("Driver", "spin", "(LCell;I)J",
+                                                    {cell, Value::of_int(kSpin)}));
+    state.counters["guest_insns_per_iter"] =
+        static_cast<double>(interp.counters().instructions) /
+        static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_WrapperPropertyAccess);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::printf("=== E8: field access — raw vs interface properties vs wrapper ===\n");
+    std::printf("expected shape: raw < interface (RAFDA) < wrapper.\n\n");
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

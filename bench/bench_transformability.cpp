@@ -1,0 +1,95 @@
+// E3 — Section 2.4: "About 40% of the 8,200 classes and interfaces in JDK
+// 1.4.1 cannot be transformed.  This percentage would increase if the user
+// code contains native methods which refer to a JDK class."
+//
+// Regenerates that measurement on the synthetic JDK-like corpus: the
+// headline row at calibrated defaults, a reason breakdown, and the native-
+// density sweep backing the paper's "would increase" remark.  The timed
+// benchmark measures the analysis itself (closure over 8,200 types).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "corpus/jdk_corpus.hpp"
+#include "transform/analysis.hpp"
+
+namespace {
+
+using namespace rafda;
+
+void print_experiment_tables() {
+    std::printf("=== E3: transformability of a JDK-1.4.1-like corpus ===\n");
+    std::printf("(paper: ~40%% of 8,200 classes and interfaces non-transformable)\n\n");
+
+    corpus::JdkCorpusParams params;  // calibrated defaults
+    model::ClassPool pool = corpus::generate_jdk_corpus(params);
+    transform::Analysis analysis = transform::analyze(pool);
+
+    std::printf("%-34s %8s %8s %7s\n", "corpus", "types", "non-tr.", "%");
+    std::printf("%-34s %8zu %8zu %6.1f%%\n", "jdk-like (calibrated defaults)",
+                analysis.total(), analysis.non_transformable_count(),
+                100.0 * analysis.non_transformable_fraction());
+
+    std::printf("\nreason breakdown (Sec 2.4 rules):\n");
+    for (const auto& [reason, count] : analysis.reason_histogram())
+        std::printf("  %-34s %8zu\n", std::string(transform::reason_name(reason)).c_str(),
+                    count);
+
+    std::printf("\nnative-density sweep (the paper's 'would increase' remark):\n");
+    std::printf("%-14s %-14s %7s\n", "p(native|low)", "p(native|rest)", "non-tr.");
+    for (double lo : {0.15, 0.25, 0.35, 0.45, 0.60}) {
+        corpus::JdkCorpusParams p;
+        p.native_in_lowlevel = lo;
+        p.native_elsewhere = lo / 40.0;
+        transform::Analysis a = transform::analyze(corpus::generate_jdk_corpus(p));
+        std::printf("%-14.2f %-14.4f %6.1f%%\n", lo, lo / 40.0,
+                    100.0 * a.non_transformable_fraction());
+    }
+
+    std::printf("\nseed stability (5 corpus seeds at defaults):\n  ");
+    for (std::uint64_t seed = 41; seed < 46; ++seed) {
+        corpus::JdkCorpusParams p;
+        p.seed = seed;
+        transform::Analysis a = transform::analyze(corpus::generate_jdk_corpus(p));
+        std::printf("%.1f%%  ", 100.0 * a.non_transformable_fraction());
+    }
+    std::printf("\n\n");
+}
+
+void BM_AnalyzeJdkCorpus(benchmark::State& state) {
+    corpus::JdkCorpusParams params;
+    params.total_types = static_cast<std::size_t>(state.range(0));
+    model::ClassPool pool = corpus::generate_jdk_corpus(params);
+    std::size_t nt = 0;
+    for (auto _ : state) {
+        transform::Analysis a = transform::analyze(pool);
+        nt = a.non_transformable_count();
+        benchmark::DoNotOptimize(nt);
+    }
+    state.counters["types"] = static_cast<double>(params.total_types);
+    state.counters["non_transformable"] = static_cast<double>(nt);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(params.total_types));
+}
+BENCHMARK(BM_AnalyzeJdkCorpus)->Arg(1000)->Arg(4000)->Arg(8200);
+
+void BM_GenerateJdkCorpus(benchmark::State& state) {
+    corpus::JdkCorpusParams params;
+    params.total_types = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        model::ClassPool pool = corpus::generate_jdk_corpus(params);
+        benchmark::DoNotOptimize(pool.size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(params.total_types));
+}
+BENCHMARK(BM_GenerateJdkCorpus)->Arg(8200);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_experiment_tables();
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,178 @@
+// Shared guest programs and helpers for the experiment benches.
+#pragma once
+
+#include <string>
+
+#include "model/assembler.hpp"
+#include "model/classpool.hpp"
+#include "model/verifier.hpp"
+#include "vm/prelude.hpp"
+
+namespace rafda::bench {
+
+/// A compute-service class used by the dispatch/placement benches: `work`
+/// mixes field access, arithmetic and an optional string payload echo.
+inline constexpr const char* kServiceApp = R"RIR(
+class Service {
+  field acc J
+  field calls I
+  ctor ()V {
+    return
+  }
+  method work (J)J {
+    load 0
+    load 0
+    getfield Service.calls I
+    const 1
+    add
+    putfield Service.calls I
+    load 0
+    load 0
+    getfield Service.acc J
+    const 3L
+    mul
+    load 1
+    add
+    putfield Service.acc J
+    load 0
+    getfield Service.acc J
+    returnvalue
+  }
+  method echo (S)S {
+    load 1
+    returnvalue
+  }
+}
+)RIR";
+
+/// The Figure 1 trio (A and B sharing a C), used by the redistribution
+/// bench.
+inline constexpr const char* kFig1App = R"RIR(
+class C {
+  field state I
+  field blob S
+  ctor ()V {
+    return
+  }
+  method poke ()I {
+    load 0
+    load 0
+    getfield C.state I
+    const 1
+    add
+    putfield C.state I
+    load 0
+    getfield C.state I
+    returnvalue
+  }
+  method setBlob (S)V {
+    load 0
+    load 1
+    putfield C.blob S
+    return
+  }
+}
+class A {
+  field c LC;
+  ctor (LC;)V {
+    load 0
+    load 1
+    putfield A.c LC;
+    return
+  }
+  method act ()I {
+    load 0
+    getfield A.c LC;
+    invokevirtual C.poke ()I
+    returnvalue
+  }
+}
+)RIR";
+
+/// A field-heavy class for the property-access bench.
+inline constexpr const char* kHotFieldApp = R"RIR(
+class Cell {
+  field v J
+  ctor ()V {
+    return
+  }
+}
+class Driver {
+  static method spin (LCell;I)J {
+    locals 2
+  Top:
+    load 1
+    const 0
+    cmple
+    iftrue Done
+    load 0
+    load 0
+    getfield Cell.v J
+    const 1L
+    add
+    putfield Cell.v J
+    load 1
+    const 1
+    sub
+    store 1
+    goto Top
+  Done:
+    load 0
+    getfield Cell.v J
+    returnvalue
+  }
+}
+)RIR";
+
+/// Allocation-heavy app for the factory bench.
+inline constexpr const char* kAllocApp = R"RIR(
+class Item {
+  field id I
+  ctor (I)V {
+    load 0
+    load 1
+    putfield Item.id I
+    return
+  }
+}
+class Alloc {
+  static field made I
+  static method burst (I)I {
+    locals 2
+    const 0
+    store 1
+  Top:
+    load 1
+    load 0
+    cmpge
+    iftrue Done
+    new Item
+    dup
+    load 1
+    invokespecial Item.<init> (I)V
+    pop
+    getstatic Alloc.made I
+    const 1
+    add
+    putstatic Alloc.made I
+    load 1
+    const 1
+    add
+    store 1
+    goto Top
+  Done:
+    getstatic Alloc.made I
+    returnvalue
+  }
+}
+)RIR";
+
+inline model::ClassPool assemble_app(const char* src) {
+    model::ClassPool pool;
+    vm::install_prelude(pool);
+    model::assemble_into(pool, src);
+    model::verify_pool(pool);
+    return pool;
+}
+
+}  // namespace rafda::bench

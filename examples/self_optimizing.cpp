@@ -1,0 +1,129 @@
+// self_optimizing — closing the paper's loop: the middleware *observes* who
+// talks to whom, *decides* new placements (PolicyAdvisor), and *acts* by
+// migrating the live objects.  No application change, no operator.
+//
+// Deployment starts wrong on purpose: the three services live on node 2
+// while all the callers are on node 0.  After one observation window the
+// advisor recommends moving every hot class to node 0; the loop applies the
+// recommendations and migrates the existing instances.  The next window
+// costs (almost) nothing.
+#include <iomanip>
+#include <iostream>
+
+#include "model/assembler.hpp"
+#include "model/verifier.hpp"
+#include "runtime/advisor.hpp"
+#include "runtime/system.hpp"
+#include "vm/prelude.hpp"
+
+namespace {
+
+constexpr const char* kApp = R"RIR(
+class Catalog {
+  field items I
+  ctor ()V {
+    return
+  }
+  method count ()I {
+    load 0
+    load 0
+    getfield Catalog.items I
+    const 1
+    add
+    putfield Catalog.items I
+    load 0
+    getfield Catalog.items I
+    returnvalue
+  }
+}
+class Pricer {
+  ctor ()V {
+    return
+  }
+  method quote (I)I {
+    load 1
+    const 3
+    mul
+    returnvalue
+  }
+}
+class Audit {
+  field entries I
+  ctor ()V {
+    return
+  }
+  method log ()V {
+    load 0
+    load 0
+    getfield Audit.entries I
+    const 1
+    add
+    putfield Audit.entries I
+    return
+  }
+}
+)RIR";
+
+}  // namespace
+
+int main() {
+    using namespace rafda;
+    using vm::Value;
+
+    model::ClassPool original;
+    vm::install_prelude(original);
+    model::assemble_into(original, kApp);
+    model::verify_pool(original);
+
+    runtime::System system(original);
+    system.add_node();  // node 0: the web tier (all the callers)
+    system.add_node();  // node 1: spare
+    system.add_node();  // node 2: where everything was (mis)deployed
+
+    for (const char* cls : {"Catalog", "Pricer", "Audit"})
+        system.policy().set_instance_home(cls, 2, "RMI");
+
+    Value catalog = system.construct(0, "Catalog", "()V");
+    Value pricer = system.construct(0, "Pricer", "()V");
+    Value audit = system.construct(0, "Audit", "()V");
+    vm::Interpreter& web = system.node(0).interp();
+
+    auto window = [&](int requests) {
+        std::uint64_t t0 = system.network().now_us();
+        for (int r = 0; r < requests; ++r) {
+            web.call_virtual(catalog, "count", "()I");
+            web.call_virtual(pricer, "quote", "(I)I", {Value::of_int(r)});
+            web.call_virtual(audit, "log", "()V");
+        }
+        return system.network().now_us() - t0;
+    };
+
+    std::cout << "window 1 (everything on node 2, callers on node 0): "
+              << window(25) << "us\n\n";
+
+    runtime::PolicyAdvisor advisor(system, /*min_calls=*/10, /*min_dominance=*/0.6);
+    std::vector<runtime::Recommendation> recs = advisor.advise();
+    std::cout << "advisor recommendations (observed " << recs.size() << " hot classes):\n";
+    for (const auto& r : recs)
+        std::cout << "  move " << r.cls << ": node " << r.objects_on << " -> node "
+                  << r.recommended_home << "  (" << r.remote_calls << " remote calls, "
+                  << std::fixed << std::setprecision(0) << 100 * r.dominance
+                  << "% from one node)\n";
+
+    // Act: new placements for future objects, migration for the live ones.
+    advisor.apply(recs);
+    for (Value* obj : {&catalog, &pricer, &audit}) {
+        auto [n, oid] = system.resolve_terminal(0, obj->as_ref());
+        if (n != 0) {
+            system.migrate_instance(n, oid, 0, "RMI");
+            system.shorten_chain(0, obj->as_ref());
+        }
+    }
+    std::cout << "\napplied + migrated " << system.migrations() << " objects\n";
+
+    std::cout << "window 2 (after self-optimisation):                  "
+              << window(25) << "us\n";
+    std::cout << "\nsame objects, same references, same code — the distribution\n"
+                 "boundary moved itself to where the traffic is.\n";
+    return 0;
+}

@@ -1,0 +1,116 @@
+#include "corpus/jdk_corpus.hpp"
+
+#include <vector>
+
+#include "model/builder.hpp"
+#include "support/rng.hpp"
+
+namespace rafda::corpus {
+
+using model::ClassBuilder;
+using model::ClassFile;
+using model::MethodSig;
+using model::TypeDesc;
+
+model::ClassPool generate_jdk_corpus(const JdkCorpusParams& params) {
+    Rng rng(params.seed);
+    model::ClassPool pool;
+
+    const std::size_t n = params.total_types;
+    const std::size_t packages = std::max<std::size_t>(1, params.packages);
+    const std::size_t lowlevel_cutoff = static_cast<std::size_t>(
+        static_cast<double>(packages) * params.lowlevel_package_fraction);
+
+    struct TypeInfo {
+        std::string name;
+        std::size_t package;
+        bool is_interface;
+        bool is_throwable;
+    };
+    std::vector<TypeInfo> types;
+    types.reserve(n);
+
+    // Pass 1: decide identities so references can point anywhere "earlier"
+    // (keeps the hierarchy acyclic by construction).
+    for (std::size_t i = 0; i < n; ++i) {
+        TypeInfo info;
+        info.package = rng.below(packages);
+        info.is_interface = rng.chance(params.interface_fraction);
+        info.is_throwable = !info.is_interface && rng.chance(params.throwable_fraction);
+        info.name = "pkg" + std::to_string(info.package) + "_T" + std::to_string(i);
+        types.push_back(std::move(info));
+    }
+
+    // Pass 2: build the classes.
+    for (std::size_t i = 0; i < n; ++i) {
+        const TypeInfo& info = types[i];
+        ClassBuilder b(info.name);
+        if (info.is_interface) b.interface_();
+
+        const bool lowlevel = info.package < lowlevel_cutoff;
+
+        // Inheritance: pick an earlier type of a compatible kind, biased to
+        // the same package.  Throwables extend throwables (or are roots,
+        // which makes them special themselves).
+        auto pick_earlier = [&](auto&& predicate) -> const TypeInfo* {
+            if (i == 0) return nullptr;
+            for (int attempt = 0; attempt < 12; ++attempt) {
+                std::size_t j = rng.below(i);
+                if (rng.chance(params.intra_package_bias) &&
+                    types[j].package != info.package)
+                    continue;
+                if (predicate(types[j])) return &types[j];
+            }
+            return nullptr;
+        };
+
+        if (info.is_throwable) {
+            const TypeInfo* super = pick_earlier(
+                [](const TypeInfo& t) { return t.is_throwable; });
+            if (super) b.extends(super->name);
+            else b.special();  // a Throwable-like root
+        } else if (!info.is_interface && rng.chance(params.subclass_probability)) {
+            const TypeInfo* super = pick_earlier([](const TypeInfo& t) {
+                return !t.is_interface && !t.is_throwable;
+            });
+            if (super) b.extends(super->name);
+        }
+        if (!info.is_interface && rng.chance(0.3)) {
+            const TypeInfo* iface =
+                pick_earlier([](const TypeInfo& t) { return t.is_interface; });
+            if (iface) b.implements(iface->name);
+        }
+
+        // Native methods (rule-1 seeds).
+        double p_native = lowlevel ? params.native_in_lowlevel : params.native_elsewhere;
+        if (!info.is_interface && rng.chance(p_native)) {
+            b.native_method("native" + std::to_string(i),
+                            MethodSig({TypeDesc::int_()}, TypeDesc::int_()));
+        }
+
+        // Reference edges: fields typed with earlier classes.
+        std::size_t refs = static_cast<std::size_t>(rng.below(
+            static_cast<std::uint64_t>(2.0 * params.mean_references) + 1));
+        for (std::size_t r = 0; r < refs && !info.is_interface; ++r) {
+            const TypeInfo* target =
+                pick_earlier([](const TypeInfo& t) { return !t.is_interface; });
+            if (target)
+                b.field("ref" + std::to_string(r), TypeDesc::ref(target->name));
+        }
+
+        // A plain method so the class is not vacuous; interfaces get an
+        // abstract member.
+        if (info.is_interface) {
+            b.abstract_method("op", MethodSig({}, TypeDesc::int_()));
+        } else {
+            model::CodeBuilder body;
+            body.const_int(static_cast<std::int32_t>(i)).ret_value();
+            b.method("op", MethodSig({}, TypeDesc::int_()), std::move(body));
+        }
+
+        pool.add(b.build());
+    }
+    return pool;
+}
+
+}  // namespace rafda::corpus

@@ -1,0 +1,215 @@
+#include "corpus/program_gen.hpp"
+
+#include <vector>
+
+#include "model/builder.hpp"
+#include "support/rng.hpp"
+#include "vm/prelude.hpp"
+
+namespace rafda::corpus {
+
+using model::ClassBuilder;
+using model::CodeBuilder;
+using model::MethodSig;
+using model::Op;
+using model::TypeDesc;
+
+namespace {
+
+std::string cls_name(std::size_t i) { return "Gen" + std::to_string(i); }
+
+}  // namespace
+
+model::ClassPool generate_program(const ProgramParams& params) {
+    Rng rng(params.seed);
+    model::ClassPool pool;
+    vm::install_prelude(pool);
+
+    const std::size_t n = std::max<std::size_t>(1, params.classes);
+
+    // Remember each class's dependency (if any) so Main can build the graph
+    // and so step() can chain calls.
+    std::vector<int> dep_of(n, -1);
+    std::vector<bool> has_static(n, false);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::string self = cls_name(i);
+        ClassBuilder b(self);
+        b.field("acc", TypeDesc::long_());
+        const TypeDesc ring_t = TypeDesc::array(TypeDesc::long_());
+        if (params.use_arrays) b.field("ring", ring_t);
+        if (params.use_strings) b.field("tag", TypeDesc::str());
+        if (i > 0 && rng.chance(0.8)) dep_of[i] = static_cast<int>(rng.below(i));
+        if (dep_of[i] >= 0)
+            b.field("dep", TypeDesc::ref(cls_name(static_cast<std::size_t>(dep_of[i]))));
+        has_static[i] = params.use_statics && rng.chance(0.5);
+        if (has_static[i]) b.static_field("hits", TypeDesc::int_());
+
+        // ctor (J)V: seeds acc (and tag), creates the dependency.
+        {
+            CodeBuilder ctor;
+            ctor.load(0).load(1).put_field(self, "acc", TypeDesc::long_());
+            if (params.use_arrays) {
+                ctor.load(0)
+                    .const_int(4)
+                    .op(model::ins::new_array(TypeDesc::long_()))
+                    .put_field(self, "ring", ring_t);
+            }
+            if (params.use_strings) {
+                ctor.load(0)
+                    .const_str(self + ":")
+                    .load(1)
+                    .concat()
+                    .put_field(self, "tag", TypeDesc::str());
+            }
+            if (dep_of[i] >= 0) {
+                const std::string dep = cls_name(static_cast<std::size_t>(dep_of[i]));
+                ctor.load(0)
+                    .new_(dep)
+                    .dup()
+                    .load(1)
+                    .const_long(static_cast<std::int64_t>(rng.below(97) + 1))
+                    .add()
+                    .invoke_special(dep, "<init>", MethodSig({TypeDesc::long_()},
+                                                             TypeDesc::void_()))
+                    .put_field(self, "dep", TypeDesc::ref(dep));
+            }
+            ctor.ret();
+            model::Method m;
+            m.name = "<init>";
+            m.sig = MethodSig({TypeDesc::long_()}, TypeDesc::void_());
+            m.code = ctor.finish(2);
+            b.method(std::move(m));
+        }
+
+        // step (J)J: mutate acc deterministically, chain into dep, maybe
+        // bump the static counter.
+        {
+            CodeBuilder step;
+            const std::int64_t mul = static_cast<std::int64_t>(rng.below(7) + 2);
+            const std::int64_t add = static_cast<std::int64_t>(rng.below(1000));
+            // acc = acc * mul + add + arg
+            step.load(0)
+                .load(0)
+                .get_field(self, "acc", TypeDesc::long_())
+                .const_long(mul)
+                .mul()
+                .const_long(add)
+                .add()
+                .load(1)
+                .add();
+            if (dep_of[i] >= 0) {
+                const std::string dep = cls_name(static_cast<std::size_t>(dep_of[i]));
+                step.load(0)
+                    .get_field(self, "dep", TypeDesc::ref(dep))
+                    .load(1)
+                    .const_long(3)
+                    .rem()
+                    .invoke_virtual(dep, "step",
+                                    MethodSig({TypeDesc::long_()}, TypeDesc::long_()))
+                    .add();
+            }
+            step.put_field(self, "acc", TypeDesc::long_());
+            if (params.use_arrays) {
+                // ring[arg % 4] = acc; acc += ring[(arg+1) % 4]
+                step.load(0)
+                    .get_field(self, "ring", ring_t)
+                    .load(1)
+                    .const_long(4)
+                    .rem()
+                    .conv(model::Kind::Int)
+                    .load(0)
+                    .get_field(self, "acc", TypeDesc::long_())
+                    .astore();
+                step.load(0)
+                    .load(0)
+                    .get_field(self, "acc", TypeDesc::long_())
+                    .load(0)
+                    .get_field(self, "ring", ring_t)
+                    .load(1)
+                    .const_long(1)
+                    .add()
+                    .const_long(4)
+                    .rem()
+                    .conv(model::Kind::Int)
+                    .aload()
+                    .add()
+                    .put_field(self, "acc", TypeDesc::long_());
+            }
+            if (has_static[i]) {
+                step.get_static(self, "hits", TypeDesc::int_())
+                    .const_int(1)
+                    .add()
+                    .put_static(self, "hits", TypeDesc::int_());
+            }
+            step.load(0).get_field(self, "acc", TypeDesc::long_()).ret_value();
+            b.method("step", MethodSig({TypeDesc::long_()}, TypeDesc::long_()),
+                     std::move(step));
+        }
+
+        // digest ()S: stringify state (exercises strings + reads).
+        {
+            CodeBuilder digest;
+            if (params.use_strings) {
+                digest.load(0).get_field(self, "tag", TypeDesc::str());
+            } else {
+                digest.const_str(self);
+            }
+            digest.const_str("/").concat();
+            digest.load(0).get_field(self, "acc", TypeDesc::long_()).concat();
+            if (has_static[i]) {
+                digest.const_str("#").concat();
+                digest.get_static(self, "hits", TypeDesc::int_()).concat();
+            }
+            digest.ret_value();
+            b.method("digest", MethodSig({}, TypeDesc::str()), std::move(digest));
+        }
+
+        pool.add(b.build());
+    }
+
+    // Main: build the deepest class, loop step(), print digests.
+    {
+        const std::string root = cls_name(n - 1);
+        ClassBuilder b(kProgramMain);
+        CodeBuilder main;
+        // locals: 0 = root object, 1 = i (int), 2 = total (long)
+        main.new_(root)
+            .dup()
+            .const_long(static_cast<std::int64_t>(params.seed % 1000))
+            .invoke_special(root, "<init>", MethodSig({TypeDesc::long_()},
+                                                      TypeDesc::void_()))
+            .store(0);
+        main.const_int(0).store(1);
+        main.const_long(0).store(2);
+        model::Label top = main.new_label();
+        model::Label done = main.new_label();
+        main.bind(top);
+        main.load(1).const_int(params.iterations).cmp(Op::CmpGe).if_true(done);
+        // total += root.step(i)
+        main.load(2)
+            .load(0)
+            .load(1)
+            .conv(model::Kind::Long)
+            .invoke_virtual(root, "step", MethodSig({TypeDesc::long_()}, TypeDesc::long_()))
+            .add()
+            .store(2);
+        main.load(1).const_int(1).add().store(1);
+        main.go(top);
+        main.bind(done);
+        main.const_str("total=")
+            .load(2)
+            .concat()
+            .invoke_static("Sys", "println", MethodSig({TypeDesc::str()}, TypeDesc::void_()));
+        main.load(0)
+            .invoke_virtual(root, "digest", MethodSig({}, TypeDesc::str()))
+            .invoke_static("Sys", "println", MethodSig({TypeDesc::str()}, TypeDesc::void_()));
+        main.ret();
+        b.static_method("main", MethodSig({}, TypeDesc::void_()), std::move(main));
+        pool.add(b.build());
+    }
+
+    return pool;
+}
+
+}  // namespace rafda::corpus

@@ -1,0 +1,41 @@
+// Random executable guest programs (property-based differential testing
+// and benchmark workloads).
+//
+// Programs are generated stratified — class Ci only references classes
+// Cj with j < i — so there is no recursion and every run terminates.  Each
+// program has a Main.main()V that builds an object graph, drives it with a
+// bounded loop, and prints running digests through Sys.println; two
+// executions are equivalent iff their outputs match byte for byte.  The
+// generator only emits constructs the transformation supports, and
+// optionally statics, strings and cross-object mutation to stress the
+// different rewrite rules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/classpool.hpp"
+
+namespace rafda::corpus {
+
+struct ProgramParams {
+    std::size_t classes = 6;
+    /// Loop iterations executed by Main.
+    int iterations = 12;
+    /// Generate static fields/methods on some classes.
+    bool use_statics = true;
+    /// Generate string fields and concatenation.
+    bool use_strings = true;
+    /// Generate a per-object long[] ring buffer exercised by step().
+    bool use_arrays = false;
+    std::uint64_t seed = 1;
+};
+
+/// Generates a self-contained program (requires the prelude for Sys).
+/// The entry point is `Main.main ()V`.
+model::ClassPool generate_program(const ProgramParams& params);
+
+/// Name of the entry class.
+inline constexpr const char* kProgramMain = "Main";
+
+}  // namespace rafda::corpus

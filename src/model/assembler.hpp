@@ -1,0 +1,41 @@
+// RIR assembler — parses the textual form of the class model.
+//
+// Grammar (line oriented; `;`-to-end-of-line comments; blank lines ignored):
+//
+//   [special] class NAME [extends SUPER] [implements I1, I2] {
+//   interface NAME [extends I1, I2] {
+//     field [public|protected|private] [final] NAME DESC
+//     static field [vis] [final] NAME DESC
+//     [vis] [static] method NAME (PARAMS)RET {
+//       locals N                  ; optional: extra local slots
+//       LABEL:
+//       MNEMONIC [operands]
+//       catch CLASS from L1 to L2 using L3
+//     }
+//     [vis] native [static] method NAME (PARAMS)RET
+//     abstract method NAME (PARAMS)RET
+//     ctor [vis] (PARAMS)V { ... }          ; sugar for method <init>
+//     clinit { ... }                        ; sugar for static <clinit> ()V
+//   }
+//
+// This plays the role of writing Java source + compiling it: tests and
+// examples express guest programs in RIR text.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/classfile.hpp"
+#include "model/classpool.hpp"
+
+namespace rafda::model {
+
+/// Parses all classes in `text`; throws ParseError with a line number on
+/// malformed input.
+std::vector<ClassFile> assemble(std::string_view text);
+
+/// Parses and adds all classes in `text` to `pool`.
+void assemble_into(ClassPool& pool, std::string_view text);
+
+}  // namespace rafda::model

@@ -1,0 +1,24 @@
+// Binary serialisation of class pools ("RIRB" — the .class-file analog).
+//
+// The paper's deployment story assumes transformed classfiles can be
+// shipped to participating nodes ("It is assumed that factory classes are
+// available locally on all participating nodes", Sec 2.3).  RIRB is that
+// container: a compact, versioned binary encoding of a whole pool, so a
+// program can be transformed once and distributed as an artefact.
+//
+// save/load round-trip exactly; load rejects bad magic, unsupported
+// versions and truncated input with CodecError.
+#pragma once
+
+#include "model/classpool.hpp"
+#include "support/bytes.hpp"
+
+namespace rafda::model {
+
+/// Serialises every class in the pool (name order).
+Bytes save_pool(const ClassPool& pool);
+
+/// Deserialises a pool; throws CodecError on malformed input.
+ClassPool load_pool(const Bytes& data);
+
+}  // namespace rafda::model

@@ -1,0 +1,152 @@
+#include "model/classpool.hpp"
+
+#include "support/error.hpp"
+
+namespace rafda::model {
+
+int Layout::index_of(std::string_view field_name) const {
+    auto it = index_by_name.find(std::string(field_name));
+    if (it == index_by_name.end())
+        throw VerifyError("no such field in layout: " + std::string(field_name));
+    return it->second;
+}
+
+ClassFile& ClassPool::add(ClassFile cf) {
+    if (contains(cf.name)) throw VerifyError("duplicate class: " + cf.name);
+    std::string name = cf.name;
+    auto owned = std::make_unique<ClassFile>(std::move(cf));
+    ClassFile& ref = *owned;
+    classes_.emplace(std::move(name), std::move(owned));
+    invalidate_caches();
+    return ref;
+}
+
+void ClassPool::remove(std::string_view name) {
+    auto it = classes_.find(name);
+    if (it == classes_.end()) throw VerifyError("remove of unknown class: " + std::string(name));
+    classes_.erase(it);
+    invalidate_caches();
+}
+
+bool ClassPool::contains(std::string_view name) const {
+    return classes_.find(name) != classes_.end();
+}
+
+const ClassFile& ClassPool::get(std::string_view name) const {
+    const ClassFile* cf = find(name);
+    if (!cf) throw VerifyError("unknown class: " + std::string(name));
+    return *cf;
+}
+
+ClassFile& ClassPool::get_mutable(std::string_view name) {
+    ClassFile* cf = find_mutable(name);
+    if (!cf) throw VerifyError("unknown class: " + std::string(name));
+    return *cf;
+}
+
+const ClassFile* ClassPool::find(std::string_view name) const {
+    auto it = classes_.find(name);
+    return it == classes_.end() ? nullptr : it->second.get();
+}
+
+ClassFile* ClassPool::find_mutable(std::string_view name) {
+    auto it = classes_.find(name);
+    return it == classes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const ClassFile*> ClassPool::all() const {
+    std::vector<const ClassFile*> out;
+    out.reserve(classes_.size());
+    for (const auto& [_, cf] : classes_) out.push_back(cf.get());
+    return out;
+}
+
+std::vector<std::string> ClassPool::all_names() const {
+    std::vector<std::string> out;
+    out.reserve(classes_.size());
+    for (const auto& [name, _] : classes_) out.push_back(name);
+    return out;
+}
+
+bool ClassPool::is_subtype(std::string_view sub, std::string_view super) const {
+    if (sub == super) return true;
+    const ClassFile* cf = find(sub);
+    if (!cf) return false;
+    if (!cf->super_name.empty() && is_subtype(cf->super_name, super)) return true;
+    for (const std::string& i : cf->interfaces)
+        if (is_subtype(i, super)) return true;
+    return false;
+}
+
+const Layout& ClassPool::layout_of(std::string_view name) const {
+    auto it = layouts_.find(std::string(name));
+    if (it != layouts_.end()) return it->second;
+
+    const ClassFile& cf = get(name);
+    Layout layout;
+    if (!cf.super_name.empty()) {
+        const Layout& super_layout = layout_of(cf.super_name);
+        layout = super_layout;  // inherited fields first
+    }
+    for (const Field& f : cf.fields) {
+        if (f.is_static) continue;
+        if (layout.index_by_name.count(f.name))
+            throw VerifyError("field shadowing is not supported: " + cf.name + "." + f.name);
+        layout.index_by_name.emplace(f.name, layout.size());
+        layout.slots.push_back(FieldSlot{f.name, f.type, cf.name});
+    }
+    return layouts_.emplace(std::string(name), std::move(layout)).first->second;
+}
+
+const Layout& ClassPool::static_layout_of(std::string_view name) const {
+    auto it = static_layouts_.find(std::string(name));
+    if (it != static_layouts_.end()) return it->second;
+
+    const ClassFile& cf = get(name);
+    Layout layout;
+    for (const Field& f : cf.fields) {
+        if (!f.is_static) continue;
+        layout.index_by_name.emplace(f.name, layout.size());
+        layout.slots.push_back(FieldSlot{f.name, f.type, cf.name});
+    }
+    return static_layouts_.emplace(std::string(name), std::move(layout)).first->second;
+}
+
+const Method* ClassPool::resolve_virtual(std::string_view dynamic,
+                                         std::string_view method_name,
+                                         std::string_view desc) const {
+    for (const ClassFile* cf = find(dynamic); cf;
+         cf = cf->super_name.empty() ? nullptr : find(cf->super_name)) {
+        const Method* m = cf->find_method(method_name, desc);
+        if (m && !m->is_abstract) return m;
+    }
+    return nullptr;
+}
+
+const Method* ClassPool::resolve_static(std::string_view owner,
+                                        std::string_view method_name,
+                                        std::string_view desc) const {
+    for (const ClassFile* cf = find(owner); cf;
+         cf = cf->super_name.empty() ? nullptr : find(cf->super_name)) {
+        const Method* m = cf->find_method(method_name, desc);
+        if (m && m->is_static) return m;
+    }
+    return nullptr;
+}
+
+const ClassFile* ClassPool::resolve_static_field(std::string_view owner,
+                                                 std::string_view field_name) const {
+    for (const ClassFile* cf = find(owner); cf;
+         cf = cf->super_name.empty() ? nullptr : find(cf->super_name)) {
+        const Field* f = cf->find_field(field_name);
+        if (f && f->is_static) return cf;
+    }
+    return nullptr;
+}
+
+void ClassPool::invalidate_caches() {
+    layouts_.clear();
+    static_layouts_.clear();
+}
+
+}  // namespace rafda::model

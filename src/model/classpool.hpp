@@ -1,0 +1,98 @@
+// ClassPool — the set of classes a program consists of, with the name
+// resolution and layout services the interpreter and the transformation
+// pipeline need.
+//
+// The pool owns its class files.  It is mutable: the transformation
+// pipeline adds generated classes (interfaces, locals, proxies, factories)
+// and rewrites existing ones; derived data (field layouts, subtype facts)
+// is cached and invalidated on mutation.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "model/classfile.hpp"
+
+namespace rafda::model {
+
+/// Layout of the instance fields of a class, superclass fields first.
+struct FieldSlot {
+    std::string name;
+    TypeDesc type;
+    std::string declaring_class;
+};
+
+struct Layout {
+    std::vector<FieldSlot> slots;
+    std::unordered_map<std::string, int> index_by_name;
+
+    int index_of(std::string_view field_name) const;
+    int size() const noexcept { return static_cast<int>(slots.size()); }
+};
+
+class ClassPool {
+public:
+    ClassPool() = default;
+    ClassPool(const ClassPool&) = delete;
+    ClassPool& operator=(const ClassPool&) = delete;
+    ClassPool(ClassPool&&) = default;
+    ClassPool& operator=(ClassPool&&) = default;
+
+    /// Adds a class; throws VerifyError on duplicate name.
+    ClassFile& add(ClassFile cf);
+    /// Removes a class; throws VerifyError if absent.
+    void remove(std::string_view name);
+
+    bool contains(std::string_view name) const;
+    /// Throws VerifyError if the class is absent.
+    const ClassFile& get(std::string_view name) const;
+    ClassFile& get_mutable(std::string_view name);
+    const ClassFile* find(std::string_view name) const;
+    ClassFile* find_mutable(std::string_view name);
+
+    std::size_t size() const noexcept { return classes_.size(); }
+
+    /// All classes in name order (deterministic iteration).
+    std::vector<const ClassFile*> all() const;
+    std::vector<std::string> all_names() const;
+
+    /// True if `sub` equals `super`, or transitively extends/implements it.
+    /// Unknown names are never subtypes of anything but themselves.
+    bool is_subtype(std::string_view sub, std::string_view super) const;
+
+    /// Instance field layout of `name` (inherited fields first).
+    /// Computed lazily, cached until the pool is mutated.
+    const Layout& layout_of(std::string_view name) const;
+
+    /// Static field layout of `name` (declared statics only).
+    const Layout& static_layout_of(std::string_view name) const;
+
+    /// Resolves a virtual call on dynamic class `dynamic`: walks the
+    /// superclass chain for a non-abstract method `name`+`desc`.
+    /// Returns nullptr if unresolved.
+    const Method* resolve_virtual(std::string_view dynamic, std::string_view method_name,
+                                  std::string_view desc) const;
+
+    /// Resolves a static method: walks the superclass chain from `owner`.
+    const Method* resolve_static(std::string_view owner, std::string_view method_name,
+                                 std::string_view desc) const;
+
+    /// The class on `owner`'s superclass chain (including `owner`) that
+    /// declares static field `field_name`, or nullptr.
+    const ClassFile* resolve_static_field(std::string_view owner,
+                                          std::string_view field_name) const;
+
+    /// Call after externally mutating a class file's fields/hierarchy.
+    void invalidate_caches();
+
+private:
+    std::map<std::string, std::unique_ptr<ClassFile>, std::less<>> classes_;
+    mutable std::unordered_map<std::string, Layout> layouts_;
+    mutable std::unordered_map<std::string, Layout> static_layouts_;
+};
+
+}  // namespace rafda::model

@@ -1,0 +1,147 @@
+#include "model/printer.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace rafda::model {
+
+namespace {
+
+void print_code(std::ostringstream& os, const Method& m) {
+    // Collect branch-target pcs and give them stable labels.
+    std::set<int> targets;
+    for (const Instruction& i : m.code.instrs)
+        if (is_branch(i.op)) targets.insert(i.a);
+    for (const Handler& h : m.code.handlers) {
+        targets.insert(h.start);
+        targets.insert(h.end);
+        targets.insert(h.target);
+    }
+    std::map<int, std::string> label_of;
+    int n = 0;
+    for (int pc : targets) label_of[pc] = "L" + std::to_string(n++);
+
+    int extra = m.code.max_locals - m.param_slots();
+    if (extra > 0) os << "    locals " << extra << "\n";
+
+    for (int pc = 0; pc <= static_cast<int>(m.code.instrs.size()); ++pc) {
+        auto lit = label_of.find(pc);
+        if (lit != label_of.end()) os << "  " << lit->second << ":\n";
+        if (pc == static_cast<int>(m.code.instrs.size())) break;
+        const Instruction& i = m.code.instrs[pc];
+        os << "    ";
+        if (is_branch(i.op)) {
+            os << op_name(i.op) << " " << label_of.at(i.a);
+        } else {
+            os << print_instruction(i);
+        }
+        os << "\n";
+    }
+    for (const Handler& h : m.code.handlers) {
+        os << "    catch " << h.class_name << " from " << label_of.at(h.start) << " to "
+           << label_of.at(h.end) << " using " << label_of.at(h.target) << "\n";
+    }
+}
+
+void print_method(std::ostringstream& os, const Method& m) {
+    os << "  ";
+    if (m.vis != Visibility::Public) os << visibility_name(m.vis) << " ";
+    if (m.is_native) os << "native ";
+    if (m.is_abstract) os << "abstract ";
+    if (m.is_static && !m.is_clinit()) os << "static ";
+    if (m.is_ctor()) {
+        os << "ctor " << m.descriptor();
+    } else if (m.is_clinit()) {
+        os << "clinit";
+    } else {
+        os << "method " << m.name << " " << m.descriptor();
+    }
+    if (m.is_native || m.is_abstract) {
+        os << "\n";
+        return;
+    }
+    os << " {\n";
+    print_code(os, m);
+    os << "  }\n";
+}
+
+}  // namespace
+
+std::string print_instruction(const Instruction& i) {
+    std::ostringstream os;
+    os << op_name(i.op);
+    switch (i.op) {
+        case Op::Const:
+            os << " " << const_to_string(i.k);
+            break;
+        case Op::Load:
+        case Op::Store:
+            os << " " << i.a;
+            break;
+        case Op::Conv:
+            os << " " << TypeDesc(static_cast<Kind>(i.a)).descriptor();
+            break;
+        case Op::Goto:
+        case Op::IfTrue:
+        case Op::IfFalse:
+            os << " @" << i.a;
+            break;
+        case Op::New:
+            os << " " << i.owner;
+            break;
+        case Op::NewArray:
+            os << " " << i.desc;
+            break;
+        case Op::GetField:
+        case Op::PutField:
+        case Op::GetStatic:
+        case Op::PutStatic:
+        case Op::InvokeVirtual:
+        case Op::InvokeInterface:
+        case Op::InvokeStatic:
+        case Op::InvokeSpecial:
+            os << " " << i.owner << "." << i.member << " " << i.desc;
+            break;
+        default:
+            break;
+    }
+    return os.str();
+}
+
+std::string print_class(const ClassFile& cf) {
+    std::ostringstream os;
+    if (cf.is_special) os << "special ";
+    os << (cf.is_interface ? "interface " : "class ") << cf.name;
+    if (!cf.super_name.empty()) os << " extends " << cf.super_name;
+    if (!cf.interfaces.empty()) {
+        os << (cf.is_interface ? " extends " : " implements ");
+        for (std::size_t i = 0; i < cf.interfaces.size(); ++i) {
+            if (i) os << ", ";
+            os << cf.interfaces[i];
+        }
+    }
+    os << " {\n";
+    for (const Field& f : cf.fields) {
+        os << "  ";
+        if (f.is_static) os << "static ";
+        os << "field ";
+        if (f.vis != Visibility::Public) os << visibility_name(f.vis) << " ";
+        if (f.is_final) os << "final ";
+        os << f.name << " " << f.type.descriptor() << "\n";
+    }
+    for (const Method& m : cf.methods) print_method(os, m);
+    os << "}\n";
+    return os.str();
+}
+
+std::string print_pool(const ClassPool& pool) {
+    std::string out;
+    for (const ClassFile* cf : pool.all()) {
+        out += print_class(*cf);
+        out += "\n";
+    }
+    return out;
+}
+
+}  // namespace rafda::model

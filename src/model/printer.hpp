@@ -1,0 +1,25 @@
+// RIR printer — renders class files back to assembler syntax.
+//
+// print/assemble round-trip structurally: assemble(print(cf)) produces an
+// equivalent class file.  The printer is also how examples show the user
+// what the transformation pipeline generated (the paper's Figures 3-5).
+#pragma once
+
+#include <string>
+
+#include "model/classfile.hpp"
+#include "model/classpool.hpp"
+
+namespace rafda::model {
+
+/// Renders one class in assembler syntax.
+std::string print_class(const ClassFile& cf);
+
+/// Renders every class in the pool, in name order.
+std::string print_pool(const ClassPool& pool);
+
+/// Renders a single instruction (no label resolution; branch targets are
+/// printed as raw pcs).  Used in diagnostics.
+std::string print_instruction(const Instruction& ins);
+
+}  // namespace rafda::model

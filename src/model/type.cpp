@@ -1,0 +1,157 @@
+#include "model/type.hpp"
+
+#include "support/error.hpp"
+
+namespace rafda::model {
+
+std::string_view kind_name(Kind k) {
+    switch (k) {
+        case Kind::Void: return "void";
+        case Kind::Bool: return "bool";
+        case Kind::Int: return "int";
+        case Kind::Long: return "long";
+        case Kind::Double: return "double";
+        case Kind::Str: return "string";
+        case Kind::Ref: return "ref";
+        case Kind::Arr: return "array";
+    }
+    return "?";
+}
+
+TypeDesc::TypeDesc(Kind kind) : kind_(kind) {
+    if (kind == Kind::Ref) throw ParseError("reference type requires a class name", 0);
+}
+
+TypeDesc TypeDesc::ref(std::string class_name) {
+    TypeDesc t;
+    t.kind_ = Kind::Ref;
+    t.class_name_ = std::move(class_name);
+    return t;
+}
+
+TypeDesc TypeDesc::array(const TypeDesc& elem) {
+    if (elem.is_void()) throw ParseError("array of void", 0);
+    TypeDesc t;
+    t.kind_ = Kind::Arr;
+    t.class_name_ = elem.descriptor();
+    return t;
+}
+
+TypeDesc TypeDesc::element() const {
+    if (kind_ != Kind::Arr) throw VerifyError("element() on non-array type");
+    return parse(class_name_);
+}
+
+const TypeDesc& TypeDesc::void_() {
+    static const TypeDesc t{Kind::Void};
+    return t;
+}
+const TypeDesc& TypeDesc::bool_() {
+    static const TypeDesc t{Kind::Bool};
+    return t;
+}
+const TypeDesc& TypeDesc::int_() {
+    static const TypeDesc t{Kind::Int};
+    return t;
+}
+const TypeDesc& TypeDesc::long_() {
+    static const TypeDesc t{Kind::Long};
+    return t;
+}
+const TypeDesc& TypeDesc::double_() {
+    static const TypeDesc t{Kind::Double};
+    return t;
+}
+const TypeDesc& TypeDesc::str() {
+    static const TypeDesc t{Kind::Str};
+    return t;
+}
+
+const std::string& TypeDesc::class_name() const {
+    if (kind_ != Kind::Ref) throw VerifyError("class_name() on non-reference type");
+    return class_name_;
+}
+
+std::string TypeDesc::descriptor() const {
+    switch (kind_) {
+        case Kind::Void: return "V";
+        case Kind::Bool: return "Z";
+        case Kind::Int: return "I";
+        case Kind::Long: return "J";
+        case Kind::Double: return "D";
+        case Kind::Str: return "S";
+        case Kind::Ref: return "L" + class_name_ + ";";
+        case Kind::Arr: return "[" + class_name_;
+    }
+    return "?";
+}
+
+namespace {
+
+TypeDesc parse_one(std::string_view desc, std::size_t& pos) {
+    if (pos >= desc.size()) throw ParseError("empty type descriptor", 0);
+    char c = desc[pos++];
+    switch (c) {
+        case 'V': return TypeDesc::void_();
+        case 'Z': return TypeDesc::bool_();
+        case 'I': return TypeDesc::int_();
+        case 'J': return TypeDesc::long_();
+        case 'D': return TypeDesc::double_();
+        case 'S': return TypeDesc::str();
+        case '[': {
+            TypeDesc elem = parse_one(desc, pos);
+            return TypeDesc::array(elem);
+        }
+        case 'L': {
+            std::size_t semi = desc.find(';', pos);
+            if (semi == std::string_view::npos)
+                throw ParseError("unterminated class descriptor: " + std::string(desc), 0);
+            TypeDesc t = TypeDesc::ref(std::string(desc.substr(pos, semi - pos)));
+            pos = semi + 1;
+            return t;
+        }
+        default:
+            throw ParseError("bad type descriptor char '" + std::string(1, c) + "' in " +
+                                 std::string(desc),
+                             0);
+    }
+}
+
+}  // namespace
+
+TypeDesc TypeDesc::parse(std::string_view desc) {
+    std::size_t pos = 0;
+    TypeDesc t = parse_one(desc, pos);
+    if (pos != desc.size())
+        throw ParseError("trailing characters in type descriptor: " + std::string(desc), 0);
+    return t;
+}
+
+std::string MethodSig::descriptor() const {
+    std::string out = "(";
+    for (const TypeDesc& p : params_) out += p.descriptor();
+    out += ")";
+    out += ret_.descriptor();
+    return out;
+}
+
+MethodSig MethodSig::parse(std::string_view desc) {
+    if (desc.empty() || desc[0] != '(')
+        throw ParseError("method descriptor must start with '(': " + std::string(desc), 0);
+    std::size_t pos = 1;
+    std::vector<TypeDesc> params;
+    while (pos < desc.size() && desc[pos] != ')') {
+        params.push_back(parse_one(desc, pos));
+        if (params.back().is_void())
+            throw ParseError("void parameter in method descriptor: " + std::string(desc), 0);
+    }
+    if (pos >= desc.size())
+        throw ParseError("unterminated parameter list: " + std::string(desc), 0);
+    ++pos;  // skip ')'
+    TypeDesc ret = parse_one(desc, pos);
+    if (pos != desc.size())
+        throw ParseError("trailing characters in method descriptor: " + std::string(desc), 0);
+    return MethodSig(std::move(params), std::move(ret));
+}
+
+}  // namespace rafda::model

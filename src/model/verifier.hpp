@@ -1,0 +1,34 @@
+// Structural verifier for class pools.
+//
+// Plays the role of the JVM bytecode verifier: the transformation pipeline
+// is only allowed to assume properties of code "that has already been
+// verified by a standard compiler" (paper, Sec 2.1), and its *output* must
+// verify too — every generated pool is re-verified in tests.
+//
+// Checks performed:
+//   - hierarchy: superclasses/interfaces exist, correct kind, no cycles;
+//   - interfaces declare only public abstract instance methods, no fields;
+//   - member uniqueness: field names and (method name, descriptor) pairs;
+//   - symbolic references resolve: field/method/new operands name existing
+//     classes and members with matching descriptors and staticness;
+//   - `new` targets are instantiable (non-interface, no unimplemented
+//     abstract methods);
+//   - code sanity: branch targets in range, slots < max_locals, and a
+//     stack-depth dataflow pass proving operand counts are consistent on
+//     every path and never underflow.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/classpool.hpp"
+
+namespace rafda::model {
+
+/// Verifies the whole pool; throws VerifyError naming the first problem.
+void verify_pool(const ClassPool& pool);
+
+/// Like verify_pool but collects all problems instead of throwing.
+std::vector<std::string> verify_pool_collect(const ClassPool& pool);
+
+}  // namespace rafda::model

@@ -1,0 +1,41 @@
+// Protocol codec interface.
+//
+// One codec per proxy protocol (paper Sec 2: "various proxies implementing
+// the interface for a class provide alternative remote versions, e.g.
+// SOAP-based, RMI-based, CORBA-based").  The shipped codecs are:
+//   RMIB  — compact length-prefixed binary (the RMI stand-in)
+//   SOAPX — verbose XML-style text (the SOAP stand-in)
+// Both carry exactly the same message model; they differ in encoding cost
+// and wire size, which is what experiment E5 measures.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/message.hpp"
+#include "support/bytes.hpp"
+
+namespace rafda::net {
+
+class Codec {
+public:
+    virtual ~Codec() = default;
+
+    /// Protocol suffix used in generated proxy class names ("RMI", "SOAP").
+    virtual const std::string& protocol() const = 0;
+
+    virtual Bytes encode_request(const CallRequest& req) const = 0;
+    virtual CallRequest decode_request(const Bytes& data) const = 0;
+    virtual Bytes encode_reply(const CallReply& reply) const = 0;
+    virtual CallReply decode_reply(const Bytes& data) const = 0;
+
+    /// Simulated per-byte CPU cost of encoding/decoding, in nanoseconds;
+    /// lets experiments model SOAP's parsing overhead without real XML
+    /// libraries dominating wall-clock noise.
+    virtual double cpu_cost_ns_per_byte() const = 0;
+};
+
+/// Factory for the built-in codecs; throws CodecError for unknown names.
+std::unique_ptr<Codec> make_codec(const std::string& protocol);
+
+}  // namespace rafda::net

@@ -1,0 +1,220 @@
+#include "net/corbx.hpp"
+
+#include "support/error.hpp"
+
+namespace rafda::net {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'R', 'B', 'X'};
+constexpr std::uint8_t kVersionMajor = 1;
+constexpr std::uint8_t kVersionMinor = 0;
+constexpr std::uint8_t kTypeRequest = 0;
+constexpr std::uint8_t kTypeReply = 1;
+
+/// CDR-style writer: pads to 4-byte alignment before multi-byte values.
+class CdrWriter {
+public:
+    void align4() {
+        while (w_.size() % 4 != 0) w_.u8(0);
+    }
+    void u8(std::uint8_t v) { w_.u8(v); }
+    void u32(std::uint32_t v) {
+        align4();
+        w_.u32(v);
+    }
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+    void u64(std::uint64_t v) {
+        align4();
+        w_.u64(v);
+    }
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    void f64(double v) {
+        align4();
+        w_.f64(v);
+    }
+    void str(std::string_view s) {
+        u32(static_cast<std::uint32_t>(s.size()));
+        for (char c : s) w_.u8(static_cast<std::uint8_t>(c));
+    }
+    Bytes take() { return w_.take(); }
+    std::size_t size() const { return w_.size(); }
+
+private:
+    ByteWriter w_;
+};
+
+class CdrReader {
+public:
+    explicit CdrReader(const Bytes& data) : r_(data) {}
+    void align4() {
+        while (consumed_ % 4 != 0) {
+            r_.u8();
+            ++consumed_;
+        }
+    }
+    std::uint8_t u8() {
+        ++consumed_;
+        return r_.u8();
+    }
+    std::uint32_t u32() {
+        align4();
+        consumed_ += 4;
+        return r_.u32();
+    }
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    std::uint64_t u64() {
+        align4();
+        consumed_ += 8;
+        return r_.u64();
+    }
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    double f64() {
+        align4();
+        consumed_ += 8;
+        return r_.f64();
+    }
+    std::string str() {
+        std::uint32_t n = u32();
+        std::string out;
+        out.reserve(n);
+        for (std::uint32_t k = 0; k < n; ++k) out += static_cast<char>(u8());
+        return out;
+    }
+    bool at_end() const { return r_.at_end(); }
+
+private:
+    ByteReader r_;
+    std::size_t consumed_ = 0;
+};
+
+void write_value(CdrWriter& w, const MarshalledValue& v) {
+    w.u8(static_cast<std::uint8_t>(v.tag));
+    switch (v.tag) {
+        case ValueTag::Null: break;
+        case ValueTag::Bool: w.u8(v.b ? 1 : 0); break;
+        case ValueTag::Int: w.i32(v.i); break;
+        case ValueTag::Long: w.i64(v.j); break;
+        case ValueTag::Double: w.f64(v.d); break;
+        case ValueTag::Str: w.str(v.s); break;
+        case ValueTag::Ref:
+            w.i32(v.ref_node);
+            w.u64(v.ref_oid);
+            w.str(v.ref_class);
+            break;
+    }
+}
+
+MarshalledValue read_value(CdrReader& r) {
+    MarshalledValue v;
+    std::uint8_t tag = r.u8();
+    if (tag > static_cast<std::uint8_t>(ValueTag::Ref))
+        throw CodecError("corbx: bad value tag");
+    v.tag = static_cast<ValueTag>(tag);
+    switch (v.tag) {
+        case ValueTag::Null: break;
+        case ValueTag::Bool: v.b = r.u8() != 0; break;
+        case ValueTag::Int: v.i = r.i32(); break;
+        case ValueTag::Long: v.j = r.i64(); break;
+        case ValueTag::Double: v.d = r.f64(); break;
+        case ValueTag::Str: v.s = r.str(); break;
+        case ValueTag::Ref:
+            v.ref_node = r.i32();
+            v.ref_oid = r.u64();
+            v.ref_class = r.str();
+            break;
+    }
+    return v;
+}
+
+void write_header(CdrWriter& w, std::uint8_t type) {
+    for (char c : kMagic) w.u8(static_cast<std::uint8_t>(c));
+    w.u8(kVersionMajor);
+    w.u8(kVersionMinor);
+    w.u8(type);
+    w.u8(0);  // flags
+    w.u32(0);  // body length (filled conceptually; unused by the simulator)
+}
+
+void read_header(CdrReader& r, std::uint8_t expected_type) {
+    for (char c : kMagic)
+        if (r.u8() != static_cast<std::uint8_t>(c)) throw CodecError("corbx: bad magic");
+    if (r.u8() != kVersionMajor || r.u8() != kVersionMinor)
+        throw CodecError("corbx: unsupported version");
+    if (r.u8() != expected_type) throw CodecError("corbx: unexpected message type");
+    r.u8();   // flags
+    r.u32();  // body length
+}
+
+}  // namespace
+
+const std::string& CorbxCodec::protocol() const {
+    static const std::string name = "CORBA";
+    return name;
+}
+
+Bytes CorbxCodec::encode_request(const CallRequest& req) const {
+    CdrWriter w;
+    write_header(w, kTypeRequest);
+    w.u8(static_cast<std::uint8_t>(req.kind));
+    w.u64(req.request_id);
+    w.i32(req.src_node);
+    w.u64(req.target_oid);
+    w.str(req.cls);
+    w.str(req.method);
+    w.str(req.desc);
+    w.u32(static_cast<std::uint32_t>(req.args.size()));
+    for (const MarshalledValue& a : req.args) write_value(w, a);
+    return w.take();
+}
+
+CallRequest CorbxCodec::decode_request(const Bytes& data) const {
+    CdrReader r(data);
+    read_header(r, kTypeRequest);
+    CallRequest req;
+    std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(RequestKind::Discover))
+        throw CodecError("corbx: bad request kind");
+    req.kind = static_cast<RequestKind>(kind);
+    req.request_id = r.u64();
+    req.src_node = r.i32();
+    req.target_oid = r.u64();
+    req.cls = r.str();
+    req.method = r.str();
+    req.desc = r.str();
+    std::uint32_t n = r.u32();
+    req.args.reserve(n);
+    for (std::uint32_t k = 0; k < n; ++k) req.args.push_back(read_value(r));
+    return req;
+}
+
+Bytes CorbxCodec::encode_reply(const CallReply& reply) const {
+    CdrWriter w;
+    write_header(w, kTypeReply);
+    w.u64(reply.request_id);
+    w.u8(reply.is_fault ? 1 : 0);
+    if (reply.is_fault) {
+        w.str(reply.fault_class);
+        w.str(reply.fault_msg);
+    } else {
+        write_value(w, reply.result);
+    }
+    return w.take();
+}
+
+CallReply CorbxCodec::decode_reply(const Bytes& data) const {
+    CdrReader r(data);
+    read_header(r, kTypeReply);
+    CallReply reply;
+    reply.request_id = r.u64();
+    reply.is_fault = r.u8() != 0;
+    if (reply.is_fault) {
+        reply.fault_class = r.str();
+        reply.fault_msg = r.str();
+    } else {
+        reply.result = read_value(r);
+    }
+    return reply;
+}
+
+}  // namespace rafda::net

@@ -1,0 +1,52 @@
+#include "net/message.hpp"
+
+namespace rafda::net {
+
+MarshalledValue MarshalledValue::null() { return MarshalledValue{}; }
+
+MarshalledValue MarshalledValue::of_bool(bool v) {
+    MarshalledValue m;
+    m.tag = ValueTag::Bool;
+    m.b = v;
+    return m;
+}
+
+MarshalledValue MarshalledValue::of_int(std::int32_t v) {
+    MarshalledValue m;
+    m.tag = ValueTag::Int;
+    m.i = v;
+    return m;
+}
+
+MarshalledValue MarshalledValue::of_long(std::int64_t v) {
+    MarshalledValue m;
+    m.tag = ValueTag::Long;
+    m.j = v;
+    return m;
+}
+
+MarshalledValue MarshalledValue::of_double(double v) {
+    MarshalledValue m;
+    m.tag = ValueTag::Double;
+    m.d = v;
+    return m;
+}
+
+MarshalledValue MarshalledValue::of_str(std::string v) {
+    MarshalledValue m;
+    m.tag = ValueTag::Str;
+    m.s = std::move(v);
+    return m;
+}
+
+MarshalledValue MarshalledValue::of_ref(std::int32_t node, std::uint64_t oid,
+                                        std::string cls) {
+    MarshalledValue m;
+    m.tag = ValueTag::Ref;
+    m.ref_node = node;
+    m.ref_oid = oid;
+    m.ref_class = std::move(cls);
+    return m;
+}
+
+}  // namespace rafda::net

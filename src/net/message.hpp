@@ -1,0 +1,70 @@
+// Wire-level message model shared by all protocol codecs.
+//
+// A marshalled value is either a primitive or a *remote reference*: the
+// node the real object lives on, its object id there, and the original
+// application class it stands for (so the receiving side can pick the
+// right proxy class).  This is the representation boundary between the
+// middleware and the protocols — codecs only see these structs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rafda::net {
+
+enum class ValueTag : std::uint8_t { Null, Bool, Int, Long, Double, Str, Ref };
+
+struct MarshalledValue {
+    ValueTag tag = ValueTag::Null;
+    bool b = false;
+    std::int32_t i = 0;
+    std::int64_t j = 0;
+    double d = 0.0;
+    std::string s;
+    // Ref fields:
+    std::int32_t ref_node = 0;
+    std::uint64_t ref_oid = 0;
+    std::string ref_class;  // original application class
+
+    static MarshalledValue null();
+    static MarshalledValue of_bool(bool v);
+    static MarshalledValue of_int(std::int32_t v);
+    static MarshalledValue of_long(std::int64_t v);
+    static MarshalledValue of_double(double v);
+    static MarshalledValue of_str(std::string v);
+    static MarshalledValue of_ref(std::int32_t node, std::uint64_t oid, std::string cls);
+
+    bool operator==(const MarshalledValue&) const = default;
+};
+
+enum class RequestKind : std::uint8_t {
+    Invoke,    // call `method`/`desc` on object `target_oid`
+    Create,    // instantiate the local implementation of `cls`, export it
+    Discover,  // return (creating if needed) the `cls` singleton
+};
+
+struct CallRequest {
+    RequestKind kind = RequestKind::Invoke;
+    std::uint64_t request_id = 0;
+    std::int32_t src_node = 0;
+    std::uint64_t target_oid = 0;  // Invoke only
+    std::string cls;               // Create/Discover: original class name
+    std::string method;            // Invoke only
+    std::string desc;              // Invoke only (transformed descriptor)
+    std::vector<MarshalledValue> args;
+
+    bool operator==(const CallRequest&) const = default;
+};
+
+struct CallReply {
+    std::uint64_t request_id = 0;
+    bool is_fault = false;
+    MarshalledValue result;    // valid when !is_fault
+    std::string fault_class;   // guest throwable class name
+    std::string fault_msg;
+
+    bool operator==(const CallReply&) const = default;
+};
+
+}  // namespace rafda::net

@@ -1,0 +1,58 @@
+#include "net/network.hpp"
+
+#include <cmath>
+
+namespace rafda::net {
+
+SimNetwork::SimNetwork(std::uint64_t seed) : rng_(seed) {}
+
+void SimNetwork::set_default_link(LinkParams params) { default_link_ = params; }
+
+void SimNetwork::set_link(NodeId src, NodeId dst, LinkParams params) {
+    links_[{src, dst}] = params;
+}
+
+const LinkParams& SimNetwork::link(NodeId src, NodeId dst) const {
+    auto it = links_.find({src, dst});
+    return it == links_.end() ? default_link_ : it->second;
+}
+
+std::optional<std::uint64_t> SimNetwork::transfer(NodeId src, NodeId dst,
+                                                  std::size_t size) {
+    const LinkParams& params = link(src, dst);
+    LinkStats& stats = stats_[{src, dst}];
+    if (rng_.chance(params.drop_probability)) {
+        ++stats.drops;
+        return std::nullopt;
+    }
+    ++stats.messages;
+    stats.bytes += size;
+    double serialization =
+        params.bandwidth_bytes_per_us > 0
+            ? static_cast<double>(size) / params.bandwidth_bytes_per_us
+            : 0.0;
+    std::uint64_t delay =
+        params.latency_us + static_cast<std::uint64_t>(std::llround(serialization));
+    clock_us_ += delay;
+    return delay;
+}
+
+void SimNetwork::charge_compute(std::uint64_t us) { clock_us_ += us; }
+
+const LinkStats& SimNetwork::stats(NodeId src, NodeId dst) const {
+    return stats_[{src, dst}];
+}
+
+LinkStats SimNetwork::total_stats() const {
+    LinkStats total;
+    for (const auto& [_, s] : stats_) {
+        total.messages += s.messages;
+        total.bytes += s.bytes;
+        total.drops += s.drops;
+    }
+    return total;
+}
+
+void SimNetwork::reset_stats() { stats_.clear(); }
+
+}  // namespace rafda::net

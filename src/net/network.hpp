@@ -1,0 +1,69 @@
+// SimNetwork — a deterministic in-process network between address spaces.
+//
+// The middleware runs all nodes in one OS process (each with its own VM and
+// heap), so the "network" models cost and failure rather than moving bytes:
+// each transfer advances a virtual clock by latency + size/bandwidth and is
+// accounted per link; fault injection drops messages deterministically from
+// a seeded PRNG.  Experiments read the virtual clock so results are exactly
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+
+namespace rafda::net {
+
+using NodeId = std::int32_t;
+
+struct LinkParams {
+    /// One-way propagation delay in microseconds.
+    std::uint64_t latency_us = 100;
+    /// Bytes per microsecond (e.g. 125 = 1 Gbit/s).
+    double bandwidth_bytes_per_us = 125.0;
+    /// Probability a transfer is lost.
+    double drop_probability = 0.0;
+};
+
+struct LinkStats {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t drops = 0;
+};
+
+class SimNetwork {
+public:
+    explicit SimNetwork(std::uint64_t seed = 1);
+
+    /// Default parameters for links without an explicit setting.
+    void set_default_link(LinkParams params);
+    /// Directed link override.
+    void set_link(NodeId src, NodeId dst, LinkParams params);
+    const LinkParams& link(NodeId src, NodeId dst) const;
+
+    /// Accounts one transfer of `size` bytes; returns the transfer delay in
+    /// microseconds and advances the virtual clock by it, or nullopt when
+    /// the message was dropped (fault injection).
+    std::optional<std::uint64_t> transfer(NodeId src, NodeId dst, std::size_t size);
+
+    /// Advances the virtual clock by a compute cost (e.g. codec CPU time).
+    void charge_compute(std::uint64_t us);
+
+    std::uint64_t now_us() const noexcept { return clock_us_; }
+
+    const LinkStats& stats(NodeId src, NodeId dst) const;
+    LinkStats total_stats() const;
+    void reset_stats();
+
+private:
+    LinkParams default_link_;
+    std::map<std::pair<NodeId, NodeId>, LinkParams> links_;
+    mutable std::map<std::pair<NodeId, NodeId>, LinkStats> stats_;
+    std::uint64_t clock_us_ = 0;
+    Rng rng_;
+};
+
+}  // namespace rafda::net

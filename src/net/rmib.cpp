@@ -1,0 +1,124 @@
+#include "net/rmib.hpp"
+
+#include "support/error.hpp"
+
+namespace rafda::net {
+
+namespace {
+
+constexpr std::uint8_t kMagicRequest = 0xA1;
+constexpr std::uint8_t kMagicReply = 0xA2;
+
+void write_value(ByteWriter& w, const MarshalledValue& v) {
+    w.u8(static_cast<std::uint8_t>(v.tag));
+    switch (v.tag) {
+        case ValueTag::Null: break;
+        case ValueTag::Bool: w.u8(v.b ? 1 : 0); break;
+        case ValueTag::Int: w.i32(v.i); break;
+        case ValueTag::Long: w.i64(v.j); break;
+        case ValueTag::Double: w.f64(v.d); break;
+        case ValueTag::Str: w.str(v.s); break;
+        case ValueTag::Ref:
+            w.i32(v.ref_node);
+            w.u64(v.ref_oid);
+            w.str(v.ref_class);
+            break;
+    }
+}
+
+MarshalledValue read_value(ByteReader& r) {
+    MarshalledValue v;
+    std::uint8_t tag = r.u8();
+    if (tag > static_cast<std::uint8_t>(ValueTag::Ref))
+        throw CodecError("rmib: bad value tag");
+    v.tag = static_cast<ValueTag>(tag);
+    switch (v.tag) {
+        case ValueTag::Null: break;
+        case ValueTag::Bool: v.b = r.u8() != 0; break;
+        case ValueTag::Int: v.i = r.i32(); break;
+        case ValueTag::Long: v.j = r.i64(); break;
+        case ValueTag::Double: v.d = r.f64(); break;
+        case ValueTag::Str: v.s = r.str(); break;
+        case ValueTag::Ref:
+            v.ref_node = r.i32();
+            v.ref_oid = r.u64();
+            v.ref_class = r.str();
+            break;
+    }
+    return v;
+}
+
+}  // namespace
+
+const std::string& RmibCodec::protocol() const {
+    static const std::string name = "RMI";
+    return name;
+}
+
+Bytes RmibCodec::encode_request(const CallRequest& req) const {
+    ByteWriter w;
+    w.u8(kMagicRequest);
+    w.u8(static_cast<std::uint8_t>(req.kind));
+    w.u64(req.request_id);
+    w.i32(req.src_node);
+    w.u64(req.target_oid);
+    w.str(req.cls);
+    w.str(req.method);
+    w.str(req.desc);
+    w.u32(static_cast<std::uint32_t>(req.args.size()));
+    for (const MarshalledValue& a : req.args) write_value(w, a);
+    return w.take();
+}
+
+CallRequest RmibCodec::decode_request(const Bytes& data) const {
+    ByteReader r(data);
+    if (r.u8() != kMagicRequest) throw CodecError("rmib: bad request magic");
+    CallRequest req;
+    std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(RequestKind::Discover))
+        throw CodecError("rmib: bad request kind");
+    req.kind = static_cast<RequestKind>(kind);
+    req.request_id = r.u64();
+    req.src_node = r.i32();
+    req.target_oid = r.u64();
+    req.cls = r.str();
+    req.method = r.str();
+    req.desc = r.str();
+    std::uint32_t n = r.u32();
+    req.args.reserve(n);
+    for (std::uint32_t k = 0; k < n; ++k) req.args.push_back(read_value(r));
+    if (!r.at_end()) throw CodecError("rmib: trailing bytes in request");
+    return req;
+}
+
+Bytes RmibCodec::encode_reply(const CallReply& reply) const {
+    ByteWriter w;
+    w.u8(kMagicReply);
+    w.u64(reply.request_id);
+    w.u8(reply.is_fault ? 1 : 0);
+    if (reply.is_fault) {
+        w.str(reply.fault_class);
+        w.str(reply.fault_msg);
+    } else {
+        write_value(w, reply.result);
+    }
+    return w.take();
+}
+
+CallReply RmibCodec::decode_reply(const Bytes& data) const {
+    ByteReader r(data);
+    if (r.u8() != kMagicReply) throw CodecError("rmib: bad reply magic");
+    CallReply reply;
+    reply.request_id = r.u64();
+    reply.is_fault = r.u8() != 0;
+    if (reply.is_fault) {
+        reply.fault_class = r.str();
+        reply.fault_msg = r.str();
+    } else {
+        reply.result = read_value(r);
+    }
+    if (!r.at_end()) throw CodecError("rmib: trailing bytes in reply");
+    return reply;
+}
+
+}  // namespace rafda::net

@@ -1,0 +1,18 @@
+// RMIB — the compact binary protocol (RMI stand-in).
+#pragma once
+
+#include "net/codec.hpp"
+
+namespace rafda::net {
+
+class RmibCodec final : public Codec {
+public:
+    const std::string& protocol() const override;
+    Bytes encode_request(const CallRequest& req) const override;
+    CallRequest decode_request(const Bytes& data) const override;
+    Bytes encode_reply(const CallReply& reply) const override;
+    CallReply decode_reply(const Bytes& data) const override;
+    double cpu_cost_ns_per_byte() const override { return 0.5; }
+};
+
+}  // namespace rafda::net

@@ -1,0 +1,300 @@
+#include "net/soapx.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace rafda::net {
+
+namespace {
+
+// ---- encoding -----------------------------------------------------------
+
+const char* tag_name(ValueTag t) {
+    switch (t) {
+        case ValueTag::Null: return "null";
+        case ValueTag::Bool: return "bool";
+        case ValueTag::Int: return "int";
+        case ValueTag::Long: return "long";
+        case ValueTag::Double: return "double";
+        case ValueTag::Str: return "string";
+        case ValueTag::Ref: return "ref";
+    }
+    return "?";
+}
+
+ValueTag tag_from_name(const std::string& name) {
+    if (name == "null") return ValueTag::Null;
+    if (name == "bool") return ValueTag::Bool;
+    if (name == "int") return ValueTag::Int;
+    if (name == "long") return ValueTag::Long;
+    if (name == "double") return ValueTag::Double;
+    if (name == "string") return ValueTag::Str;
+    if (name == "ref") return ValueTag::Ref;
+    throw CodecError("soapx: unknown value type " + name);
+}
+
+void encode_value(std::ostringstream& os, const char* element,
+                  const MarshalledValue& v) {
+    os << "<" << element << " type=\"" << tag_name(v.tag) << "\"";
+    switch (v.tag) {
+        case ValueTag::Ref:
+            os << " node=\"" << v.ref_node << "\" oid=\"" << v.ref_oid << "\" class=\""
+               << xml_escape(v.ref_class) << "\">";
+            break;
+        case ValueTag::Null:
+            os << ">";
+            break;
+        case ValueTag::Bool:
+            os << ">" << (v.b ? "true" : "false");
+            break;
+        case ValueTag::Int:
+            os << ">" << v.i;
+            break;
+        case ValueTag::Long:
+            os << ">" << v.j;
+            break;
+        case ValueTag::Double:
+            os << ">";
+            os.precision(17);
+            os << v.d;
+            break;
+        case ValueTag::Str:
+            os << ">" << xml_escape(v.s);
+            break;
+    }
+    os << "</" << element << ">";
+}
+
+const char* kind_name(RequestKind k) {
+    switch (k) {
+        case RequestKind::Invoke: return "invoke";
+        case RequestKind::Create: return "create";
+        case RequestKind::Discover: return "discover";
+    }
+    return "?";
+}
+
+RequestKind kind_from_name(const std::string& name) {
+    if (name == "invoke") return RequestKind::Invoke;
+    if (name == "create") return RequestKind::Create;
+    if (name == "discover") return RequestKind::Discover;
+    throw CodecError("soapx: unknown request kind " + name);
+}
+
+// ---- a tiny element parser (handles exactly what we emit) ---------------
+
+struct Element {
+    std::string name;
+    std::map<std::string, std::string> attrs;
+    std::string text;                // concatenated character data
+    std::vector<Element> children;
+
+    const std::string& attr(const std::string& key) const {
+        auto it = attrs.find(key);
+        if (it == attrs.end()) throw CodecError("soapx: missing attribute " + key);
+        return it->second;
+    }
+};
+
+class Scanner {
+public:
+    explicit Scanner(const std::string& text) : text_(text) {}
+
+    Element parse_document() {
+        Element root = parse_element();
+        skip_ws();
+        if (pos_ != text_.size()) throw CodecError("soapx: trailing content");
+        return root;
+    }
+
+private:
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    [[noreturn]] void fail(const std::string& what) {
+        throw CodecError("soapx: " + what + " at offset " + std::to_string(pos_));
+    }
+
+    Element parse_element() {
+        skip_ws();
+        if (pos_ >= text_.size() || text_[pos_] != '<') fail("expected '<'");
+        ++pos_;
+        Element el;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_'))
+            el.name += text_[pos_++];
+        if (el.name.empty()) fail("empty element name");
+        // Attributes.
+        while (true) {
+            skip_ws();
+            if (pos_ >= text_.size()) fail("unterminated tag");
+            if (text_[pos_] == '>') {
+                ++pos_;
+                break;
+            }
+            if (text_[pos_] == '/') {
+                // self-closing
+                ++pos_;
+                if (pos_ >= text_.size() || text_[pos_] != '>') fail("bad self-close");
+                ++pos_;
+                return el;
+            }
+            std::string key;
+            while (pos_ < text_.size() && text_[pos_] != '=' &&
+                   !std::isspace(static_cast<unsigned char>(text_[pos_])))
+                key += text_[pos_++];
+            skip_ws();
+            if (pos_ >= text_.size() || text_[pos_] != '=') fail("expected '='");
+            ++pos_;
+            skip_ws();
+            if (pos_ >= text_.size() || text_[pos_] != '"') fail("expected '\"'");
+            ++pos_;
+            std::string value;
+            while (pos_ < text_.size() && text_[pos_] != '"') value += text_[pos_++];
+            if (pos_ >= text_.size()) fail("unterminated attribute");
+            ++pos_;
+            el.attrs[key] = xml_unescape(value);
+        }
+        // Content: text and child elements until matching close tag.
+        while (true) {
+            if (pos_ >= text_.size()) fail("unterminated element " + el.name);
+            if (text_[pos_] == '<') {
+                if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+                    pos_ += 2;
+                    std::string close;
+                    while (pos_ < text_.size() && text_[pos_] != '>') close += text_[pos_++];
+                    if (pos_ >= text_.size()) fail("unterminated close tag");
+                    ++pos_;
+                    if (close != el.name)
+                        fail("mismatched close tag " + close + " for " + el.name);
+                    el.text = xml_unescape(el.text);
+                    return el;
+                }
+                el.children.push_back(parse_element());
+            } else {
+                el.text += text_[pos_++];
+            }
+        }
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+MarshalledValue decode_value(const Element& el) {
+    MarshalledValue v;
+    v.tag = tag_from_name(el.attr("type"));
+    switch (v.tag) {
+        case ValueTag::Null: break;
+        case ValueTag::Bool: v.b = el.text == "true"; break;
+        case ValueTag::Int:
+            v.i = static_cast<std::int32_t>(std::strtol(el.text.c_str(), nullptr, 10));
+            break;
+        case ValueTag::Long: v.j = std::strtoll(el.text.c_str(), nullptr, 10); break;
+        case ValueTag::Double: v.d = std::strtod(el.text.c_str(), nullptr); break;
+        case ValueTag::Str: v.s = el.text; break;
+        case ValueTag::Ref:
+            v.ref_node =
+                static_cast<std::int32_t>(std::strtol(el.attr("node").c_str(), nullptr, 10));
+            v.ref_oid = std::strtoull(el.attr("oid").c_str(), nullptr, 10);
+            v.ref_class = el.attr("class");
+            break;
+    }
+    return v;
+}
+
+const Element& only_child(const Element& el, const char* name) {
+    if (el.children.size() != 1 || el.children[0].name != name)
+        throw CodecError(std::string("soapx: expected single <") + name + "> in <" +
+                         el.name + ">");
+    return el.children[0];
+}
+
+std::string to_string_payload(const Bytes& data) {
+    return std::string(data.begin(), data.end());
+}
+
+Bytes to_bytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+}  // namespace
+
+const std::string& SoapxCodec::protocol() const {
+    static const std::string name = "SOAP";
+    return name;
+}
+
+Bytes SoapxCodec::encode_request(const CallRequest& req) const {
+    std::ostringstream os;
+    os << "<Envelope><Body><Request kind=\"" << kind_name(req.kind) << "\" id=\""
+       << req.request_id << "\" src=\"" << req.src_node << "\" target=\""
+       << req.target_oid << "\" class=\"" << xml_escape(req.cls) << "\" method=\""
+       << xml_escape(req.method) << "\" desc=\"" << xml_escape(req.desc) << "\">";
+    for (const MarshalledValue& a : req.args) encode_value(os, "arg", a);
+    os << "</Request></Body></Envelope>";
+    return to_bytes(os.str());
+}
+
+CallRequest SoapxCodec::decode_request(const Bytes& data) const {
+    std::string text = to_string_payload(data);
+    Element envelope = Scanner(text).parse_document();
+    if (envelope.name != "Envelope") throw CodecError("soapx: expected <Envelope>");
+    const Element& request = only_child(only_child(envelope, "Body"), "Request");
+    CallRequest req;
+    req.kind = kind_from_name(request.attr("kind"));
+    req.request_id = std::strtoull(request.attr("id").c_str(), nullptr, 10);
+    req.src_node =
+        static_cast<std::int32_t>(std::strtol(request.attr("src").c_str(), nullptr, 10));
+    req.target_oid = std::strtoull(request.attr("target").c_str(), nullptr, 10);
+    req.cls = request.attr("class");
+    req.method = request.attr("method");
+    req.desc = request.attr("desc");
+    for (const Element& child : request.children) {
+        if (child.name != "arg") throw CodecError("soapx: unexpected <" + child.name + ">");
+        req.args.push_back(decode_value(child));
+    }
+    return req;
+}
+
+Bytes SoapxCodec::encode_reply(const CallReply& reply) const {
+    std::ostringstream os;
+    os << "<Envelope><Body><Reply id=\"" << reply.request_id << "\">";
+    if (reply.is_fault) {
+        os << "<fault class=\"" << xml_escape(reply.fault_class) << "\">"
+           << xml_escape(reply.fault_msg) << "</fault>";
+    } else {
+        encode_value(os, "result", reply.result);
+    }
+    os << "</Reply></Body></Envelope>";
+    return to_bytes(os.str());
+}
+
+CallReply SoapxCodec::decode_reply(const Bytes& data) const {
+    std::string text = to_string_payload(data);
+    Element envelope = Scanner(text).parse_document();
+    if (envelope.name != "Envelope") throw CodecError("soapx: expected <Envelope>");
+    const Element& reply_el = only_child(only_child(envelope, "Body"), "Reply");
+    CallReply reply;
+    reply.request_id = std::strtoull(reply_el.attr("id").c_str(), nullptr, 10);
+    if (reply_el.children.size() != 1)
+        throw CodecError("soapx: reply must have exactly one child");
+    const Element& payload = reply_el.children[0];
+    if (payload.name == "fault") {
+        reply.is_fault = true;
+        reply.fault_class = payload.attr("class");
+        reply.fault_msg = payload.text;
+    } else if (payload.name == "result") {
+        reply.result = decode_value(payload);
+    } else {
+        throw CodecError("soapx: unexpected reply payload <" + payload.name + ">");
+    }
+    return reply;
+}
+
+}  // namespace rafda::net

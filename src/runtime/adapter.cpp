@@ -1,0 +1,26 @@
+#include "runtime/adapter.hpp"
+
+namespace rafda::runtime {
+
+GreedyAdapter::GreedyAdapter(System& system, net::NodeId node, vm::ObjId oid,
+                             std::string protocol)
+    : system_(&system),
+      node_(node),
+      oid_(oid),
+      protocol_(std::move(protocol)),
+      affinity_(node) {}
+
+bool GreedyAdapter::report_phase_cost(std::uint64_t cost) {
+    // Move when the last phase failed to improve on the one before it —
+    // staying put is only justified while costs are still falling.
+    bool stagnant = has_prev_ && cost >= prev_cost_;
+    has_prev_ = true;
+    prev_cost_ = cost;
+    if (!stagnant || node_ == affinity_) return false;
+    oid_ = system_->migrate_instance(node_, oid_, affinity_, protocol_);
+    node_ = affinity_;
+    ++migrations_;
+    return true;
+}
+
+}  // namespace rafda::runtime

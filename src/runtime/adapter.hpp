@@ -1,0 +1,53 @@
+// GreedyAdapter — a minimal dynamic-reconfiguration controller.
+//
+// The paper's next stage is "a complete mechanism for dynamic distribution
+// reconfiguration" (Sec 4).  This is a deliberately simple instance of
+// such a mechanism: the application (or harness) reports the cost of each
+// workload phase, and the adapter migrates a watched object towards a
+// declared affinity target whenever the phase cost regresses.  It knows
+// nothing about the application beyond the object it manages — all the
+// leverage comes from migration being transparent to reference holders.
+#pragma once
+
+#include <string>
+
+#include "runtime/system.hpp"
+
+namespace rafda::runtime {
+
+class GreedyAdapter {
+public:
+    /// Manages the object at (node, oid) in `system`; migrations use
+    /// `protocol` (empty = policy default).
+    GreedyAdapter(System& system, net::NodeId node, vm::ObjId oid,
+                  std::string protocol = "");
+
+    /// Where the managed object currently lives.
+    net::NodeId current_node() const noexcept { return node_; }
+    vm::ObjId current_oid() const noexcept { return oid_; }
+
+    /// Declares where the object would ideally live right now (e.g. next
+    /// to a data source).  The adapter only acts on report_phase_cost.
+    void set_affinity(net::NodeId node) { affinity_ = node; }
+    net::NodeId affinity() const noexcept { return affinity_; }
+
+    /// Reports the cost of the phase that just completed (any monotone
+    /// unit: virtual µs, message count, ...).  Migrates towards the
+    /// affinity target when the cost failed to improve on the previous
+    /// phase; returns true if it moved.
+    bool report_phase_cost(std::uint64_t cost);
+
+    std::uint64_t migrations() const noexcept { return migrations_; }
+
+private:
+    System* system_;
+    net::NodeId node_;
+    vm::ObjId oid_;
+    std::string protocol_;
+    net::NodeId affinity_;
+    std::uint64_t prev_cost_ = 0;
+    bool has_prev_ = false;
+    std::uint64_t migrations_ = 0;
+};
+
+}  // namespace rafda::runtime

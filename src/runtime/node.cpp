@@ -1,0 +1,148 @@
+#include "runtime/node.hpp"
+
+#include "runtime/system.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "transform/naming.hpp"
+#include "vm/prelude.hpp"
+
+namespace rafda::runtime {
+
+using transform::naming::interface_to_proxy;
+using transform::naming::kProxyNodeField;
+using transform::naming::kProxyOidField;
+using vm::Value;
+
+Node::Node(System& system, net::NodeId id, const model::ClassPool& pool)
+    : system_(&system), id_(id), interp_(pool) {
+    vm::bind_prelude_natives(interp_);
+}
+
+net::MarshalledValue Node::export_value(const Value& v) {
+    using net::MarshalledValue;
+    if (v.is_null()) return MarshalledValue::null();
+    if (v.is_bool()) return MarshalledValue::of_bool(v.as_bool());
+    if (v.is_int()) return MarshalledValue::of_int(v.as_int());
+    if (v.is_long()) return MarshalledValue::of_long(v.as_long());
+    if (v.is_double()) return MarshalledValue::of_double(v.as_double());
+    if (v.is_str()) return MarshalledValue::of_str(v.as_str());
+
+    vm::ObjId oid = v.as_ref();
+    if (interp_.heap().get(oid).is_array)
+        throw RuntimeError(
+            "arrays cannot cross address spaces (see DESIGN.md: the paper defers "
+            "arrays; our partial solution keeps them node-local)");
+    const std::string& cls = interp_.class_of(oid).name;
+    // A proxy re-exports its own target, so references travel transitively.
+    if (auto proxy = transform::naming::parse_proxy(cls)) {
+        std::int32_t target_node = interp_.get_field(oid, kProxyNodeField).as_int();
+        std::int64_t target_oid = interp_.get_field(oid, kProxyOidField).as_long();
+        std::string iface = proxy->family == 'O'
+                                ? transform::naming::o_int(proxy->original)
+                                : transform::naming::c_int(proxy->original);
+        return MarshalledValue::of_ref(target_node,
+                                       static_cast<std::uint64_t>(target_oid),
+                                       std::move(iface));
+    }
+    if (auto iface = transform::naming::local_to_interface(cls))
+        return MarshalledValue::of_ref(id_, oid, *iface);
+    throw RuntimeError("cannot marshal reference to non-substitutable class " + cls);
+}
+
+Value Node::import_value(const net::MarshalledValue& m, const std::string& protocol) {
+    switch (m.tag) {
+        case net::ValueTag::Null: return Value::null();
+        case net::ValueTag::Bool: return Value::of_bool(m.b);
+        case net::ValueTag::Int: return Value::of_int(m.i);
+        case net::ValueTag::Long: return Value::of_long(m.j);
+        case net::ValueTag::Double: return Value::of_double(m.d);
+        case net::ValueTag::Str: return Value::of_str(m.s);
+        case net::ValueTag::Ref: return import_ref(m.ref_node, m.ref_oid, m.ref_class, protocol);
+    }
+    throw RuntimeError("bad marshalled value tag");
+}
+
+Value Node::import_ref(net::NodeId node, std::uint64_t oid, const std::string& iface,
+                       const std::string& protocol) {
+    if (node == id_) return Value::of_ref(oid);
+    auto key = std::make_tuple(node, oid, iface, protocol);
+    auto it = imported_.find(key);
+    if (it != imported_.end()) return Value::of_ref(it->second);
+
+    const std::string proxy_cls = interface_to_proxy(iface, protocol);
+    Value proxy = interp_.construct(proxy_cls, "()V", {});
+    interp_.set_field(proxy.as_ref(), kProxyNodeField, Value::of_int(node));
+    interp_.set_field(proxy.as_ref(), kProxyOidField,
+                      Value::of_long(static_cast<std::int64_t>(oid)));
+    imported_.emplace(std::move(key), proxy.as_ref());
+    log_debug("node", "node ", id_, " imported proxy ", proxy_cls, " for (", node, ",",
+              oid, ")");
+    return proxy;
+}
+
+Value Node::local_singleton(const std::string& cls) {
+    auto it = singletons_.find(cls);
+    if (it != singletons_.end()) return Value::of_ref(it->second);
+    const std::string c_int_desc = "L" + transform::naming::c_int(cls) + ";";
+    Value me = interp_.call_static(transform::naming::c_local(cls),
+                                   transform::naming::kSingletonGetter, "()" + c_int_desc);
+    // Record before clinit so initialisation cycles terminate (JVM-style).
+    singletons_[cls] = me.as_ref();
+    interp_.call_static(transform::naming::c_factory(cls), "clinit",
+                        "(" + c_int_desc + ")V", {me});
+    return me;
+}
+
+void Node::throw_remote_fault(const std::string& msg) {
+    Value fault = interp_.construct(kRemoteFaultClass, "(S)V", {Value::of_str(msg)});
+    interp_.throw_guest(fault);
+    throw RuntimeError("unreachable");  // throw_guest never returns
+}
+
+void Node::rethrow_fault(const net::CallReply& reply) {
+    const model::ClassFile* cls = interp_.pool().find(reply.fault_class);
+    std::string throw_cls =
+        (cls && cls->find_method("<init>", "(S)V")) ? reply.fault_class : "Throwable";
+    Value fault =
+        interp_.construct(throw_cls, "(S)V", {Value::of_str(reply.fault_msg)});
+    interp_.throw_guest(fault);
+    throw RuntimeError("unreachable");
+}
+
+net::CallReply Node::handle_request(const net::CallRequest& req,
+                                    const std::string& protocol) {
+    net::CallReply reply;
+    reply.request_id = req.request_id;
+    try {
+        switch (req.kind) {
+            case net::RequestKind::Invoke: {
+                std::vector<Value> args;
+                args.reserve(req.args.size());
+                for (const net::MarshalledValue& a : req.args)
+                    args.push_back(import_value(a, protocol));
+                Value result = interp_.call_virtual(Value::of_ref(req.target_oid),
+                                                    req.method, req.desc, std::move(args));
+                reply.result = model::MethodSig::parse(req.desc).ret().is_void()
+                                   ? net::MarshalledValue::null()
+                                   : export_value(result);
+                break;
+            }
+            case net::RequestKind::Create: {
+                Value obj = interp_.construct(transform::naming::o_local(req.cls), "()V", {});
+                reply.result = export_value(obj);
+                break;
+            }
+            case net::RequestKind::Discover: {
+                reply.result = export_value(local_singleton(req.cls));
+                break;
+            }
+        }
+    } catch (const vm::GuestException& e) {
+        reply.is_fault = true;
+        reply.fault_class = e.class_name();
+        reply.fault_msg = e.message();
+    }
+    return reply;
+}
+
+}  // namespace rafda::runtime

@@ -1,0 +1,77 @@
+// Node — one simulated address space: a VM plus the marshalling layer.
+//
+// Nodes share the (immutable) transformed class pool but have disjoint
+// heaps and static storage.  A node can:
+//   * export a value: references to its local implementation objects become
+//     (node, oid, interface) remote references; proxies it holds are
+//     re-exported with *their* target, so references travel transitively;
+//   * import a value: a remote reference becomes a generated proxy object
+//     (deduplicated per (node, oid, interface, protocol));
+//   * service requests: Invoke / Create / Discover, converting guest
+//     exceptions into fault replies.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "net/message.hpp"
+#include "net/network.hpp"
+#include "vm/interp.hpp"
+
+namespace rafda::runtime {
+
+class System;
+
+class Node {
+public:
+    Node(System& system, net::NodeId id, const model::ClassPool& pool);
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
+
+    net::NodeId id() const noexcept { return id_; }
+    vm::Interpreter& interp() noexcept { return interp_; }
+    const vm::Interpreter& interp() const noexcept { return interp_; }
+
+    /// Services one decoded request arriving over `protocol`.
+    net::CallReply handle_request(const net::CallRequest& req, const std::string& protocol);
+
+    /// Guest value -> wire value.  Throws RuntimeError for references to
+    /// objects that have no generated family (non-substitutable classes).
+    net::MarshalledValue export_value(const vm::Value& v);
+
+    /// Wire value -> guest value; remote references become proxies speaking
+    /// `protocol`.
+    vm::Value import_value(const net::MarshalledValue& m, const std::string& protocol);
+
+    /// Returns a guest reference to (node, oid) seen through `iface`
+    /// ("X_O_Int"/"X_C_Int"): the raw object when local, a deduplicated
+    /// proxy otherwise.
+    vm::Value import_ref(net::NodeId node, std::uint64_t oid, const std::string& iface,
+                         const std::string& protocol);
+
+    /// Local singleton bookkeeping for Discover handling; creates the
+    /// singleton and runs clinit on first use.
+    vm::Value local_singleton(const std::string& cls);
+
+    /// Raises a guest RemoteFault carrying `msg`.
+    [[noreturn]] void throw_remote_fault(const std::string& msg);
+
+    /// Re-raises a fault reply as a guest exception of the original class
+    /// (falls back to Throwable when the class cannot be constructed).
+    [[noreturn]] void rethrow_fault(const net::CallReply& reply);
+
+private:
+    friend class System;
+
+    System* system_;
+    net::NodeId id_;
+    vm::Interpreter interp_;
+    /// (origin node, origin oid, interface, protocol) -> local proxy object.
+    std::map<std::tuple<net::NodeId, std::uint64_t, std::string, std::string>, vm::ObjId>
+        imported_;
+    std::map<std::string, vm::ObjId> singletons_;
+};
+
+}  // namespace rafda::runtime

@@ -1,0 +1,96 @@
+#include "runtime/policy_config.hpp"
+
+#include <cstdlib>
+
+#include "net/codec.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace rafda::runtime {
+
+namespace {
+
+void check_protocol(const std::string& proto, int lineno) {
+    try {
+        net::make_codec(proto);
+    } catch (const CodecError&) {
+        throw ParseError("unknown protocol '" + proto + "'", lineno);
+    }
+}
+
+net::NodeId parse_node(const std::string& tok, int lineno) {
+    char* end = nullptr;
+    long v = std::strtol(tok.c_str(), &end, 10);
+    if (!end || *end != '\0' || v < 0)
+        throw ParseError("bad node id '" + tok + "'", lineno);
+    return static_cast<net::NodeId>(v);
+}
+
+}  // namespace
+
+void apply_policy_config(std::string_view text, DistributionPolicy& policy,
+                         net::SimNetwork* network) {
+    int lineno = 0;
+    for (const std::string& raw : split(text, '\n')) {
+        ++lineno;
+        std::string_view line = trim(raw);
+        std::size_t hash = line.find('#');
+        if (hash != std::string_view::npos) line = trim(line.substr(0, hash));
+        if (line.empty()) continue;
+
+        std::vector<std::string> toks = split_ws(line);
+        const std::string& head = toks[0];
+
+        if (head == "protocol") {
+            // protocol default PROTO
+            if (toks.size() != 3 || toks[1] != "default")
+                throw ParseError("syntax: protocol default PROTO", lineno);
+            check_protocol(toks[2], lineno);
+            policy.set_default_protocol(toks[2]);
+        } else if (head == "instance" || head == "singleton") {
+            // instance CLASS on NODE [via PROTO]
+            if (toks.size() != 4 && toks.size() != 6)
+                throw ParseError("syntax: " + head + " CLASS on NODE [via PROTO]", lineno);
+            if (toks[2] != "on")
+                throw ParseError("expected 'on' after class name", lineno);
+            net::NodeId node = parse_node(toks[3], lineno);
+            std::string proto;
+            if (toks.size() == 6) {
+                if (toks[4] != "via") throw ParseError("expected 'via PROTO'", lineno);
+                check_protocol(toks[5], lineno);
+                proto = toks[5];
+            }
+            if (head == "instance") policy.set_instance_home(toks[1], node, proto);
+            else policy.set_singleton_home(toks[1], node, proto);
+        } else if (head == "link") {
+            // link SRC -> DST latency N [bandwidth B] [drop P]
+            if (toks.size() < 6 || toks[2] != "->" || toks[4] != "latency")
+                throw ParseError(
+                    "syntax: link SRC -> DST latency N [bandwidth B] [drop P]", lineno);
+            net::NodeId src = parse_node(toks[1], lineno);
+            net::NodeId dst = parse_node(toks[3], lineno);
+            net::LinkParams params;
+            params.latency_us = static_cast<std::uint64_t>(
+                std::strtoull(toks[5].c_str(), nullptr, 10));
+            std::size_t t = 6;
+            while (t < toks.size()) {
+                if (toks[t] == "bandwidth" && t + 1 < toks.size()) {
+                    params.bandwidth_bytes_per_us = std::strtod(toks[t + 1].c_str(), nullptr);
+                    t += 2;
+                } else if (toks[t] == "drop" && t + 1 < toks.size()) {
+                    params.drop_probability = std::strtod(toks[t + 1].c_str(), nullptr);
+                    t += 2;
+                } else {
+                    throw ParseError("unknown link attribute '" + toks[t] + "'", lineno);
+                }
+            }
+            if (!network)
+                throw ParseError("'link' line given but no network to configure", lineno);
+            network->set_link(src, dst, params);
+        } else {
+            throw ParseError("unknown directive '" + head + "'", lineno);
+        }
+    }
+}
+
+}  // namespace rafda::runtime

@@ -1,0 +1,30 @@
+// Textual distribution-policy configuration.
+//
+// The paper closes with: "In the longer term it is hoped to develop a
+// complete system for deciding and capturing distribution policy."  This
+// is the capturing half: deployments are described in a small declarative
+// language instead of code, so the same transformed program can ship with
+// different distribution descriptions.
+//
+//   # comments and blank lines are ignored
+//   protocol default CORBA
+//   instance Inventory on 1 via SOAP     # 'via PROTO' optional
+//   singleton Registry on 0
+//   link 0 -> 1 latency 250 bandwidth 125 drop 0.01   # optional tuning
+//   link 1 -> 0 latency 250
+#pragma once
+
+#include <string_view>
+
+#include "net/network.hpp"
+#include "runtime/policy.hpp"
+
+namespace rafda::runtime {
+
+/// Parses `text` and applies it to `policy` (and, for `link` lines, to
+/// `network` when given).  Throws ParseError with a line number on
+/// malformed input, including unknown protocols.
+void apply_policy_config(std::string_view text, DistributionPolicy& policy,
+                         net::SimNetwork* network = nullptr);
+
+}  // namespace rafda::runtime

@@ -1,0 +1,417 @@
+#include "runtime/system.hpp"
+
+#include <cmath>
+#include <set>
+
+#include "model/assembler.hpp"
+#include "model/verifier.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "transform/naming.hpp"
+#include "vm/prelude.hpp"
+
+namespace rafda::runtime {
+
+namespace naming = transform::naming;
+using vm::Value;
+
+namespace {
+
+constexpr const char* kRemoteFaultRir = R"(
+special class RemoteFault extends Throwable {
+  ctor (S)V {
+    load 0
+    load 1
+    invokespecial Throwable.<init> (S)V
+    return
+  }
+}
+)";
+
+model::ClassPool prepare_pool(const model::ClassPool& original) {
+    model::ClassPool prepared;
+    for (const model::ClassFile* cf : original.all()) prepared.add(*cf);
+    vm::install_prelude(prepared);
+    if (!prepared.contains(kRemoteFaultClass))
+        model::assemble_into(prepared, kRemoteFaultRir);
+    return prepared;
+}
+
+}  // namespace
+
+System::System(const model::ClassPool& original, SystemOptions options)
+    : original_(&original),
+      prepared_(prepare_pool(original)),
+      result_(transform::run_pipeline(prepared_, options.pipeline)),
+      network_(options.network_seed) {
+    network_.set_default_link(options.default_link);
+    for (const std::string& proto : result_.report.protocols())
+        codecs_[proto] = net::make_codec(proto);
+}
+
+net::Codec& System::codec(const std::string& protocol) {
+    auto it = codecs_.find(protocol);
+    if (it == codecs_.end()) throw RuntimeError("no codec for protocol " + protocol);
+    return *it->second;
+}
+
+Node& System::node(net::NodeId id) {
+    if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size())
+        throw RuntimeError("unknown node " + std::to_string(id));
+    return *nodes_[static_cast<std::size_t>(id)];
+}
+
+Node& System::add_node() {
+    auto owned = std::make_unique<Node>(*this, static_cast<net::NodeId>(nodes_.size()),
+                                        result_.pool);
+    Node& node = *owned;
+    nodes_.push_back(std::move(owned));
+    wire_node(node);
+    return node;
+}
+
+void System::sync_time(Node& n) {
+    std::int64_t now = static_cast<std::int64_t>(network_.now_us());
+    if (n.interp().logical_time() < now)
+        n.interp().advance_time(now - n.interp().logical_time());
+}
+
+net::CallReply System::rpc(net::NodeId src, net::NodeId dst, const std::string& protocol,
+                           const net::CallRequest& req) {
+    net::Codec& c = codec(protocol);
+    RemoteStats& stats = remote_stats_[protocol];
+    switch (req.kind) {
+        case net::RequestKind::Invoke: ++stats.calls; break;
+        case net::RequestKind::Create: ++stats.creates; break;
+        case net::RequestKind::Discover: ++stats.discovers; break;
+    }
+
+    Bytes request_bytes = c.encode_request(req);
+    stats.request_bytes += request_bytes.size();
+    auto charge_cpu = [&](std::size_t size) {
+        network_.charge_compute(static_cast<std::uint64_t>(
+            std::llround(2.0 * c.cpu_cost_ns_per_byte() * static_cast<double>(size) /
+                         1000.0)));  // encode + decode
+    };
+    charge_cpu(request_bytes.size());
+    if (!network_.transfer(src, dst, request_bytes.size())) {
+        ++stats.drops;
+        throw Dropped{"request lost on link " + std::to_string(src) + "->" +
+                      std::to_string(dst)};
+    }
+    net::CallRequest decoded = c.decode_request(request_bytes);
+    net::CallReply reply = node(dst).handle_request(decoded, protocol);
+
+    Bytes reply_bytes = c.encode_reply(reply);
+    stats.reply_bytes += reply_bytes.size();
+    charge_cpu(reply_bytes.size());
+    if (!network_.transfer(dst, src, reply_bytes.size())) {
+        ++stats.drops;
+        throw Dropped{"reply lost on link " + std::to_string(dst) + "->" +
+                      std::to_string(src)};
+    }
+    net::CallReply decoded_reply = c.decode_reply(reply_bytes);
+    if (decoded_reply.is_fault) ++stats.faults;
+    sync_time(node(src));
+    sync_time(node(dst));
+    return decoded_reply;
+}
+
+void System::wire_node(Node& n) {
+    const net::NodeId node_id = n.id();
+    vm::Interpreter& interp = n.interp();
+
+    for (const std::string& cls : result_.report.substituted_classes()) {
+        const std::string o_int_desc = "L" + naming::o_int(cls) + ";";
+        const std::string o_local = naming::o_local(cls);
+
+        // A_O_Factory.make(): the policy decides where the instance lives.
+        interp.register_native(
+            naming::o_factory(cls), "make", "()" + o_int_desc,
+            [this, cls, node_id, o_local](vm::Interpreter& vm, const Value&,
+                                          std::vector<Value>) {
+                Placement p = policy_.instance_placement(cls, node_id);
+                if (p.node == node_id) return vm.construct(o_local, "()V", {});
+                net::CallRequest req;
+                req.kind = net::RequestKind::Create;
+                req.request_id = next_request_id();
+                req.src_node = node_id;
+                req.cls = cls;
+                try {
+                    net::CallReply reply = rpc(node_id, p.node, p.protocol, req);
+                    if (reply.is_fault) node(node_id).rethrow_fault(reply);
+                    return node(node_id).import_value(reply.result, p.protocol);
+                } catch (const Dropped& d) {
+                    node(node_id).throw_remote_fault(d.what);
+                }
+            });
+
+        // A_C_Factory.discover(): singleton lookup with one-shot clinit.
+        const std::string c_int_desc = "L" + naming::c_int(cls) + ";";
+        interp.register_native(
+            naming::c_factory(cls), "discover", "()" + c_int_desc,
+            [this, cls, node_id](vm::Interpreter&, const Value&, std::vector<Value>) {
+                Placement p = policy_.singleton_placement(cls, node_id);
+                if (p.node == node_id) return node(node_id).local_singleton(cls);
+                net::CallRequest req;
+                req.kind = net::RequestKind::Discover;
+                req.request_id = next_request_id();
+                req.src_node = node_id;
+                req.cls = cls;
+                try {
+                    net::CallReply reply = rpc(node_id, p.node, p.protocol, req);
+                    if (reply.is_fault) node(node_id).rethrow_fault(reply);
+                    return node(node_id).import_value(reply.result, p.protocol);
+                } catch (const Dropped& d) {
+                    node(node_id).throw_remote_fault(d.what);
+                }
+            });
+
+        // Proxy dispatch: one class-level native per generated proxy class.
+        for (const std::string& proto : result_.report.protocols()) {
+            auto dispatch = [this, node_id, proto, cls](vm::Interpreter& vm,
+                                                        const model::Method& m,
+                                                        const Value& receiver,
+                                                        std::vector<Value> args) {
+                Node& self = node(node_id);
+                net::CallRequest req;
+                req.kind = net::RequestKind::Invoke;
+                req.request_id = next_request_id();
+                req.src_node = node_id;
+                req.target_oid = static_cast<std::uint64_t>(
+                    vm.get_field(receiver.as_ref(), naming::kProxyOidField).as_long());
+                std::int32_t target_node =
+                    vm.get_field(receiver.as_ref(), naming::kProxyNodeField).as_int();
+                req.method = m.name;
+                req.desc = m.descriptor();
+                // Loopback: a proxy whose target lives on this node (e.g.
+                // after shorten_chain collapsed a cycle) dispatches
+                // directly, no wire involved.
+                if (target_node == node_id)
+                    return vm.call_virtual(Value::of_ref(req.target_oid), m.name,
+                                           m.descriptor(), std::move(args));
+                ++class_traffic_[cls].calls[{node_id, target_node}];
+                req.args.reserve(args.size());
+                for (const Value& a : args) req.args.push_back(self.export_value(a));
+                try {
+                    net::CallReply reply = rpc(node_id, target_node, proto, req);
+                    if (reply.is_fault) self.rethrow_fault(reply);
+                    return self.import_value(reply.result, proto);
+                } catch (const Dropped& d) {
+                    self.throw_remote_fault(d.what);
+                }
+            };
+            interp.register_class_native(naming::o_proxy(cls, proto), dispatch);
+            interp.register_class_native(naming::c_proxy(cls, proto), dispatch);
+        }
+    }
+}
+
+Value System::call_static(net::NodeId node_id, const std::string& cls,
+                          const std::string& method, const std::string& desc,
+                          std::vector<Value> args) {
+    vm::Interpreter& interp = node(node_id).interp();
+    if (!result_.report.substituted(cls))
+        return interp.call_static(cls, method, desc, std::move(args));
+    Value me = interp.call_static(naming::c_factory(cls), "discover",
+                                  "()L" + naming::c_int(cls) + ";");
+    return interp.call_virtual(me, method,
+                               result_.report.map_method_desc(prepared_, desc),
+                               std::move(args));
+}
+
+Value System::construct(net::NodeId node_id, const std::string& cls,
+                        const std::string& ctor_desc, std::vector<Value> args) {
+    if (!result_.report.substituted(cls))
+        return node(node_id).interp().construct(cls, ctor_desc, std::move(args));
+    vm::Interpreter& interp = node(node_id).interp();
+    Value obj =
+        interp.call_static(naming::o_factory(cls), "make", "()L" + naming::o_int(cls) + ";");
+    std::string mapped = result_.report.map_method_desc(prepared_, ctor_desc);
+    // init takes the created object as the extra first parameter.
+    std::string init_desc = "(L" + naming::o_int(cls) + ";" + mapped.substr(1);
+    std::vector<Value> init_args;
+    init_args.reserve(args.size() + 1);
+    init_args.push_back(obj);
+    for (Value& a : args) init_args.push_back(std::move(a));
+    interp.call_static(naming::o_factory(cls), "init", init_desc, std::move(init_args));
+    return obj;
+}
+
+vm::ObjId System::migrate_instance(net::NodeId from, vm::ObjId oid, net::NodeId to,
+                                   const std::string& protocol) {
+    const std::string proto = protocol.empty() ? policy_.default_protocol() : protocol;
+    Node& f = node(from);
+    Node& t = node(to);
+    const std::string& cls_name = f.interp().class_of(oid).name;
+    auto iface = naming::local_to_interface(cls_name);
+    if (!iface)
+        throw RuntimeError("can only migrate local implementations, not " + cls_name);
+
+    // Marshal the object state (references become remote references).
+    const model::Layout& layout = result_.pool.layout_of(cls_name);
+    net::CallRequest transfer_msg;  // used for wire-size accounting
+    transfer_msg.kind = net::RequestKind::Create;
+    transfer_msg.request_id = next_request_id();
+    transfer_msg.src_node = from;
+    transfer_msg.cls = cls_name;
+    for (const model::FieldSlot& slot : layout.slots)
+        transfer_msg.args.push_back(f.export_value(f.interp().get_field(oid, slot.name)));
+
+    // Migration uses a reliable control channel: account the transfer cost
+    // but do not inject loss.
+    net::Codec& c = codec(proto);
+    Bytes payload = c.encode_request(transfer_msg);
+    network_.transfer(from, to, payload.size());
+
+    // Materialise on the target node.
+    vm::ObjId new_oid = t.interp().allocate(cls_name);
+    for (std::size_t k = 0; k < layout.slots.size(); ++k)
+        t.interp().set_field(new_oid, layout.slots[k].name,
+                             t.import_value(transfer_msg.args[k], proto));
+
+    // Swap the vacated slot for a proxy: local references on `from` now go
+    // remote, and proxies elsewhere chain through it (Figure 1).
+    const model::ClassFile& proxy_cls =
+        result_.pool.get(naming::interface_to_proxy(*iface, proto));
+    f.interp().heap().transmute(
+        oid, proxy_cls,
+        {Value::of_int(to), Value::of_long(static_cast<std::int64_t>(new_oid))});
+
+    ++migrations_;
+    sync_time(f);
+    sync_time(t);
+    log_info("runtime", "migrated ", cls_name, " (", from, ",", oid, ") -> (", to, ",",
+             new_oid, ")");
+    return new_oid;
+}
+
+void System::migrate_singleton(const std::string& cls, net::NodeId to,
+                               const std::string& protocol) {
+    const std::string proto = protocol.empty() ? policy_.default_protocol() : protocol;
+    Placement current = policy_.singleton_placement(cls, to);
+    policy_.set_singleton_home(cls, to, proto);
+    if (current.node == to) return;
+    Node& home = node(current.node);
+    auto it = home.singletons_.find(cls);
+    if (it == home.singletons_.end()) return;  // not created yet: policy is enough
+    vm::ObjId new_oid = migrate_instance(current.node, it->second, to, proto);
+    node(to).singletons_[cls] = new_oid;
+    home.singletons_.erase(cls);
+}
+
+std::size_t System::migrate_closure(net::NodeId from, vm::ObjId oid, net::NodeId to,
+                                    const std::string& protocol) {
+    Node& f = node(from);
+    // Collect the local-implementation closure via BFS over reference
+    // fields.  Proxies and the prelude's non-substitutable objects are
+    // boundaries: they stay behind (references to them re-proxy normally).
+    std::vector<vm::ObjId> order;
+    std::set<vm::ObjId> seen;
+    std::vector<vm::ObjId> work{oid};
+    while (!work.empty()) {
+        vm::ObjId cur = work.back();
+        work.pop_back();
+        if (!seen.insert(cur).second) continue;
+        const std::string& cls = f.interp().class_of(cur).name;
+        if (!naming::local_to_interface(cls)) continue;  // proxy or raw: boundary
+        order.push_back(cur);
+        const model::Layout& layout = result_.pool.layout_of(cls);
+        for (const model::FieldSlot& slot : layout.slots) {
+            if (!slot.type.is_ref()) continue;
+            Value v = f.interp().get_field(cur, slot.name);
+            if (v.is_ref()) work.push_back(v.as_ref());
+        }
+    }
+    if (order.empty())
+        throw RuntimeError("migrate_closure root is not a local implementation");
+
+    // Migrate every member; intra-cluster references heal themselves: when
+    // a later member moves, earlier members' proxies back to `from` chain
+    // through the transmuted slot.  To keep the cluster truly co-located we
+    // migrate members first, then collapse the chains the moves created.
+    std::vector<vm::ObjId> new_oids;
+    new_oids.reserve(order.size());
+    for (vm::ObjId member : order)
+        new_oids.push_back(migrate_instance(from, member, to, protocol));
+
+    // Fix-up: fields of the moved copies that point back at `from`-side
+    // slots which are now proxies into this same cluster are re-pointed
+    // locally on `to`.
+    Node& t = node(to);
+    for (vm::ObjId moved : new_oids) {
+        const std::string& cls = t.interp().class_of(moved).name;
+        const model::Layout& layout = result_.pool.layout_of(cls);
+        for (const model::FieldSlot& slot : layout.slots) {
+            if (!slot.type.is_ref()) continue;
+            Value v = t.interp().get_field(moved, slot.name);
+            if (!v.is_ref()) continue;
+            const std::string& vcls = t.interp().class_of(v.as_ref()).name;
+            if (!naming::parse_proxy(vcls)) continue;
+            auto [term_node, term_oid] = resolve_terminal(
+                t.interp().get_field(v.as_ref(), naming::kProxyNodeField).as_int(),
+                static_cast<vm::ObjId>(
+                    t.interp().get_field(v.as_ref(), naming::kProxyOidField).as_long()));
+            if (term_node == to)
+                t.interp().set_field(moved, slot.name, Value::of_ref(term_oid));
+        }
+    }
+    return order.size();
+}
+
+std::pair<net::NodeId, vm::ObjId> System::resolve_terminal(net::NodeId node_id,
+                                                           vm::ObjId oid) {
+    // Cycle guard: a chain can visit each (node, oid) at most once.
+    std::set<std::pair<net::NodeId, vm::ObjId>> seen;
+    while (true) {
+        if (!seen.insert({node_id, oid}).second)
+            throw RuntimeError("proxy chain cycle at node " + std::to_string(node_id));
+        vm::Interpreter& interp = node(node_id).interp();
+        const std::string& cls = interp.class_of(oid).name;
+        if (!naming::parse_proxy(cls)) return {node_id, oid};
+        net::NodeId next = interp.get_field(oid, naming::kProxyNodeField).as_int();
+        vm::ObjId next_oid = static_cast<vm::ObjId>(
+            interp.get_field(oid, naming::kProxyOidField).as_long());
+        node_id = next;
+        oid = next_oid;
+    }
+}
+
+int System::shorten_chain(net::NodeId node_id, vm::ObjId oid) {
+    vm::Interpreter& interp = node(node_id).interp();
+    if (!naming::parse_proxy(interp.class_of(oid).name)) return 0;
+    net::NodeId first_node = interp.get_field(oid, naming::kProxyNodeField).as_int();
+    vm::ObjId first_oid = static_cast<vm::ObjId>(
+        interp.get_field(oid, naming::kProxyOidField).as_long());
+    auto [term_node, term_oid] = resolve_terminal(first_node, first_oid);
+
+    // Count the intermediate proxies being bypassed.
+    int hops = 0;
+    {
+        net::NodeId n = first_node;
+        vm::ObjId o = first_oid;
+        while (naming::parse_proxy(node(n).interp().class_of(o).name)) {
+            ++hops;
+            vm::Interpreter& cur = node(n).interp();
+            net::NodeId next = cur.get_field(o, naming::kProxyNodeField).as_int();
+            vm::ObjId next_oid = static_cast<vm::ObjId>(
+                cur.get_field(o, naming::kProxyOidField).as_long());
+            n = next;
+            o = next_oid;
+        }
+    }
+    if (hops == 0) return 0;
+    interp.set_field(oid, naming::kProxyNodeField, Value::of_int(term_node));
+    interp.set_field(oid, naming::kProxyOidField,
+                     Value::of_long(static_cast<std::int64_t>(term_oid)));
+    return hops;
+}
+
+void System::reset_stats() {
+    remote_stats_.clear();
+    class_traffic_.clear();
+    migrations_ = 0;
+    network_.reset_stats();
+}
+
+}  // namespace rafda::runtime

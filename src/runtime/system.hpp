@@ -1,0 +1,162 @@
+// System — the RAFDA middleware instance: transformed program, nodes,
+// simulated network, protocol codecs, distribution policy, and dynamic
+// redistribution.
+//
+// Construction runs the transformation pipeline on the original program
+// (adding the prelude and the RemoteFault class first), then nodes are
+// added and wired: every node gets policy-driven bindings for each
+// A_O_Factory.make / A_C_Factory.discover, and a marshalling dispatcher
+// behind every generated proxy class.  Because all code paths go through
+// the extracted interfaces, moving an object is a heap transmute plus a
+// remote copy — reference holders never notice (Figure 1).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/codec.hpp"
+#include "net/network.hpp"
+#include "runtime/node.hpp"
+#include "runtime/policy.hpp"
+#include "transform/pipeline.hpp"
+
+namespace rafda::runtime {
+
+struct SystemOptions {
+    transform::PipelineOptions pipeline;
+    net::LinkParams default_link;
+    std::uint64_t network_seed = 1;
+};
+
+/// Per-protocol accounting of remote traffic.
+struct RemoteStats {
+    std::uint64_t calls = 0;      // Invoke requests sent
+    std::uint64_t creates = 0;    // Create requests sent
+    std::uint64_t discovers = 0;  // Discover requests sent
+    std::uint64_t faults = 0;     // fault replies received
+    std::uint64_t drops = 0;      // requests/replies lost in the network
+    std::uint64_t request_bytes = 0;
+    std::uint64_t reply_bytes = 0;
+};
+
+/// Name of the guest throwable raised when the network loses a message.
+inline constexpr const char* kRemoteFaultClass = "RemoteFault";
+
+class System {
+public:
+    /// Transforms `original` (a verified pool; the prelude and RemoteFault
+    /// are added to a copy if missing) and prepares an empty node set.
+    /// `original` must outlive the System.
+    explicit System(const model::ClassPool& original, SystemOptions options = {});
+
+    /// Adds a node; node ids are assigned 0, 1, 2, ...
+    Node& add_node();
+    Node& node(net::NodeId id);
+    std::size_t node_count() const noexcept { return nodes_.size(); }
+
+    net::SimNetwork& network() noexcept { return network_; }
+    DistributionPolicy& policy() noexcept { return policy_; }
+    const transform::TransformReport& report() const noexcept { return result_.report; }
+    const model::ClassPool& transformed_pool() const noexcept { return result_.pool; }
+    const model::ClassPool& original_pool() const noexcept { return *original_; }
+
+    /// Calls an original static entry point on `node` through the
+    /// transformed program (discover + interface call).
+    vm::Value call_static(net::NodeId node, const std::string& cls,
+                          const std::string& method, const std::string& desc,
+                          std::vector<vm::Value> args = {});
+
+    /// Constructs an instance of original class `cls` on `node` through the
+    /// factory seam (make + init); returns the guest reference on `node`.
+    vm::Value construct(net::NodeId node, const std::string& cls,
+                        const std::string& ctor_desc, std::vector<vm::Value> args = {});
+
+    /// Moves the object `oid` (which must be an A_O_Local on `from`) to
+    /// node `to`; the vacated heap slot becomes a proxy so every existing
+    /// reference — local and remote — now reaches the moved object.
+    /// Returns the object id on `to`.
+    vm::ObjId migrate_instance(net::NodeId from, vm::ObjId oid, net::NodeId to,
+                               const std::string& protocol = "");
+
+    /// Moves the static-members singleton of `cls` from its current home to
+    /// node `to` and updates the policy so future discover() calls go there.
+    void migrate_singleton(const std::string& cls, net::NodeId to,
+                           const std::string& protocol = "");
+
+    /// Moves the object at (from, oid) together with every local
+    /// implementation object reachable from it through reference fields on
+    /// `from` (the transitive closure stops at proxies and at non-local
+    /// values).  Chatty object clusters migrate as one unit instead of
+    /// leaving a web of cross-node references.  Returns the number of
+    /// objects moved.
+    std::size_t migrate_closure(net::NodeId from, vm::ObjId oid, net::NodeId to,
+                                const std::string& protocol = "");
+
+    /// Follows the proxy chain starting at (node, oid) — as left behind by
+    /// repeated migrations — to the terminal implementation object.
+    /// Returns {node, oid}; identity if the slot holds a local object.
+    std::pair<net::NodeId, vm::ObjId> resolve_terminal(net::NodeId node, vm::ObjId oid);
+
+    /// Re-points the proxy at (node, oid) directly at its terminal
+    /// location, collapsing the forwarding chain (a control-plane
+    /// optimisation; E2 measures the chains it removes).  Returns the
+    /// number of hops eliminated (0 if already direct or not a proxy).
+    int shorten_chain(net::NodeId node, vm::ObjId oid);
+
+    const std::map<std::string, RemoteStats>& remote_stats() const noexcept {
+        return remote_stats_;
+    }
+
+    /// Remote Invoke counts per original class, keyed by (calling node,
+    /// target node): the raw signal a placement decision needs ("who talks
+    /// to whom, and where does the callee live").
+    struct ClassTraffic {
+        std::map<std::pair<net::NodeId, net::NodeId>, std::uint64_t> calls;
+        std::uint64_t total() const {
+            std::uint64_t n = 0;
+            for (const auto& [_, c] : calls) n += c;
+            return n;
+        }
+    };
+    const std::map<std::string, ClassTraffic>& class_traffic() const noexcept {
+        return class_traffic_;
+    }
+    std::uint64_t migrations() const noexcept { return migrations_; }
+    void reset_stats();
+
+    // ---- internal plumbing used by Node and the proxy dispatcher ----
+
+    /// Marker thrown (C++-level) when the simulated network drops a
+    /// message; converted to a guest RemoteFault at the proxy boundary.
+    struct Dropped {
+        std::string what;
+    };
+
+    /// Encodes, transfers, decodes, dispatches and returns the reply.
+    /// Throws Dropped on injected loss.
+    net::CallReply rpc(net::NodeId src, net::NodeId dst, const std::string& protocol,
+                       const net::CallRequest& req);
+
+    net::Codec& codec(const std::string& protocol);
+
+private:
+    void wire_node(Node& node);
+    std::uint64_t next_request_id() { return ++request_counter_; }
+    void sync_time(Node& n);
+
+    const model::ClassPool* original_;
+    model::ClassPool prepared_;  // original + prelude + RemoteFault
+    transform::PipelineResult result_;
+    net::SimNetwork network_;
+    DistributionPolicy policy_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::map<std::string, std::unique_ptr<net::Codec>> codecs_;
+    std::map<std::string, RemoteStats> remote_stats_;
+    std::map<std::string, ClassTraffic> class_traffic_;
+    std::uint64_t request_counter_ = 0;
+    std::uint64_t migrations_ = 0;
+};
+
+}  // namespace rafda::runtime

@@ -1,0 +1,65 @@
+// Byte-oriented reader/writer used by the wire codecs.
+//
+// Integers are encoded little-endian at fixed width; strings are
+// length-prefixed.  ByteReader throws CodecError on truncated input so
+// codecs never read past the end of a message.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rafda {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends primitive values to a growing byte vector.
+class ByteWriter {
+public:
+    void u8(std::uint8_t v);
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i32(std::int32_t v);
+    void i64(std::int64_t v);
+    void f64(double v);
+    /// Length-prefixed (u32) string.
+    void str(std::string_view v);
+    /// Raw bytes, no length prefix.
+    void raw(const Bytes& v);
+
+    const Bytes& data() const noexcept { return buf_; }
+    Bytes take() noexcept { return std::move(buf_); }
+    std::size_t size() const noexcept { return buf_.size(); }
+
+private:
+    Bytes buf_;
+};
+
+/// Consumes primitive values from a byte span; throws CodecError on
+/// truncation.
+class ByteReader {
+public:
+    explicit ByteReader(const Bytes& data) : data_(&data) {}
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int32_t i32();
+    std::int64_t i64();
+    double f64();
+    std::string str();
+
+    bool at_end() const noexcept { return pos_ == data_->size(); }
+    std::size_t remaining() const noexcept { return data_->size() - pos_; }
+
+private:
+    void need(std::size_t n) const;
+
+    const Bytes* data_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace rafda

@@ -1,0 +1,9 @@
+#include "support/error.hpp"
+
+namespace rafda {
+
+void verify_that(bool cond, const std::string& what) {
+    if (!cond) throw VerifyError(what);
+}
+
+}  // namespace rafda

@@ -1,0 +1,22 @@
+#include "support/log.hpp"
+
+#include <iostream>
+
+namespace rafda {
+
+namespace {
+LogLevel g_level = LogLevel::Off;
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, const std::string& tag, const std::string& msg) {
+    if (log_level() < level) return;
+    const char* name = level == LogLevel::Error ? "ERROR"
+                     : level == LogLevel::Info  ? "INFO "
+                                                : "DEBUG";
+    std::clog << "[" << name << "] [" << tag << "] " << msg << '\n';
+}
+
+}  // namespace rafda

@@ -1,0 +1,35 @@
+// Minimal leveled logger.  Quiet by default so tests and benches stay
+// readable; examples raise the level to narrate what the middleware does.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rafda {
+
+enum class LogLevel { Off = 0, Error = 1, Info = 2, Debug = 3 };
+
+/// Process-wide log level (single-threaded simulation, so a plain global).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_line(LogLevel level, const std::string& tag, const std::string& msg);
+
+/// Convenience: log_info("net", "delivered ", n, " messages").
+template <typename... Args>
+void log_info(const std::string& tag, Args&&... args) {
+    if (log_level() < LogLevel::Info) return;
+    std::ostringstream os;
+    (os << ... << args);
+    log_line(LogLevel::Info, tag, os.str());
+}
+
+template <typename... Args>
+void log_debug(const std::string& tag, Args&&... args) {
+    if (log_level() < LogLevel::Debug) return;
+    std::ostringstream os;
+    (os << ... << args);
+    log_line(LogLevel::Debug, tag, os.str());
+}
+
+}  // namespace rafda

@@ -1,0 +1,39 @@
+// Deterministic pseudo-random number generator (SplitMix64).
+//
+// Everything stochastic in the reproduction — corpus generation, workload
+// generation, fault injection, latency jitter — draws from this generator so
+// experiments are reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+
+namespace rafda {
+
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    /// Next raw 64-bit value.
+    std::uint64_t next();
+
+    /// Uniform integer in [0, bound); bound must be > 0.
+    std::uint64_t below(std::uint64_t bound);
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /// Uniform double in [0, 1).
+    double uniform();
+
+    /// True with probability p (clamped to [0,1]).
+    bool chance(double p);
+
+    /// Forks an independent stream (useful for giving each subsystem its
+    /// own deterministic sequence).
+    Rng fork();
+
+private:
+    std::uint64_t state_;
+};
+
+}  // namespace rafda

@@ -1,0 +1,31 @@
+// Small string helpers used across the RAFDA libraries.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rafda {
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits `s` on runs of whitespace, dropping empty pieces.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Escapes &, <, >, " for embedding in SOAPX documents.
+std::string xml_escape(std::string_view s);
+
+/// Inverse of xml_escape; throws CodecError on malformed entities.
+std::string xml_unescape(std::string_view s);
+
+}  // namespace rafda

@@ -1,0 +1,127 @@
+#include "transform/analysis.hpp"
+
+#include <deque>
+
+#include "support/error.hpp"
+
+namespace rafda::transform {
+
+std::string_view reason_name(Reason r) {
+    switch (r) {
+        case Reason::None: return "none";
+        case Reason::NativeMethod: return "native-method";
+        case Reason::SpecialClass: return "special-class";
+        case Reason::SuperOfNonTransformable: return "super-of-non-transformable";
+        case Reason::ReferencedByNonTransformable: return "referenced-by-non-transformable";
+    }
+    return "?";
+}
+
+const ClassStatus& Analysis::status_of(const std::string& cls) const {
+    auto it = status_.find(cls);
+    if (it == status_.end()) throw VerifyError("analysis has no class " + cls);
+    return it->second;
+}
+
+bool Analysis::transformable(const std::string& cls) const {
+    auto it = status_.find(cls);
+    return it != status_.end() && it->second.verdict == Verdict::Transformable;
+}
+
+std::vector<std::string> Analysis::transformable_classes() const {
+    std::vector<std::string> out;
+    for (const auto& [name, st] : status_)
+        if (st.verdict == Verdict::Transformable) out.push_back(name);
+    return out;
+}
+
+std::vector<std::string> Analysis::non_transformable_classes() const {
+    std::vector<std::string> out;
+    for (const auto& [name, st] : status_)
+        if (st.verdict == Verdict::NonTransformable) out.push_back(name);
+    return out;
+}
+
+std::size_t Analysis::non_transformable_count() const {
+    std::size_t n = 0;
+    for (const auto& [_, st] : status_)
+        if (st.verdict == Verdict::NonTransformable) ++n;
+    return n;
+}
+
+double Analysis::non_transformable_fraction() const {
+    if (status_.empty()) return 0.0;
+    return static_cast<double>(non_transformable_count()) /
+           static_cast<double>(status_.size());
+}
+
+std::map<Reason, std::size_t> Analysis::reason_histogram() const {
+    std::map<Reason, std::size_t> hist;
+    for (const auto& [_, st] : status_)
+        if (st.verdict == Verdict::NonTransformable) ++hist[st.reason];
+    return hist;
+}
+
+namespace {
+
+/// True if cls is special or transitively extends/implements a special type.
+bool inherits_special(const model::ClassPool& pool, const model::ClassFile& cls) {
+    if (cls.is_special) return true;
+    if (!cls.super_name.empty()) {
+        if (const model::ClassFile* s = pool.find(cls.super_name))
+            if (inherits_special(pool, *s)) return true;
+    }
+    for (const std::string& i : cls.interfaces)
+        if (const model::ClassFile* icf = pool.find(i))
+            if (inherits_special(pool, *icf)) return true;
+    return false;
+}
+
+}  // namespace
+
+Analysis analyze(const model::ClassPool& pool) {
+    Analysis result;
+
+    // Seed: rules 1 and 2.
+    std::deque<std::string> worklist;
+    for (const model::ClassFile* cf : pool.all()) {
+        ClassStatus st;
+        if (cf->has_native_method()) {
+            st.verdict = Verdict::NonTransformable;
+            st.reason = Reason::NativeMethod;
+        } else if (inherits_special(pool, *cf)) {
+            st.verdict = Verdict::NonTransformable;
+            st.reason = Reason::SpecialClass;
+        }
+        if (st.verdict == Verdict::NonTransformable) worklist.push_back(cf->name);
+        result.status_[cf->name] = st;
+    }
+
+    // Propagate rules 3 and 4 to a fixpoint.
+    auto mark = [&](const std::string& victim, Reason reason, const std::string& blame) {
+        ClassStatus& st = result.status_[victim];
+        if (st.verdict == Verdict::NonTransformable) return;
+        st.verdict = Verdict::NonTransformable;
+        st.reason = reason;
+        st.blamed_on = blame;
+        worklist.push_back(victim);
+    };
+
+    while (!worklist.empty()) {
+        std::string name = std::move(worklist.front());
+        worklist.pop_front();
+        const model::ClassFile& cf = pool.get(name);
+        // Rule 3: the superclass of a non-transformable class cannot be
+        // transformed.
+        if (!cf.super_name.empty() && pool.contains(cf.super_name))
+            mark(cf.super_name, Reason::SuperOfNonTransformable, name);
+        // Rule 4: everything a non-transformable class references must stay
+        // in its original form.
+        for (const std::string& ref : cf.referenced_classes())
+            if (pool.contains(ref)) mark(ref, Reason::ReferencedByNonTransformable, name);
+    }
+
+    return result;
+}
+
+}  // namespace rafda::transform

@@ -1,0 +1,75 @@
+// Transformability analysis — Section 2.4 of the paper.
+//
+// A class or interface cannot be transformed when:
+//   (1) it declares a native method (native code cannot be rewritten);
+//   (2) it has special JVM semantics (is_special, e.g. Throwable), or
+//       inherits from / implements a special type;
+//   (3) it is the superclass of a non-transformable class (the
+//       non-transformable subclass would need multiple inheritance to
+//       inherit both the _O_Local and _C_Local parts);
+//   (4) it is referenced by a non-transformable class (references inside
+//       a non-transformable class cannot be redirected to the extracted
+//       interface, so the referenced type must keep its original form).
+//
+// Rules (3) and (4) propagate, so the analysis iterates to a fixpoint.
+// Applied to JDK 1.4.1 the paper measures ~40% of 8,200 classes and
+// interfaces non-transformable; bench_transformability reproduces that
+// shape on a synthetic corpus.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/classpool.hpp"
+
+namespace rafda::transform {
+
+enum class Verdict : std::uint8_t { Transformable, NonTransformable };
+
+/// Why a class ended up non-transformable.  For transformable classes the
+/// reason is None.
+enum class Reason : std::uint8_t {
+    None,
+    NativeMethod,              // rule 1
+    SpecialClass,              // rule 2 (direct or inherited)
+    SuperOfNonTransformable,   // rule 3
+    ReferencedByNonTransformable,  // rule 4
+};
+
+std::string_view reason_name(Reason r);
+
+struct ClassStatus {
+    Verdict verdict = Verdict::Transformable;
+    Reason reason = Reason::None;
+    /// The class that caused a rule-3/4 propagation (diagnostic).
+    std::string blamed_on;
+};
+
+/// Result of the analysis over one pool.
+class Analysis {
+public:
+    const ClassStatus& status_of(const std::string& cls) const;
+    bool transformable(const std::string& cls) const;
+
+    /// All transformable / non-transformable class names, sorted.
+    std::vector<std::string> transformable_classes() const;
+    std::vector<std::string> non_transformable_classes() const;
+
+    std::size_t total() const { return status_.size(); }
+    std::size_t non_transformable_count() const;
+    double non_transformable_fraction() const;
+
+    /// Count of non-transformable classes per reason.
+    std::map<Reason, std::size_t> reason_histogram() const;
+
+    friend Analysis analyze(const model::ClassPool& pool);
+
+private:
+    std::map<std::string, ClassStatus> status_;
+};
+
+/// Runs the Section 2.4 analysis on `pool`.
+Analysis analyze(const model::ClassPool& pool);
+
+}  // namespace rafda::transform

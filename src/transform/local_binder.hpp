@@ -1,0 +1,35 @@
+// Single-address-space binding of the factory natives.
+//
+// The paper's implementation status (Sec 4): "the creation of a local
+// version of the transformed application that executes within a single
+// address space — the first step in creating a fully distributed version."
+// This binder is that step: every A_O_Factory.make() instantiates
+// A_O_Local, every A_C_Factory.discover() returns the A_C_Local singleton
+// (running A_C_Factory.clinit exactly once, before first use).
+//
+// The distributed runtime (runtime::Node) installs its own policy-driven
+// binding instead; both go through the same factory seams, which is what
+// makes remote and non-remote implementations interchangeable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "transform/pipeline.hpp"
+#include "vm/interp.hpp"
+
+namespace rafda::transform {
+
+/// Binds make/discover of every substituted class to local implementations.
+void bind_local_factories(vm::Interpreter& interp, const TransformReport& report);
+
+/// Calls an original static entry point (e.g. Main.main) through the
+/// transformed program: discovers the class singleton and invokes the
+/// corresponding instance method with the mapped descriptor.
+vm::Value call_transformed_static(vm::Interpreter& interp,
+                                  const model::ClassPool& original_pool,
+                                  const TransformReport& report, const std::string& cls,
+                                  const std::string& method, const std::string& desc,
+                                  std::vector<vm::Value> args = {});
+
+}  // namespace rafda::transform

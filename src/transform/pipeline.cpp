@@ -1,0 +1,72 @@
+#include "transform/pipeline.hpp"
+
+#include <algorithm>
+
+#include "model/verifier.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "transform/naming.hpp"
+#include "transform/rewriter.hpp"
+
+namespace rafda::transform {
+
+TransformReport::TransformReport(Analysis analysis, std::vector<std::string> substituted,
+                                 std::vector<std::string> protocols)
+    : analysis_(std::move(analysis)),
+      substituted_(std::move(substituted)),
+      protocols_(std::move(protocols)) {
+    std::sort(substituted_.begin(), substituted_.end());
+}
+
+bool TransformReport::substituted(const std::string& cls) const {
+    return std::binary_search(substituted_.begin(), substituted_.end(), cls);
+}
+
+std::string TransformReport::map_method_desc(const model::ClassPool& original_pool,
+                                             const std::string& desc) const {
+    Substitutables subst(original_pool, analysis_, substituted_);
+    return map_sig(subst, model::MethodSig::parse(desc)).descriptor();
+}
+
+PipelineResult run_pipeline(const model::ClassPool& original,
+                            const PipelineOptions& options) {
+    Analysis analysis = analyze(original);
+    Substitutables subst =
+        options.substitutable
+            ? Substitutables(original, analysis, *options.substitutable)
+            : Substitutables(original, analysis);
+
+    model::ClassPool out;
+    std::vector<std::string> substituted;
+
+    for (const model::ClassFile* cf : original.all()) {
+        if (!analysis.transformable(cf->name)) {
+            out.add(*cf);  // non-transformable: keep the original form
+            continue;
+        }
+        if (cf->is_interface) {
+            out.add(rewrite_interface(subst, *cf));
+            continue;
+        }
+        if (!subst.contains(cf->name)) {
+            // Transformable but, by policy, not substitutable: keep the
+            // class, redirect its references at the substituted families.
+            out.add(rewrite_in_place(subst, *cf));
+            continue;
+        }
+        substituted.push_back(cf->name);
+        for (model::ClassFile& gen : generate_family(subst, *cf, options.generator))
+            out.add(std::move(gen));
+    }
+
+    log_info("transform", "substituted ", substituted.size(), " of ", original.size(),
+             " classes (", analysis.non_transformable_count(), " non-transformable)");
+
+    if (options.verify_output) model::verify_pool(out);
+
+    return PipelineResult{std::move(out),
+                          TransformReport(std::move(analysis), std::move(substituted),
+                                          options.generator.protocols)};
+}
+
+}  // namespace rafda::transform

@@ -1,0 +1,71 @@
+// The transformation pipeline: original pool -> componentised pool.
+//
+// Runs the Section 2.4 analysis, generates the artefact family for every
+// transformable class, rewrites transformable user interfaces in place,
+// copies non-transformable classes unchanged, and (optionally) verifies
+// the output.  The result plus the returned report is everything a runtime
+// needs to execute the program locally (transform::bind_local_factories)
+// or distributed (runtime::Node).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/classpool.hpp"
+#include "transform/analysis.hpp"
+#include "transform/generator.hpp"
+
+namespace rafda::transform {
+
+struct PipelineOptions {
+    GeneratorOptions generator;
+    /// Verify the transformed pool (recommended; disable only in benches
+    /// that time the pipeline itself).
+    bool verify_output = true;
+    /// Policy: which classes get substitutable families.  Empty optional =
+    /// every transformable class (the default).  Transformable classes not
+    /// selected keep their identity but are rewritten in place so both
+    /// worlds compose.
+    std::optional<std::vector<std::string>> substitutable;
+};
+
+/// What the pipeline did; consumed by binders, the distributed runtime and
+/// the experiment harnesses.
+class TransformReport {
+public:
+    TransformReport(Analysis analysis, std::vector<std::string> substituted,
+                    std::vector<std::string> protocols);
+
+    const Analysis& analysis() const noexcept { return analysis_; }
+    /// Original names of classes replaced by families, sorted.
+    const std::vector<std::string>& substituted_classes() const noexcept {
+        return substituted_;
+    }
+    const std::vector<std::string>& protocols() const noexcept { return protocols_; }
+
+    bool substituted(const std::string& cls) const;
+
+    /// Maps an original method descriptor to the transformed one (reference
+    /// parameters/results of substituted classes become _O_Int references).
+    std::string map_method_desc(const model::ClassPool& original_pool,
+                                const std::string& desc) const;
+
+private:
+    Analysis analysis_;
+    std::vector<std::string> substituted_;
+    std::vector<std::string> protocols_;
+};
+
+struct PipelineResult {
+    model::ClassPool pool;  // the transformed program
+    TransformReport report;
+};
+
+/// Transforms `original`.  The input pool must verify; the output pool is
+/// verified when options.verify_output is set.
+PipelineResult run_pipeline(const model::ClassPool& original,
+                            const PipelineOptions& options = {});
+
+}  // namespace rafda::transform

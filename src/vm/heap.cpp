@@ -1,0 +1,42 @@
+#include "vm/heap.hpp"
+
+#include "support/error.hpp"
+
+namespace rafda::vm {
+
+ObjId Heap::alloc(const model::ClassFile& cls, std::size_t field_count) {
+    Object obj;
+    obj.cls = &cls;
+    obj.fields.resize(field_count);
+    objects_.push_back(std::move(obj));
+    return objects_.size();  // ids are 1-based
+}
+
+ObjId Heap::alloc_array(const model::TypeDesc& elem, std::size_t length) {
+    Object obj;
+    obj.is_array = true;
+    obj.elem_type = elem;
+    obj.fields.assign(length, default_value(elem));
+    objects_.push_back(std::move(obj));
+    return objects_.size();
+}
+
+Object& Heap::get(ObjId id) {
+    if (id == 0) throw VmError("null dereference");
+    if (id > objects_.size()) throw VmError("dangling object id");
+    return objects_[id - 1];
+}
+
+const Object& Heap::get(ObjId id) const {
+    if (id == 0) throw VmError("null dereference");
+    if (id > objects_.size()) throw VmError("dangling object id");
+    return objects_[id - 1];
+}
+
+void Heap::transmute(ObjId id, const model::ClassFile& cls, std::vector<Value> fields) {
+    Object& obj = get(id);
+    obj.cls = &cls;
+    obj.fields = std::move(fields);
+}
+
+}  // namespace rafda::vm

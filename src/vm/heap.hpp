@@ -1,0 +1,51 @@
+// Object heap of one address space.
+//
+// Objects are never collected: the experiments run bounded workloads and
+// an arena keeps object ids stable, which the distributed runtime relies
+// on when it exports ids to other nodes.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "model/classfile.hpp"
+#include "vm/value.hpp"
+
+namespace rafda::vm {
+
+struct Object {
+    /// Null for arrays (is_array set); the class otherwise.
+    const model::ClassFile* cls = nullptr;
+    /// Instance fields (per ClassPool::layout_of), or the elements for
+    /// arrays.
+    std::vector<Value> fields;
+    bool is_array = false;
+    model::TypeDesc elem_type;  // arrays only
+};
+
+class Heap {
+public:
+    /// Allocates an instance of `cls` with `field_count` zeroed slots.
+    ObjId alloc(const model::ClassFile& cls, std::size_t field_count);
+
+    /// Allocates an array of `length` elements of `elem`, default-filled.
+    ObjId alloc_array(const model::TypeDesc& elem, std::size_t length);
+
+    /// Throws VmError for the null id (0) or out-of-range ids.
+    Object& get(ObjId id);
+    const Object& get(ObjId id) const;
+
+    /// Replaces the object behind `id` in place: new class, new fields —
+    /// object identity (the id) is preserved, so every reference that
+    /// pointed at the old object now sees the new one.  This implements
+    /// the paper's Figure 1 substitution: a local instance is swapped for
+    /// a proxy (or vice versa) without touching reference holders.
+    void transmute(ObjId id, const model::ClassFile& cls, std::vector<Value> fields);
+
+    std::size_t size() const noexcept { return objects_.size(); }
+
+private:
+    std::deque<Object> objects_;  // deque: stable addresses, ids are index+1
+};
+
+}  // namespace rafda::vm

@@ -1,0 +1,624 @@
+#include "vm/interp.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace rafda::vm {
+
+using model::ClassFile;
+using model::Instruction;
+using model::Kind;
+using model::Method;
+using model::MethodSig;
+using model::Op;
+
+namespace {
+constexpr int kMaxCallDepth = 2000;
+
+std::string native_key(const std::string& owner, const std::string& name,
+                       const std::string& desc) {
+    return owner + "#" + name + desc;
+}
+}  // namespace
+
+Interpreter::Interpreter(const model::ClassPool& pool) : pool_(&pool) {}
+
+GuestException Interpreter::make_guest_exception(ObjId obj) {
+    const ClassFile& cls = class_of(obj);
+    std::string msg;
+    const model::Layout& layout = pool_->layout_of(cls.name);
+    auto mit = layout.index_by_name.find("msg");
+    if (mit != layout.index_by_name.end())
+        msg = heap_.get(obj).fields[static_cast<std::size_t>(mit->second)].display();
+    return GuestException(cls.name, msg, obj);
+}
+
+void Interpreter::throw_guest(Value thrown) {
+    if (!thrown.is_ref()) throw VmError("throw_guest of non-reference");
+    throw GuestThrow{std::move(thrown)};
+}
+
+Value Interpreter::at_api_boundary(const std::function<Value()>& body) {
+    try {
+        return body();
+    } catch (GuestThrow& gt) {
+        // Nested inside guest execution (a native called back into the
+        // API): let the guest unwinding continue so outer guest handlers
+        // get a chance.  Only the outermost entry converts.
+        if (call_depth_ > 0) throw;
+        throw make_guest_exception(gt.thrown.as_ref());
+    }
+}
+
+void Interpreter::register_native(const std::string& owner, const std::string& name,
+                                  const std::string& desc, NativeFn fn) {
+    natives_[native_key(owner, name, desc)] = std::move(fn);
+}
+
+void Interpreter::register_class_native(const std::string& owner, ClassNativeFn fn) {
+    class_natives_[owner] = std::move(fn);
+}
+
+ObjId Interpreter::allocate(const std::string& class_name) {
+    const ClassFile& cls = pool_->get(class_name);
+    const model::Layout& layout = pool_->layout_of(class_name);
+    ObjId id = heap_.alloc(cls, static_cast<std::size_t>(layout.size()));
+    Object& obj = heap_.get(id);
+    for (int i = 0; i < layout.size(); ++i)
+        obj.fields[static_cast<std::size_t>(i)] = default_value(layout.slots[i].type);
+    ++counters_.allocations;
+    return id;
+}
+
+Value Interpreter::construct(const std::string& class_name, const std::string& ctor_desc,
+                             std::vector<Value> args) {
+    return at_api_boundary([&] { return construct_impl(class_name, ctor_desc, std::move(args)); });
+}
+
+Value Interpreter::construct_impl(const std::string& class_name, const std::string& ctor_desc,
+                                  std::vector<Value> args) {
+    ensure_initialized(class_name);
+    ObjId id = allocate(class_name);
+    const ClassFile& cls = pool_->get(class_name);
+    const Method* ctor = cls.find_method("<init>", ctor_desc);
+    if (!ctor) throw VmError("no constructor " + class_name + ".<init>" + ctor_desc);
+    std::vector<Value> locals;
+    locals.reserve(args.size() + 1);
+    locals.push_back(Value::of_ref(id));
+    for (Value& a : args) locals.push_back(std::move(a));
+    invoke(cls, *ctor, std::move(locals));
+    return Value::of_ref(id);
+}
+
+Value Interpreter::call_static(const std::string& owner, const std::string& name,
+                               const std::string& desc, std::vector<Value> args) {
+    return at_api_boundary([&] { return call_static_impl(owner, name, desc, std::move(args)); });
+}
+
+Value Interpreter::call_static_impl(const std::string& owner, const std::string& name,
+                                    const std::string& desc, std::vector<Value> args) {
+    ensure_initialized(owner);
+    const Method* m = pool_->resolve_static(owner, name, desc);
+    if (!m) throw VmError("unresolved static method " + owner + "." + name + desc);
+    ++counters_.invokes_static;
+    return invoke(pool_->get(owner), *m, std::move(args));
+}
+
+Value Interpreter::call_virtual(const Value& receiver, const std::string& name,
+                                const std::string& desc, std::vector<Value> args) {
+    return at_api_boundary(
+        [&] { return call_virtual_impl(receiver, name, desc, std::move(args)); });
+}
+
+Value Interpreter::call_virtual_impl(const Value& receiver, const std::string& name,
+                                     const std::string& desc, std::vector<Value> args) {
+    const ClassFile& dyn = class_of(receiver.as_ref());
+    const Method& m = resolve_virtual_cached(dyn.name, name, desc);
+    ++counters_.invokes_virtual;
+    std::vector<Value> locals;
+    locals.reserve(args.size() + 1);
+    locals.push_back(receiver);
+    for (Value& a : args) locals.push_back(std::move(a));
+    return invoke(dyn, m, std::move(locals));
+}
+
+Value Interpreter::get_static_field(const std::string& owner, const std::string& field) {
+    const ClassFile* declaring = pool_->resolve_static_field(owner, field);
+    if (!declaring) throw VmError("no static field " + owner + "." + field);
+    at_api_boundary([&] {
+        ensure_initialized(declaring->name);
+        return Value::null();
+    });
+    ++counters_.static_reads;
+    const model::Layout& layout = pool_->static_layout_of(declaring->name);
+    return statics_of(declaring->name)[static_cast<std::size_t>(layout.index_of(field))];
+}
+
+void Interpreter::set_static_field(const std::string& owner, const std::string& field,
+                                   Value v) {
+    const ClassFile* declaring = pool_->resolve_static_field(owner, field);
+    if (!declaring) throw VmError("no static field " + owner + "." + field);
+    at_api_boundary([&] {
+        ensure_initialized(declaring->name);
+        return Value::null();
+    });
+    ++counters_.static_writes;
+    const model::Layout& layout = pool_->static_layout_of(declaring->name);
+    statics_of(declaring->name)[static_cast<std::size_t>(layout.index_of(field))] =
+        std::move(v);
+}
+
+Value Interpreter::get_field(ObjId obj, const std::string& field) {
+    Object& o = heap_.get(obj);
+    const model::Layout& layout = pool_->layout_of(o.cls->name);
+    ++counters_.field_reads;
+    return o.fields[static_cast<std::size_t>(layout.index_of(field))];
+}
+
+void Interpreter::set_field(ObjId obj, const std::string& field, Value v) {
+    Object& o = heap_.get(obj);
+    const model::Layout& layout = pool_->layout_of(o.cls->name);
+    ++counters_.field_writes;
+    o.fields[static_cast<std::size_t>(layout.index_of(field))] = std::move(v);
+}
+
+const ClassFile& Interpreter::class_of(ObjId obj) const {
+    const Object& o = heap_.get(obj);
+    if (o.is_array) throw VmError("class_of on an array");
+    return *o.cls;
+}
+
+void Interpreter::ensure_initialized(const std::string& class_name) {
+    if (initialized_.count(class_name) || initializing_.count(class_name)) return;
+    const ClassFile& cls = pool_->get(class_name);
+    initializing_.insert(class_name);
+    // Initialise the superclass first, JVM-style.
+    if (!cls.super_name.empty()) ensure_initialized(cls.super_name);
+    if (const Method* clinit = cls.find_method("<clinit>", "()V")) {
+        invoke(cls, *clinit, {});
+    }
+    initializing_.erase(class_name);
+    initialized_.insert(class_name);
+}
+
+std::vector<Value>& Interpreter::statics_of(const std::string& class_name) {
+    auto it = statics_.find(class_name);
+    if (it != statics_.end()) return it->second;
+    const model::Layout& layout = pool_->static_layout_of(class_name);
+    std::vector<Value> slots;
+    slots.reserve(static_cast<std::size_t>(layout.size()));
+    for (const model::FieldSlot& s : layout.slots) slots.push_back(default_value(s.type));
+    return statics_.emplace(class_name, std::move(slots)).first->second;
+}
+
+std::pair<int, bool> Interpreter::sig_info(const std::string& desc) {
+    auto it = sig_cache_.find(desc);
+    if (it != sig_cache_.end()) return it->second;
+    MethodSig sig = MethodSig::parse(desc);
+    auto info = std::make_pair(static_cast<int>(sig.params().size()),
+                               sig.ret().is_void());
+    sig_cache_.emplace(desc, info);
+    return info;
+}
+
+const Method& Interpreter::resolve_virtual_cached(const std::string& dynamic,
+                                                  const std::string& name,
+                                                  const std::string& desc) {
+    std::string key = dynamic;
+    key += '#';
+    key += name;
+    key += desc;
+    auto it = vcache_.find(key);
+    if (it != vcache_.end()) return *it->second;
+    const Method* m = pool_->resolve_virtual(dynamic, name, desc);
+    if (!m) throw VmError("unresolved virtual method " + dynamic + "." + name + desc);
+    vcache_.emplace(std::move(key), m);
+    return *m;
+}
+
+Value Interpreter::invoke_native(const ClassFile& cls, const Method& m,
+                                 const Value& receiver, std::vector<Value> args) {
+    ++counters_.native_calls;
+    auto it = natives_.find(native_key(cls.name, m.name, m.descriptor()));
+    if (it != natives_.end()) return it->second(*this, receiver, std::move(args));
+    auto cit = class_natives_.find(cls.name);
+    if (cit != class_natives_.end()) return cit->second(*this, m, receiver, std::move(args));
+    throw VmError("unbound native method " + cls.name + "." + m.name + m.descriptor());
+}
+
+Value Interpreter::invoke(const ClassFile& cls, const Method& m,
+                          std::vector<Value> locals_with_receiver) {
+    if (m.is_native) {
+        Value receiver = m.is_static ? Value::null() : locals_with_receiver.front();
+        std::vector<Value> args(locals_with_receiver.begin() + (m.is_static ? 0 : 1),
+                                locals_with_receiver.end());
+        // The declaring class may differ from `cls` for inherited natives;
+        // resolve against the class that actually declares the method.
+        const ClassFile* declaring = &cls;
+        for (const ClassFile* cur = &cls; cur;
+             cur = cur->super_name.empty() ? nullptr : pool_->find(cur->super_name)) {
+            if (cur->find_method(m.name, m.descriptor()) == &m) {
+                declaring = cur;
+                break;
+            }
+        }
+        return invoke_native(*declaring, m, receiver, std::move(args));
+    }
+    if (m.is_abstract)
+        throw VmError("invoke of abstract method " + cls.name + "." + m.name);
+    if (++call_depth_ > kMaxCallDepth) {
+        --call_depth_;
+        throw VmError("guest call stack overflow in " + cls.name + "." + m.name);
+    }
+    locals_with_receiver.resize(static_cast<std::size_t>(m.code.max_locals));
+    try {
+        Value result = execute(cls, m, std::move(locals_with_receiver));
+        --call_depth_;
+        return result;
+    } catch (...) {
+        --call_depth_;
+        throw;
+    }
+}
+
+Value Interpreter::arith(Op op, const Value& a, const Value& b) {
+    // Result kind: the wider of the two operand kinds (int < long < double).
+    auto rank = [](const Value& v) {
+        return v.is_double() ? 2 : v.is_long() ? 1 : 0;
+    };
+    if (!a.is_numeric() || !b.is_numeric())
+        throw VmError(std::string("arithmetic on non-numeric values: ") + a.display() + ", " +
+                      b.display());
+    int r = std::max(rank(a), rank(b));
+    if (r == 2) {
+        double x = a.widen_double(), y = b.widen_double();
+        switch (op) {
+            case Op::Add: return Value::of_double(x + y);
+            case Op::Sub: return Value::of_double(x - y);
+            case Op::Mul: return Value::of_double(x * y);
+            case Op::Div: return Value::of_double(x / y);
+            case Op::Rem: return Value::of_double(std::fmod(x, y));
+            default: break;
+        }
+    } else {
+        std::int64_t x = a.widen_integral(), y = b.widen_integral();
+        if ((op == Op::Div || op == Op::Rem) && y == 0)
+            throw VmError("integer division by zero");
+        std::int64_t z = 0;
+        switch (op) {
+            case Op::Add: z = x + y; break;
+            case Op::Sub: z = x - y; break;
+            case Op::Mul: z = x * y; break;
+            case Op::Div: z = x / y; break;
+            case Op::Rem: z = x % y; break;
+            default: break;
+        }
+        if (r == 1) return Value::of_long(z);
+        return Value::of_int(static_cast<std::int32_t>(z));
+    }
+    throw VmError("bad arithmetic op");
+}
+
+Value Interpreter::compare(Op op, const Value& a, const Value& b) {
+    // Equality on refs/null/bools/strings; ordering only on numerics and
+    // strings.
+    auto as_ordering_operands = [&]() -> std::pair<double, double> {
+        return {a.widen_double(), b.widen_double()};
+    };
+    bool result = false;
+    switch (op) {
+        case Op::CmpEq:
+        case Op::CmpNe: {
+            bool eq;
+            if (a.is_numeric() && b.is_numeric()) {
+                eq = a.widen_double() == b.widen_double();
+            } else if ((a.is_null() || a.is_ref()) && (b.is_null() || b.is_ref())) {
+                eq = (a.is_null() && b.is_null()) ||
+                     (a.is_ref() && b.is_ref() && a.as_ref() == b.as_ref());
+            } else {
+                eq = a == b;
+            }
+            result = (op == Op::CmpEq) ? eq : !eq;
+            break;
+        }
+        case Op::CmpLt:
+        case Op::CmpLe:
+        case Op::CmpGt:
+        case Op::CmpGe: {
+            if (a.is_str() && b.is_str()) {
+                int c = a.as_str().compare(b.as_str());
+                result = (op == Op::CmpLt && c < 0) || (op == Op::CmpLe && c <= 0) ||
+                         (op == Op::CmpGt && c > 0) || (op == Op::CmpGe && c >= 0);
+            } else {
+                auto [x, y] = as_ordering_operands();
+                result = (op == Op::CmpLt && x < y) || (op == Op::CmpLe && x <= y) ||
+                         (op == Op::CmpGt && x > y) || (op == Op::CmpGe && x >= y);
+            }
+            break;
+        }
+        default:
+            throw VmError("bad comparison op");
+    }
+    return Value::of_bool(result);
+}
+
+Value Interpreter::execute(const ClassFile& cls, const Method& m,
+                           std::vector<Value> locals) {
+    const std::vector<Instruction>& code = m.code.instrs;
+    std::vector<Value> stack;
+    stack.reserve(8);
+    int pc = 0;
+
+    auto pop = [&] {
+        Value v = std::move(stack.back());
+        stack.pop_back();
+        return v;
+    };
+
+    while (true) {
+        if (pc < 0 || pc >= static_cast<int>(code.size()))
+            throw VmError("pc out of range in " + cls.name + "." + m.name);
+        const Instruction& i = code[pc];
+        ++counters_.instructions;
+        try {
+            switch (i.op) {
+                case Op::Nop:
+                    break;
+                case Op::Const: {
+                    if (std::holds_alternative<model::Null>(i.k)) stack.push_back(Value::null());
+                    else if (const bool* b = std::get_if<bool>(&i.k))
+                        stack.push_back(Value::of_bool(*b));
+                    else if (const std::int32_t* v32 = std::get_if<std::int32_t>(&i.k))
+                        stack.push_back(Value::of_int(*v32));
+                    else if (const std::int64_t* v64 = std::get_if<std::int64_t>(&i.k))
+                        stack.push_back(Value::of_long(*v64));
+                    else if (const double* d = std::get_if<double>(&i.k))
+                        stack.push_back(Value::of_double(*d));
+                    else
+                        stack.push_back(Value::of_str(std::get<std::string>(i.k)));
+                    break;
+                }
+                case Op::Load:
+                    stack.push_back(locals[static_cast<std::size_t>(i.a)]);
+                    break;
+                case Op::Store:
+                    locals[static_cast<std::size_t>(i.a)] = pop();
+                    break;
+                case Op::Dup:
+                    stack.push_back(stack.back());
+                    break;
+                case Op::Pop:
+                    stack.pop_back();
+                    break;
+                case Op::Swap:
+                    std::swap(stack[stack.size() - 1], stack[stack.size() - 2]);
+                    break;
+                case Op::Add:
+                case Op::Sub:
+                case Op::Mul:
+                case Op::Div:
+                case Op::Rem: {
+                    Value b = pop(), a = pop();
+                    // String + string concatenates, mirroring Java's +.
+                    if (i.op == Op::Add && (a.is_str() || b.is_str()))
+                        stack.push_back(Value::of_str(a.display() + b.display()));
+                    else
+                        stack.push_back(arith(i.op, a, b));
+                    break;
+                }
+                case Op::Neg: {
+                    Value a = pop();
+                    if (a.is_int()) stack.push_back(Value::of_int(-a.as_int()));
+                    else if (a.is_long()) stack.push_back(Value::of_long(-a.as_long()));
+                    else stack.push_back(Value::of_double(-a.as_double()));
+                    break;
+                }
+                case Op::CmpEq:
+                case Op::CmpNe:
+                case Op::CmpLt:
+                case Op::CmpLe:
+                case Op::CmpGt:
+                case Op::CmpGe: {
+                    Value b = pop(), a = pop();
+                    stack.push_back(compare(i.op, a, b));
+                    break;
+                }
+                case Op::And: {
+                    Value b = pop(), a = pop();
+                    stack.push_back(Value::of_bool(a.as_bool() && b.as_bool()));
+                    break;
+                }
+                case Op::Or: {
+                    Value b = pop(), a = pop();
+                    stack.push_back(Value::of_bool(a.as_bool() || b.as_bool()));
+                    break;
+                }
+                case Op::Not: {
+                    Value a = pop();
+                    stack.push_back(Value::of_bool(!a.as_bool()));
+                    break;
+                }
+                case Op::Conv: {
+                    Value a = pop();
+                    switch (static_cast<Kind>(i.a)) {
+                        case Kind::Int:
+                            stack.push_back(
+                                Value::of_int(static_cast<std::int32_t>(a.widen_double())));
+                            break;
+                        case Kind::Long:
+                            stack.push_back(
+                                Value::of_long(static_cast<std::int64_t>(a.widen_double())));
+                            break;
+                        case Kind::Double:
+                            stack.push_back(Value::of_double(a.widen_double()));
+                            break;
+                        default:
+                            throw VmError("bad conv target");
+                    }
+                    break;
+                }
+                case Op::Concat: {
+                    Value b = pop(), a = pop();
+                    stack.push_back(Value::of_str(a.display() + b.display()));
+                    break;
+                }
+                case Op::Goto:
+                    pc = i.a;
+                    continue;
+                case Op::IfTrue: {
+                    if (pop().as_bool()) {
+                        pc = i.a;
+                        continue;
+                    }
+                    break;
+                }
+                case Op::IfFalse: {
+                    if (!pop().as_bool()) {
+                        pc = i.a;
+                        continue;
+                    }
+                    break;
+                }
+                case Op::New: {
+                    ensure_initialized(i.owner);
+                    stack.push_back(Value::of_ref(allocate(i.owner)));
+                    break;
+                }
+                case Op::GetField: {
+                    Value recv = pop();
+                    Object& o = heap_.get(recv.as_ref());
+                    const model::Layout& layout = pool_->layout_of(o.cls->name);
+                    ++counters_.field_reads;
+                    stack.push_back(
+                        o.fields[static_cast<std::size_t>(layout.index_of(i.member))]);
+                    break;
+                }
+                case Op::PutField: {
+                    Value v = pop();
+                    Value recv = pop();
+                    Object& o = heap_.get(recv.as_ref());
+                    const model::Layout& layout = pool_->layout_of(o.cls->name);
+                    ++counters_.field_writes;
+                    o.fields[static_cast<std::size_t>(layout.index_of(i.member))] =
+                        std::move(v);
+                    break;
+                }
+                case Op::GetStatic:
+                    stack.push_back(get_static_field(i.owner, i.member));
+                    break;
+                case Op::PutStatic:
+                    set_static_field(i.owner, i.member, pop());
+                    break;
+                case Op::InvokeVirtual:
+                case Op::InvokeInterface: {
+                    auto [nargs_i, ret_void] = sig_info(i.desc);
+                    std::size_t nargs = static_cast<std::size_t>(nargs_i);
+                    std::vector<Value> locals2(nargs + 1);
+                    for (std::size_t k = nargs; k >= 1; --k) locals2[k] = pop();
+                    locals2[0] = pop();
+                    const ClassFile& dyn = class_of(locals2[0].as_ref());
+                    const Method& target = resolve_virtual_cached(dyn.name, i.member, i.desc);
+                    if (i.op == Op::InvokeVirtual) ++counters_.invokes_virtual;
+                    else ++counters_.invokes_interface;
+                    Value r = invoke(dyn, target, std::move(locals2));
+                    if (!ret_void) stack.push_back(std::move(r));
+                    break;
+                }
+                case Op::InvokeStatic: {
+                    auto [nargs_i, ret_void] = sig_info(i.desc);
+                    std::size_t nargs = static_cast<std::size_t>(nargs_i);
+                    std::vector<Value> locals2(nargs);
+                    for (std::size_t k = nargs; k >= 1; --k) locals2[k - 1] = pop();
+                    ensure_initialized(i.owner);
+                    const Method* target = pool_->resolve_static(i.owner, i.member, i.desc);
+                    if (!target)
+                        throw VmError("unresolved static " + i.owner + "." + i.member);
+                    ++counters_.invokes_static;
+                    Value r = invoke(pool_->get(i.owner), *target, std::move(locals2));
+                    if (!ret_void) stack.push_back(std::move(r));
+                    break;
+                }
+                case Op::InvokeSpecial: {
+                    auto [nargs_i, ret_void2] = sig_info(i.desc);
+                    (void)ret_void2;
+                    std::size_t nargs = static_cast<std::size_t>(nargs_i);
+                    std::vector<Value> locals2(nargs + 1);
+                    for (std::size_t k = nargs; k >= 1; --k) locals2[k] = pop();
+                    locals2[0] = pop();
+                    const ClassFile& owner = pool_->get(i.owner);
+                    const Method* ctor = owner.find_method(i.member, i.desc);
+                    if (!ctor) throw VmError("unresolved ctor " + i.owner + i.desc);
+                    ++counters_.invokes_special;
+                    invoke(owner, *ctor, std::move(locals2));
+                    break;
+                }
+                case Op::Return:
+                    return Value::null();
+                case Op::ReturnValue:
+                    return pop();
+                case Op::Throw: {
+                    Value thrown = pop();
+                    if (!thrown.is_ref()) throw VmError("throw of non-reference");
+                    throw GuestThrow{std::move(thrown)};
+                }
+                case Op::NewArray: {
+                    std::int32_t len = pop().as_int();
+                    if (len < 0) throw VmError("negative array length");
+                    ++counters_.allocations;
+                    stack.push_back(Value::of_ref(heap_.alloc_array(
+                        model::TypeDesc::parse(i.desc),
+                        static_cast<std::size_t>(len))));
+                    break;
+                }
+                case Op::ALoad: {
+                    std::int32_t idx = pop().as_int();
+                    Object& arr = heap_.get(pop().as_ref());
+                    if (!arr.is_array) throw VmError("aload on non-array");
+                    if (idx < 0 || static_cast<std::size_t>(idx) >= arr.fields.size())
+                        throw VmError("array index out of bounds: " + std::to_string(idx));
+                    ++counters_.field_reads;
+                    stack.push_back(arr.fields[static_cast<std::size_t>(idx)]);
+                    break;
+                }
+                case Op::AStore: {
+                    Value v = pop();
+                    std::int32_t idx = pop().as_int();
+                    Object& arr = heap_.get(pop().as_ref());
+                    if (!arr.is_array) throw VmError("astore on non-array");
+                    if (idx < 0 || static_cast<std::size_t>(idx) >= arr.fields.size())
+                        throw VmError("array index out of bounds: " + std::to_string(idx));
+                    ++counters_.field_writes;
+                    arr.fields[static_cast<std::size_t>(idx)] = std::move(v);
+                    break;
+                }
+                case Op::ALen: {
+                    Object& arr = heap_.get(pop().as_ref());
+                    if (!arr.is_array) throw VmError("alen on non-array");
+                    stack.push_back(
+                        Value::of_int(static_cast<std::int32_t>(arr.fields.size())));
+                    break;
+                }
+            }
+        } catch (GuestThrow& gt) {
+            // Search this frame's handlers; re-throw to unwind otherwise.
+            const ClassFile& thrown_cls = class_of(gt.thrown.as_ref());
+            bool handled = false;
+            for (const model::Handler& h : m.code.handlers) {
+                if (pc >= h.start && pc < h.end &&
+                    pool_->is_subtype(thrown_cls.name, h.class_name)) {
+                    stack.clear();
+                    stack.push_back(std::move(gt.thrown));
+                    pc = h.target;
+                    handled = true;
+                    break;
+                }
+            }
+            if (handled) continue;
+            throw;  // unwind to the caller's frame (or the API boundary)
+        }
+        ++pc;
+    }
+}
+
+}  // namespace rafda::vm

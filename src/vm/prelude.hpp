@@ -1,0 +1,29 @@
+// Prelude — the "system library" guest programs link against.
+//
+// Mirrors the role of the JDK classes in the paper: `Sys` has native
+// methods (so, per Section 2.4, it is *not transformable*, exactly like
+// java.lang.System), and `Throwable` is a special class with JVM-level
+// semantics (throw requires it).  The transformability analysis and the
+// corpus experiments treat these the same way the paper treats their Java
+// counterparts.
+#pragma once
+
+#include "model/classpool.hpp"
+#include "vm/interp.hpp"
+
+namespace rafda::vm {
+
+/// Names of the prelude classes.
+inline constexpr const char* kSysClass = "Sys";
+inline constexpr const char* kThrowableClass = "Throwable";
+
+/// Adds Sys and Throwable to the pool (no-op for classes already present).
+void install_prelude(model::ClassPool& pool);
+
+/// Registers the native implementations of the prelude on an interpreter:
+///   Sys.print(S)V    — append to the interpreter's output buffer
+///   Sys.println(S)V  — same, plus a newline
+///   Sys.time()J      — current logical time of this address space
+void bind_prelude_natives(Interpreter& interp);
+
+}  // namespace rafda::vm

@@ -1,0 +1,85 @@
+// Runtime values of the RIR virtual machine.
+//
+// A Value is null, a primitive (bool/int/long/double/string) or a reference
+// into a heap.  References are plain object ids; they are only meaningful
+// relative to the heap of the address space (vm::Interpreter) that created
+// them — exactly the property that makes cross-address-space references
+// need proxies, which is the problem the paper solves.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "model/type.hpp"
+
+namespace rafda::vm {
+
+/// Heap object id; valid ids start at 1.
+using ObjId = std::uint64_t;
+
+/// Distinguishes references from other integral values inside the variant.
+struct Ref {
+    ObjId id = 0;
+    bool operator==(const Ref&) const = default;
+};
+
+struct NullValue {
+    bool operator==(const NullValue&) const = default;
+};
+
+class Value {
+public:
+    Value() : v_(NullValue{}) {}
+    static Value null() { return Value(); }
+    static Value of_bool(bool b) { return Value(Storage(b)); }
+    static Value of_int(std::int32_t i) { return Value(Storage(i)); }
+    static Value of_long(std::int64_t j) { return Value(Storage(j)); }
+    static Value of_double(double d) { return Value(Storage(d)); }
+    static Value of_str(std::string s) { return Value(Storage(std::move(s))); }
+    static Value of_ref(ObjId id) { return Value(Storage(Ref{id})); }
+
+    bool is_null() const { return std::holds_alternative<NullValue>(v_); }
+    bool is_bool() const { return std::holds_alternative<bool>(v_); }
+    bool is_int() const { return std::holds_alternative<std::int32_t>(v_); }
+    bool is_long() const { return std::holds_alternative<std::int64_t>(v_); }
+    bool is_double() const { return std::holds_alternative<double>(v_); }
+    bool is_str() const { return std::holds_alternative<std::string>(v_); }
+    bool is_ref() const { return std::holds_alternative<Ref>(v_); }
+    bool is_numeric() const { return is_int() || is_long() || is_double(); }
+
+    /// Accessors throw VmError when the tag does not match.
+    bool as_bool() const;
+    std::int32_t as_int() const;
+    std::int64_t as_long() const;
+    double as_double() const;
+    const std::string& as_str() const;
+    ObjId as_ref() const;
+
+    /// Widens any numeric to the named representation for arithmetic.
+    std::int64_t widen_integral() const;
+    double widen_double() const;
+
+    /// Kind of this value in descriptor terms; Ref for references,
+    /// Void never occurs.
+    model::Kind kind() const;
+
+    /// Human-readable rendering (used by Concat and by guest printing).
+    std::string display() const;
+
+    /// Structural equality: numerics compare by value within the same kind,
+    /// strings by content, refs by identity.
+    bool operator==(const Value& other) const = default;
+
+private:
+    using Storage =
+        std::variant<NullValue, bool, std::int32_t, std::int64_t, double, std::string, Ref>;
+    explicit Value(Storage v) : v_(std::move(v)) {}
+
+    Storage v_;
+};
+
+/// The default value a field of type `t` starts with (JVM-style zeroing).
+Value default_value(const model::TypeDesc& t);
+
+}  // namespace rafda::vm

@@ -1,0 +1,145 @@
+// Property-based differential testing: for randomly generated programs the
+// original, the RAFDA-transformed (local binding), the wrapper-transformed
+// and the distributed executions must all print the same bytes.  This is
+// the strongest form of the paper's "semantically equivalent" claim our
+// harness can check, swept across program shapes.
+#include <gtest/gtest.h>
+
+#include "corpus/program_gen.hpp"
+#include "model/verifier.hpp"
+#include "runtime/system.hpp"
+#include "transform/local_binder.hpp"
+#include "vm/interp.hpp"
+#include "vm/prelude.hpp"
+#include "wrapper/wrapper_pipeline.hpp"
+
+namespace rafda::corpus {
+namespace {
+
+std::string run_original(const model::ClassPool& pool) {
+    vm::Interpreter interp(pool);
+    vm::bind_prelude_natives(interp);
+    interp.call_static(kProgramMain, "main", "()V");
+    return interp.output();
+}
+
+std::string run_transformed_local(const model::ClassPool& pool) {
+    transform::PipelineResult result = transform::run_pipeline(pool);
+    vm::Interpreter interp(result.pool);
+    vm::bind_prelude_natives(interp);
+    transform::bind_local_factories(interp, result.report);
+    transform::call_transformed_static(interp, pool, result.report, kProgramMain, "main",
+                                       "()V");
+    return interp.output();
+}
+
+std::string run_wrapped(const model::ClassPool& pool) {
+    wrapper::WrapperResult result = wrapper::run_wrapper_pipeline(pool);
+    vm::Interpreter interp(result.pool);
+    vm::bind_prelude_natives(interp);
+    interp.call_static(kProgramMain, "main", "()V");
+    return interp.output();
+}
+
+/// Distributed: every generated class's instances on node 1, singletons on
+/// node 0, driver on node 0 — maximum cross-node traffic.
+std::string run_distributed(const model::ClassPool& pool, const std::string& protocol) {
+    runtime::System system(pool);
+    system.add_node();
+    system.add_node();
+    for (const std::string& cls : system.report().substituted_classes())
+        if (cls.rfind("Gen", 0) == 0)
+            system.policy().set_instance_home(cls, 1, protocol);
+    system.call_static(0, kProgramMain, "main", "()V");
+    return system.node(0).interp().output();
+}
+
+class DifferentialSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DifferentialSweep, AllExecutionModesAgree) {
+    ProgramParams params;
+    params.seed = GetParam();
+    params.classes = 4 + params.seed % 5;
+    params.iterations = 8 + static_cast<int>(params.seed % 7);
+    model::ClassPool pool = generate_program(params);
+    model::verify_pool(pool);
+
+    std::string expected = run_original(pool);
+    ASSERT_FALSE(expected.empty());
+    EXPECT_EQ(run_transformed_local(pool), expected) << "seed " << params.seed;
+    EXPECT_EQ(run_wrapped(pool), expected) << "seed " << params.seed;
+    EXPECT_EQ(run_distributed(pool, "RMI"), expected) << "seed " << params.seed;
+    EXPECT_EQ(run_distributed(pool, "SOAP"), expected) << "seed " << params.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSweep,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+TEST(Differential, NoStaticsNoStringsVariantAgrees) {
+    for (std::uint64_t seed : {101u, 102u, 103u, 104u, 105u}) {
+        ProgramParams params;
+        params.seed = seed;
+        params.use_statics = false;
+        params.use_strings = false;
+        model::ClassPool pool = generate_program(params);
+        std::string expected = run_original(pool);
+        EXPECT_EQ(run_transformed_local(pool), expected) << "seed " << seed;
+        EXPECT_EQ(run_wrapped(pool), expected) << "seed " << seed;
+    }
+}
+
+TEST(Differential, ArraysVariantAgreesLocally) {
+    // Arrays are node-local (see DESIGN.md), so the distributed modes are
+    // excluded here; the three single-space executions must still agree.
+    for (std::uint64_t seed : {201u, 202u, 203u, 204u, 205u, 206u}) {
+        ProgramParams params;
+        params.seed = seed;
+        params.use_arrays = true;
+        model::ClassPool pool = generate_program(params);
+        model::verify_pool(pool);
+        std::string expected = run_original(pool);
+        ASSERT_FALSE(expected.empty());
+        EXPECT_EQ(run_transformed_local(pool), expected) << "seed " << seed;
+        EXPECT_EQ(run_wrapped(pool), expected) << "seed " << seed;
+    }
+}
+
+TEST(Differential, MigrationMidRunPreservesSemantics) {
+    // Run half the iterations, migrate every Gen object we can find, run
+    // the rest: output must match the undisturbed local run.  (Driven
+    // manually rather than through Main so we can interleave.)
+    ProgramParams params;
+    params.seed = 42;
+    params.classes = 3;
+    model::ClassPool pool = generate_program(params);
+
+    // Reference: single interpreter, call step() 10 times on a fresh root.
+    const std::string root_cls = "Gen2";
+    transform::PipelineResult local = transform::run_pipeline(pool);
+    vm::Interpreter interp(local.pool);
+    vm::bind_prelude_natives(interp);
+    transform::bind_local_factories(interp, local.report);
+    vm::Value lr = interp.call_static("Gen2_O_Factory", "make", "()LGen2_O_Int;");
+    interp.call_static("Gen2_O_Factory", "init", "(LGen2_O_Int;J)V",
+                       {lr, vm::Value::of_long(5)});
+    std::int64_t expected = 0;
+    for (int k = 0; k < 10; ++k)
+        expected = interp.call_virtual(lr, "step", "(J)J", {vm::Value::of_long(k)}).as_long();
+
+    runtime::System system(pool);
+    system.add_node();
+    system.add_node();
+    vm::Value r = system.construct(0, root_cls, "(J)V", {vm::Value::of_long(5)});
+    std::int64_t got = 0;
+    for (int k = 0; k < 10; ++k) {
+        if (k == 5) system.migrate_instance(0, r.as_ref(), 1, "RMI");
+        got = system.node(0)
+                  .interp()
+                  .call_virtual(r, "step", "(J)J", {vm::Value::of_long(k)})
+                  .as_long();
+    }
+    EXPECT_EQ(got, expected);
+}
+
+}  // namespace
+}  // namespace rafda::corpus

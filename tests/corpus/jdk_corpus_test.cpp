@@ -1,0 +1,102 @@
+#include "corpus/jdk_corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "transform/analysis.hpp"
+
+namespace rafda::corpus {
+namespace {
+
+TEST(JdkCorpus, GeneratesRequestedSize) {
+    JdkCorpusParams params;
+    params.total_types = 500;
+    model::ClassPool pool = generate_jdk_corpus(params);
+    EXPECT_EQ(pool.size(), 500u);
+}
+
+TEST(JdkCorpus, DeterministicFromSeed) {
+    JdkCorpusParams params;
+    params.total_types = 300;
+    model::ClassPool a = generate_jdk_corpus(params);
+    model::ClassPool b = generate_jdk_corpus(params);
+    EXPECT_EQ(a.all_names(), b.all_names());
+    transform::Analysis aa = transform::analyze(a);
+    transform::Analysis ab = transform::analyze(b);
+    EXPECT_EQ(aa.non_transformable_count(), ab.non_transformable_count());
+}
+
+TEST(JdkCorpus, DifferentSeedsDiffer) {
+    JdkCorpusParams p1, p2;
+    p1.total_types = p2.total_types = 400;
+    p2.seed = p1.seed + 1;
+    transform::Analysis a1 = transform::analyze(generate_jdk_corpus(p1));
+    transform::Analysis a2 = transform::analyze(generate_jdk_corpus(p2));
+    // Same shape, not identical counts (overwhelmingly likely).
+    EXPECT_NE(a1.non_transformable_count(), a2.non_transformable_count());
+}
+
+TEST(JdkCorpus, ContainsInterfacesSpecialsAndNatives) {
+    JdkCorpusParams params;
+    params.total_types = 1000;
+    model::ClassPool pool = generate_jdk_corpus(params);
+    std::size_t interfaces = 0, specials = 0, natives = 0;
+    for (const model::ClassFile* cf : pool.all()) {
+        if (cf->is_interface) ++interfaces;
+        if (cf->is_special) ++specials;
+        if (cf->has_native_method()) ++natives;
+    }
+    EXPECT_GT(interfaces, 50u);
+    EXPECT_GT(specials, 0u);
+    EXPECT_GT(natives, 10u);
+}
+
+TEST(JdkCorpus, HierarchyIsWellFormedForAnalysis) {
+    JdkCorpusParams params;
+    params.total_types = 800;
+    model::ClassPool pool = generate_jdk_corpus(params);
+    // Supers exist and are classes; interfaces exist and are interfaces.
+    for (const model::ClassFile* cf : pool.all()) {
+        if (!cf->super_name.empty()) {
+            ASSERT_TRUE(pool.contains(cf->super_name)) << cf->name;
+            EXPECT_FALSE(pool.get(cf->super_name).is_interface);
+        }
+        for (const std::string& i : cf->interfaces) {
+            ASSERT_TRUE(pool.contains(i)) << cf->name;
+            EXPECT_TRUE(pool.get(i).is_interface);
+        }
+    }
+}
+
+// E3 headline: at the calibrated defaults, the full-size corpus lands on
+// the paper's "about 40% of the 8,200 classes and interfaces".
+TEST(JdkCorpus, PaperScaleFractionNearFortyPercent) {
+    JdkCorpusParams params;  // defaults: 8200 types, calibrated seeds
+    model::ClassPool pool = generate_jdk_corpus(params);
+    transform::Analysis analysis = transform::analyze(pool);
+    EXPECT_EQ(analysis.total(), 8200u);
+    EXPECT_NEAR(analysis.non_transformable_fraction(), 0.40, 0.03);
+}
+
+TEST(JdkCorpus, FractionGrowsWithNativeDensity) {
+    JdkCorpusParams lo, hi;
+    lo.total_types = hi.total_types = 2000;
+    lo.native_in_lowlevel = 0.1;
+    lo.native_elsewhere = 0.0;
+    hi.native_in_lowlevel = 0.6;
+    hi.native_elsewhere = 0.05;
+    double f_lo = transform::analyze(generate_jdk_corpus(lo)).non_transformable_fraction();
+    double f_hi = transform::analyze(generate_jdk_corpus(hi)).non_transformable_fraction();
+    EXPECT_LT(f_lo, f_hi);
+}
+
+TEST(JdkCorpus, AllFourReasonsAppearAtScale) {
+    model::ClassPool pool = generate_jdk_corpus(JdkCorpusParams{});
+    auto hist = transform::analyze(pool).reason_histogram();
+    EXPECT_GT(hist[transform::Reason::NativeMethod], 0u);
+    EXPECT_GT(hist[transform::Reason::SpecialClass], 0u);
+    EXPECT_GT(hist[transform::Reason::SuperOfNonTransformable], 0u);
+    EXPECT_GT(hist[transform::Reason::ReferencedByNonTransformable], 0u);
+}
+
+}  // namespace
+}  // namespace rafda::corpus

@@ -1,0 +1,96 @@
+#include "corpus/program_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/verifier.hpp"
+#include "vm/interp.hpp"
+#include "vm/prelude.hpp"
+
+namespace rafda::corpus {
+namespace {
+
+TEST(ProgramGen, GeneratedProgramsVerify) {
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        ProgramParams params;
+        params.seed = seed;
+        model::ClassPool pool = generate_program(params);
+        EXPECT_TRUE(model::verify_pool_collect(pool).empty()) << "seed " << seed;
+    }
+}
+
+TEST(ProgramGen, GeneratedProgramsRunAndPrint) {
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        ProgramParams params;
+        params.seed = seed;
+        model::ClassPool pool = generate_program(params);
+        vm::Interpreter interp(pool);
+        vm::bind_prelude_natives(interp);
+        interp.call_static(kProgramMain, "main", "()V");
+        EXPECT_NE(interp.output().find("total="), std::string::npos) << "seed " << seed;
+    }
+}
+
+TEST(ProgramGen, DeterministicOutputPerSeed) {
+    ProgramParams params;
+    params.seed = 7;
+    auto run = [&] {
+        model::ClassPool pool = generate_program(params);
+        vm::Interpreter interp(pool);
+        vm::bind_prelude_natives(interp);
+        interp.call_static(kProgramMain, "main", "()V");
+        return interp.output();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(ProgramGen, DifferentSeedsProduceDifferentPrograms) {
+    ProgramParams a, b;
+    a.seed = 1;
+    b.seed = 2;
+    auto out = [](const ProgramParams& p) {
+        model::ClassPool pool = generate_program(p);
+        vm::Interpreter interp(pool);
+        vm::bind_prelude_natives(interp);
+        interp.call_static(kProgramMain, "main", "()V");
+        return interp.output();
+    };
+    EXPECT_NE(out(a), out(b));
+}
+
+TEST(ProgramGen, RespectsFeatureToggles) {
+    ProgramParams params;
+    params.use_statics = false;
+    params.use_strings = false;
+    params.seed = 3;
+    model::ClassPool pool = generate_program(params);
+    for (const model::ClassFile* cf : pool.all()) {
+        if (cf->name.rfind("Gen", 0) != 0) continue;
+        for (const model::Field& f : cf->fields) {
+            EXPECT_FALSE(f.is_static) << cf->name;
+            EXPECT_NE(f.type.kind(), model::Kind::Str) << cf->name;
+        }
+    }
+    vm::Interpreter interp(pool);
+    vm::bind_prelude_natives(interp);
+    interp.call_static(kProgramMain, "main", "()V");
+    EXPECT_NE(interp.output().find("total="), std::string::npos);
+}
+
+TEST(ProgramGen, ScalesClassCountAndIterations) {
+    ProgramParams params;
+    params.classes = 12;
+    params.iterations = 40;
+    params.seed = 5;
+    model::ClassPool pool = generate_program(params);
+    std::size_t gen_classes = 0;
+    for (const model::ClassFile* cf : pool.all())
+        if (cf->name.rfind("Gen", 0) == 0) ++gen_classes;
+    EXPECT_EQ(gen_classes, 12u);
+    vm::Interpreter interp(pool);
+    vm::bind_prelude_natives(interp);
+    interp.call_static(kProgramMain, "main", "()V");
+    EXPECT_GT(interp.counters().instructions, 400u);
+}
+
+}  // namespace
+}  // namespace rafda::corpus

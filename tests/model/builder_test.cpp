@@ -1,0 +1,130 @@
+#include "model/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace rafda::model {
+namespace {
+
+TEST(CodeBuilder, StraightLine) {
+    CodeBuilder cb;
+    cb.const_int(2).const_int(3).add().ret_value();
+    Code code = cb.finish(0);
+    ASSERT_EQ(code.instrs.size(), 4u);
+    EXPECT_EQ(code.instrs[0].op, Op::Const);
+    EXPECT_EQ(code.instrs[2].op, Op::Add);
+    EXPECT_EQ(code.max_locals, 0);
+}
+
+TEST(CodeBuilder, MaxLocalsFromSlots) {
+    CodeBuilder cb;
+    cb.const_int(1).store(5).load(5).ret_value();
+    Code code = cb.finish(2);
+    EXPECT_EQ(code.max_locals, 6);
+}
+
+TEST(CodeBuilder, MinLocalsWins) {
+    CodeBuilder cb;
+    cb.ret();
+    EXPECT_EQ(cb.finish(3).max_locals, 3);
+}
+
+TEST(CodeBuilder, ForwardBranch) {
+    CodeBuilder cb;
+    Label done = cb.new_label();
+    cb.const_bool(true).if_true(done).const_int(0).ret_value();
+    cb.bind(done);
+    cb.const_int(1).ret_value();
+    Code code = cb.finish(0);
+    EXPECT_EQ(code.instrs[1].op, Op::IfTrue);
+    EXPECT_EQ(code.instrs[1].a, 4);
+}
+
+TEST(CodeBuilder, BackwardBranch) {
+    CodeBuilder cb;
+    Label top = cb.new_label();
+    cb.bind(top);
+    cb.const_bool(false).if_true(top).ret();
+    Code code = cb.finish(0);
+    EXPECT_EQ(code.instrs[1].a, 0);
+}
+
+TEST(CodeBuilder, UnboundLabelThrows) {
+    CodeBuilder cb;
+    Label never = cb.new_label();
+    cb.go(never).ret();
+    EXPECT_THROW(cb.finish(0), VerifyError);
+}
+
+TEST(CodeBuilder, DoubleBindThrows) {
+    CodeBuilder cb;
+    Label l = cb.new_label();
+    cb.bind(l);
+    EXPECT_THROW(cb.bind(l), VerifyError);
+}
+
+TEST(CodeBuilder, HandlersResolveLabels) {
+    CodeBuilder cb;
+    Label from = cb.new_label(), to = cb.new_label(), target = cb.new_label();
+    cb.bind(from);
+    cb.const_int(1).pop();
+    cb.bind(to);
+    cb.ret();
+    cb.bind(target);
+    cb.pop().ret();
+    cb.handler(from, to, target, "Throwable");
+    Code code = cb.finish(0);
+    ASSERT_EQ(code.handlers.size(), 1u);
+    EXPECT_EQ(code.handlers[0].start, 0);
+    EXPECT_EQ(code.handlers[0].end, 2);
+    EXPECT_EQ(code.handlers[0].target, 3);
+}
+
+TEST(ClassBuilder, BuildsCompleteClass) {
+    CodeBuilder body;
+    body.load(0).get_field("Acc", "total", TypeDesc::long_()).ret_value();
+
+    ClassFile cf = ClassBuilder("Acc")
+                       .extends("Base")
+                       .implements("HasTotal")
+                       .field("total", TypeDesc::long_(), Visibility::Private)
+                       .static_field("count", TypeDesc::int_())
+                       .method("getTotal", MethodSig({}, TypeDesc::long_()), std::move(body))
+                       .abstract_method("describe", MethodSig({}, TypeDesc::str()))
+                       .native_method("sysPeek", MethodSig({}, TypeDesc::int_()), true)
+                       .build();
+
+    EXPECT_EQ(cf.name, "Acc");
+    EXPECT_EQ(cf.super_name, "Base");
+    EXPECT_EQ(cf.interfaces, (std::vector<std::string>{"HasTotal"}));
+    ASSERT_EQ(cf.fields.size(), 2u);
+    EXPECT_FALSE(cf.fields[0].is_static);
+    EXPECT_TRUE(cf.fields[1].is_static);
+    ASSERT_EQ(cf.methods.size(), 3u);
+    EXPECT_EQ(cf.methods[0].code.max_locals, 1);  // just `this`
+    EXPECT_TRUE(cf.methods[1].is_abstract);
+    EXPECT_TRUE(cf.methods[2].is_native);
+    EXPECT_TRUE(cf.methods[2].is_static);
+}
+
+TEST(ClassBuilder, StaticMethodLocalsExcludeReceiver) {
+    CodeBuilder body;
+    body.load(1).ret_value();
+    ClassFile cf = ClassBuilder("S")
+                       .static_method("second", MethodSig({TypeDesc::int_(), TypeDesc::int_()},
+                                                          TypeDesc::int_()),
+                                      std::move(body))
+                       .build();
+    EXPECT_EQ(cf.methods[0].code.max_locals, 2);
+}
+
+TEST(ClassBuilder, InterfaceAndSpecialFlags) {
+    ClassFile iface = ClassBuilder("I").interface_().build();
+    EXPECT_TRUE(iface.is_interface);
+    ClassFile spec = ClassBuilder("T").special().build();
+    EXPECT_TRUE(spec.is_special);
+}
+
+}  // namespace
+}  // namespace rafda::model

@@ -1,0 +1,109 @@
+// Printer/assembler round-trip as a property, swept over generated
+// programs and their transformed pools: print_pool output must reassemble
+// into a structurally identical pool (and still verify).
+#include "model/printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "corpus/program_gen.hpp"
+#include "model/assembler.hpp"
+#include "model/verifier.hpp"
+#include "transform/pipeline.hpp"
+
+namespace rafda::model {
+namespace {
+
+void expect_pools_equal(const ClassPool& a, const ClassPool& b) {
+    ASSERT_EQ(a.all_names(), b.all_names());
+    for (const std::string& name : a.all_names()) {
+        const ClassFile& ca = a.get(name);
+        const ClassFile& cb = b.get(name);
+        EXPECT_EQ(ca.super_name, cb.super_name) << name;
+        EXPECT_EQ(ca.interfaces, cb.interfaces) << name;
+        EXPECT_EQ(ca.is_interface, cb.is_interface) << name;
+        EXPECT_EQ(ca.is_special, cb.is_special) << name;
+        ASSERT_EQ(ca.fields.size(), cb.fields.size()) << name;
+        for (std::size_t i = 0; i < ca.fields.size(); ++i) {
+            EXPECT_EQ(ca.fields[i].name, cb.fields[i].name) << name;
+            EXPECT_EQ(ca.fields[i].type, cb.fields[i].type) << name;
+            EXPECT_EQ(ca.fields[i].is_static, cb.fields[i].is_static) << name;
+            EXPECT_EQ(ca.fields[i].vis, cb.fields[i].vis) << name;
+            EXPECT_EQ(ca.fields[i].is_final, cb.fields[i].is_final) << name;
+        }
+        ASSERT_EQ(ca.methods.size(), cb.methods.size()) << name;
+        for (std::size_t i = 0; i < ca.methods.size(); ++i) {
+            const Method& ma = ca.methods[i];
+            const Method& mb = cb.methods[i];
+            EXPECT_EQ(ma.name, mb.name) << name;
+            EXPECT_EQ(ma.descriptor(), mb.descriptor()) << name;
+            EXPECT_EQ(ma.is_static, mb.is_static) << name;
+            EXPECT_EQ(ma.is_native, mb.is_native) << name;
+            EXPECT_EQ(ma.is_abstract, mb.is_abstract) << name;
+            EXPECT_EQ(ma.code.instrs, mb.code.instrs) << name << "." << ma.name;
+            EXPECT_EQ(ma.code.max_locals, mb.code.max_locals) << name << "." << ma.name;
+            ASSERT_EQ(ma.code.handlers.size(), mb.code.handlers.size());
+            for (std::size_t h = 0; h < ma.code.handlers.size(); ++h) {
+                EXPECT_EQ(ma.code.handlers[h].start, mb.code.handlers[h].start);
+                EXPECT_EQ(ma.code.handlers[h].end, mb.code.handlers[h].end);
+                EXPECT_EQ(ma.code.handlers[h].target, mb.code.handlers[h].target);
+                EXPECT_EQ(ma.code.handlers[h].class_name, mb.code.handlers[h].class_name);
+            }
+        }
+    }
+}
+
+class RoundTripSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundTripSweep, GeneratedProgramRoundTrips) {
+    corpus::ProgramParams params;
+    params.seed = GetParam();
+    params.classes = 3 + params.seed % 6;
+    ClassPool pool = corpus::generate_program(params);
+
+    ClassPool reparsed;
+    assemble_into(reparsed, print_pool(pool));
+    expect_pools_equal(pool, reparsed);
+    EXPECT_TRUE(verify_pool_collect(reparsed).empty());
+}
+
+TEST_P(RoundTripSweep, TransformedPoolRoundTrips) {
+    corpus::ProgramParams params;
+    params.seed = GetParam();
+    params.classes = 3 + params.seed % 4;
+    ClassPool pool = corpus::generate_program(params);
+    transform::PipelineResult result = transform::run_pipeline(pool);
+
+    ClassPool reparsed;
+    assemble_into(reparsed, print_pool(result.pool));
+    expect_pools_equal(result.pool, reparsed);
+    EXPECT_TRUE(verify_pool_collect(reparsed).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripSweep, ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(Printer, InstructionRendering) {
+    EXPECT_EQ(print_instruction(ins::const_long(5)), "const 5L");
+    EXPECT_EQ(print_instruction(ins::const_str("a b")), "const \"a b\"");
+    EXPECT_EQ(print_instruction(ins::load(3)), "load 3");
+    EXPECT_EQ(print_instruction(ins::conv(Kind::Double)), "conv D");
+    EXPECT_EQ(print_instruction(
+                  ins::get_field("X", "y", TypeDesc::ref("Y"))),
+              "getfield X.y LY;");
+    EXPECT_EQ(print_instruction(ins::invoke_interface(
+                  "X_O_Int", "m", MethodSig::parse("(J)I"))),
+              "invokeinterface X_O_Int.m (J)I");
+}
+
+TEST(Printer, EscapesStringsInConstants) {
+    Instruction i = ins::const_str("say \"hi\"\nplease");
+    std::string printed = print_instruction(i);
+    // Must reassemble to the same constant.
+    std::string src = "class T {\n static method f ()S {\n " + printed +
+                      "\n returnvalue\n }\n}\n";
+    std::vector<ClassFile> classes = assemble(src);
+    EXPECT_EQ(std::get<std::string>(classes[0].methods[0].code.instrs[0].k),
+              "say \"hi\"\nplease");
+}
+
+}  // namespace
+}  // namespace rafda::model

@@ -1,0 +1,81 @@
+#include "model/type.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace rafda::model {
+namespace {
+
+TEST(TypeDesc, ParsePrimitives) {
+    EXPECT_EQ(TypeDesc::parse("V").kind(), Kind::Void);
+    EXPECT_EQ(TypeDesc::parse("Z").kind(), Kind::Bool);
+    EXPECT_EQ(TypeDesc::parse("I").kind(), Kind::Int);
+    EXPECT_EQ(TypeDesc::parse("J").kind(), Kind::Long);
+    EXPECT_EQ(TypeDesc::parse("D").kind(), Kind::Double);
+    EXPECT_EQ(TypeDesc::parse("S").kind(), Kind::Str);
+}
+
+TEST(TypeDesc, ParseReference) {
+    TypeDesc t = TypeDesc::parse("LX;");
+    EXPECT_TRUE(t.is_ref());
+    EXPECT_EQ(t.class_name(), "X");
+    EXPECT_EQ(TypeDesc::parse("LX_O_Int;").class_name(), "X_O_Int");
+}
+
+TEST(TypeDesc, DescriptorRoundTrip) {
+    for (const char* d : {"V", "Z", "I", "J", "D", "S", "LX;", "Lpkg.Cls;"})
+        EXPECT_EQ(TypeDesc::parse(d).descriptor(), d);
+}
+
+TEST(TypeDesc, RejectsMalformed) {
+    EXPECT_THROW(TypeDesc::parse(""), ParseError);
+    EXPECT_THROW(TypeDesc::parse("Q"), ParseError);
+    EXPECT_THROW(TypeDesc::parse("LX"), ParseError);   // unterminated
+    EXPECT_THROW(TypeDesc::parse("II"), ParseError);   // trailing
+    EXPECT_THROW(TypeDesc::parse("LX;I"), ParseError); // trailing
+}
+
+TEST(TypeDesc, ClassNameOnNonRefThrows) {
+    EXPECT_THROW(TypeDesc::int_().class_name(), VerifyError);
+}
+
+TEST(TypeDesc, NumericPredicate) {
+    EXPECT_TRUE(TypeDesc::int_().is_numeric());
+    EXPECT_TRUE(TypeDesc::long_().is_numeric());
+    EXPECT_TRUE(TypeDesc::double_().is_numeric());
+    EXPECT_FALSE(TypeDesc::bool_().is_numeric());
+    EXPECT_FALSE(TypeDesc::str().is_numeric());
+    EXPECT_FALSE(TypeDesc::ref("X").is_numeric());
+}
+
+TEST(MethodSig, ParseAndPrint) {
+    MethodSig sig = MethodSig::parse("(JLY;)I");
+    ASSERT_EQ(sig.params().size(), 2u);
+    EXPECT_EQ(sig.params()[0].kind(), Kind::Long);
+    EXPECT_EQ(sig.params()[1].class_name(), "Y");
+    EXPECT_EQ(sig.ret().kind(), Kind::Int);
+    EXPECT_EQ(sig.descriptor(), "(JLY;)I");
+}
+
+TEST(MethodSig, EmptyParams) {
+    MethodSig sig = MethodSig::parse("()V");
+    EXPECT_TRUE(sig.params().empty());
+    EXPECT_TRUE(sig.ret().is_void());
+}
+
+TEST(MethodSig, RejectsMalformed) {
+    EXPECT_THROW(MethodSig::parse("I"), ParseError);       // no parens
+    EXPECT_THROW(MethodSig::parse("(I"), ParseError);      // unterminated
+    EXPECT_THROW(MethodSig::parse("(V)I"), ParseError);    // void param
+    EXPECT_THROW(MethodSig::parse("()"), ParseError);      // no return
+    EXPECT_THROW(MethodSig::parse("()II"), ParseError);    // trailing
+}
+
+TEST(MethodSig, Equality) {
+    EXPECT_EQ(MethodSig::parse("(I)V"), MethodSig::parse("(I)V"));
+    EXPECT_NE(MethodSig::parse("(I)V"), MethodSig::parse("(J)V"));
+}
+
+}  // namespace
+}  // namespace rafda::model

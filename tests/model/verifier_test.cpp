@@ -1,0 +1,313 @@
+#include "model/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/assembler.hpp"
+#include "support/error.hpp"
+
+namespace rafda::model {
+namespace {
+
+ClassPool pool_of(const char* src) {
+    ClassPool pool;
+    assemble_into(pool, src);
+    return pool;
+}
+
+bool has_problem(const ClassPool& pool, const std::string& needle) {
+    for (const std::string& p : verify_pool_collect(pool))
+        if (p.find(needle) != std::string::npos) return true;
+    return false;
+}
+
+TEST(Verifier, AcceptsWellFormedPool) {
+    ClassPool pool = pool_of(R"(
+interface Greeter {
+  method greet ()S
+}
+class Hello implements Greeter {
+  field who S
+  ctor (S)V {
+    load 0
+    load 1
+    putfield Hello.who S
+    return
+  }
+  method greet ()S {
+    const "hi "
+    load 0
+    getfield Hello.who S
+    concat
+    returnvalue
+  }
+}
+)");
+    EXPECT_NO_THROW(verify_pool(pool));
+    EXPECT_TRUE(verify_pool_collect(pool).empty());
+}
+
+TEST(Verifier, UnknownSuperclass) {
+    ClassPool pool = pool_of("class A extends Ghost {\n}\n");
+    EXPECT_TRUE(has_problem(pool, "unknown superclass"));
+    EXPECT_THROW(verify_pool(pool), VerifyError);
+}
+
+TEST(Verifier, SuperclassMustBeClass) {
+    ClassPool pool = pool_of("interface I {\n}\nclass A extends I {\n}\n");
+    EXPECT_TRUE(has_problem(pool, "is an interface"));
+}
+
+TEST(Verifier, ImplementsMustBeInterface) {
+    ClassPool pool = pool_of("class B {\n}\nclass A implements B {\n}\n");
+    EXPECT_TRUE(has_problem(pool, "implements non-interface"));
+}
+
+TEST(Verifier, InheritanceCycle) {
+    ClassPool pool = pool_of("class A extends B {\n}\nclass B extends A {\n}\n");
+    EXPECT_TRUE(has_problem(pool, "cycle"));
+}
+
+TEST(Verifier, InterfaceConstraints) {
+    ClassPool pool;
+    ClassFile iface;
+    iface.name = "I";
+    iface.is_interface = true;
+    iface.fields.push_back(Field{"x", TypeDesc::int_(), Visibility::Public, false, false});
+    Method m;
+    m.name = "f";
+    m.sig = MethodSig({}, TypeDesc::void_());
+    m.is_abstract = false;  // concrete method in interface: invalid
+    m.code.instrs.push_back(ins::ret());
+    m.code.max_locals = 1;
+    iface.methods.push_back(std::move(m));
+    pool.add(std::move(iface));
+    EXPECT_TRUE(has_problem(pool, "interfaces cannot declare fields"));
+    EXPECT_TRUE(has_problem(pool, "must be abstract"));
+}
+
+TEST(Verifier, UnknownFieldType) {
+    ClassPool pool = pool_of("class A {\n field g LGhost;\n}\n");
+    EXPECT_TRUE(has_problem(pool, "unknown class Ghost"));
+}
+
+TEST(Verifier, DuplicateMembers) {
+    ClassPool pool;
+    ClassFile cf;
+    cf.name = "D";
+    cf.fields.push_back(Field{"x", TypeDesc::int_(), Visibility::Public, false, false});
+    cf.fields.push_back(Field{"x", TypeDesc::long_(), Visibility::Public, false, false});
+    pool.add(std::move(cf));
+    EXPECT_TRUE(has_problem(pool, "duplicate field"));
+}
+
+TEST(Verifier, FallOffEnd) {
+    ClassPool pool = pool_of("class A {\n method f ()V {\n const 1\n pop\n }\n}\n");
+    EXPECT_TRUE(has_problem(pool, "fall off the end"));
+}
+
+TEST(Verifier, BranchOutOfRangeViaRawClassFile) {
+    ClassPool pool;
+    ClassFile cf;
+    cf.name = "B";
+    Method m;
+    m.name = "f";
+    m.sig = MethodSig({}, TypeDesc::void_());
+    m.code.instrs.push_back(ins::go(99));
+    m.code.max_locals = 1;
+    cf.methods.push_back(std::move(m));
+    pool.add(std::move(cf));
+    EXPECT_TRUE(has_problem(pool, "branch target out of range"));
+}
+
+TEST(Verifier, SlotOutOfRange) {
+    ClassPool pool;
+    ClassFile cf;
+    cf.name = "B";
+    Method m;
+    m.name = "f";
+    m.sig = MethodSig({}, TypeDesc::void_());
+    m.code.instrs.push_back(ins::load(7));
+    m.code.instrs.push_back(ins::pop());
+    m.code.instrs.push_back(ins::ret());
+    m.code.max_locals = 1;  // slot 7 is out of range
+    cf.methods.push_back(std::move(m));
+    pool.add(std::move(cf));
+    EXPECT_TRUE(has_problem(pool, "slot out of range"));
+}
+
+TEST(Verifier, UnresolvedFieldAndMethod) {
+    ClassPool pool = pool_of(R"(
+class A {
+  method f ()V {
+    load 0
+    getfield A.nothing I
+    pop
+    load 0
+    invokevirtual A.missing ()V
+    return
+  }
+}
+)");
+    EXPECT_TRUE(has_problem(pool, "no field nothing"));
+    EXPECT_TRUE(has_problem(pool, "no method missing"));
+}
+
+TEST(Verifier, FieldDescriptorMismatch) {
+    ClassPool pool = pool_of(R"(
+class A {
+  field x I
+  method f ()J {
+    load 0
+    getfield A.x J
+    returnvalue
+  }
+}
+)");
+    EXPECT_TRUE(has_problem(pool, "descriptor mismatch"));
+}
+
+TEST(Verifier, StaticInstanceMismatch) {
+    ClassPool pool = pool_of(R"(
+class A {
+  static field s I
+  method f ()I {
+    load 0
+    getfield A.s I
+    returnvalue
+  }
+}
+)");
+    EXPECT_TRUE(has_problem(pool, "instance field op on static field"));
+}
+
+TEST(Verifier, NewOfInterfaceOrAbstract) {
+    ClassPool pool = pool_of(R"(
+interface I {
+  method f ()V
+}
+class Abs {
+  abstract method g ()V
+}
+class User {
+  static method mk ()V {
+    new I
+    pop
+    new Abs
+    pop
+    return
+  }
+}
+)");
+    EXPECT_TRUE(has_problem(pool, "new of interface"));
+    EXPECT_TRUE(has_problem(pool, "new of abstract class"));
+}
+
+TEST(Verifier, NewOfConcreteSubclassOfAbstractOk) {
+    ClassPool pool = pool_of(R"(
+class Abs {
+  abstract method g ()V
+}
+class Conc extends Abs {
+  method g ()V {
+    return
+  }
+  static method mk ()V {
+    new Conc
+    pop
+    return
+  }
+}
+)");
+    EXPECT_TRUE(verify_pool_collect(pool).empty());
+}
+
+TEST(Verifier, InvokeInterfaceKindChecks) {
+    ClassPool pool = pool_of(R"(
+interface I {
+  method f ()V
+}
+class C implements I {
+  method f ()V {
+    return
+  }
+  method g (LI;LC;)V {
+    load 1
+    invokevirtual I.f ()V
+    load 2
+    invokeinterface C.f ()V
+    return
+  }
+}
+)");
+    EXPECT_TRUE(has_problem(pool, "invokevirtual on interface"));
+    EXPECT_TRUE(has_problem(pool, "invokeinterface on non-interface"));
+}
+
+TEST(Verifier, StackUnderflow) {
+    ClassPool pool = pool_of("class A {\n method f ()V {\n pop\n return\n }\n}\n");
+    EXPECT_TRUE(has_problem(pool, "stack underflow"));
+}
+
+TEST(Verifier, InconsistentStackDepthAcrossPaths) {
+    ClassPool pool;
+    ClassFile cf;
+    cf.name = "B";
+    Method m;
+    m.name = "f";
+    m.sig = MethodSig({TypeDesc::bool_()}, TypeDesc::void_());
+    // if (b) push 1; join point sees depth 0 on one path, 1 on the other.
+    m.code.instrs.push_back(ins::load(0));     // 0
+    m.code.instrs.push_back(ins::if_true(3));  // 1
+    m.code.instrs.push_back(ins::ret());       // 2 (depth 0 path ends)
+    m.code.instrs.push_back(ins::const_int(1));// 3
+    m.code.instrs.push_back(ins::go(2));       // 4 -> pc 2 again at depth 1
+    m.code.max_locals = 1;
+    cf.methods.push_back(std::move(m));
+    pool.add(std::move(cf));
+    EXPECT_TRUE(has_problem(pool, "inconsistent stack depth"));
+}
+
+TEST(Verifier, HandlerEntersWithDepthOne) {
+    ClassPool pool = pool_of(R"(
+special class Thr {
+}
+class A {
+  method f ()I {
+  S:
+    const 1
+    pop
+  E:
+    const 0
+    returnvalue
+  H:
+    pop
+    const 1
+    returnvalue
+    catch Thr from S to E using H
+  }
+}
+)");
+    EXPECT_TRUE(verify_pool_collect(pool).empty()) << verify_pool_collect(pool).front();
+}
+
+TEST(Verifier, InvokeStackEffectCountsArgs) {
+    ClassPool pool = pool_of(R"(
+class A {
+  static method two (II)I {
+    load 0
+    load 1
+    add
+    returnvalue
+  }
+  static method caller ()I {
+    const 1
+    invokestatic A.two (II)I
+    returnvalue
+  }
+}
+)");
+    EXPECT_TRUE(has_problem(pool, "stack underflow"));
+}
+
+}  // namespace
+}  // namespace rafda::model

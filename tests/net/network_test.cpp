@@ -1,0 +1,87 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rafda::net {
+namespace {
+
+TEST(SimNetwork, LatencyAndBandwidthShapeDelay) {
+    SimNetwork net;
+    LinkParams fast{100, 1000.0, 0.0};  // 100us + size/1000
+    net.set_default_link(fast);
+    auto d = net.transfer(0, 1, 5000);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(*d, 105u);
+    EXPECT_EQ(net.now_us(), 105u);
+}
+
+TEST(SimNetwork, ZeroBandwidthMeansLatencyOnly) {
+    SimNetwork net;
+    net.set_default_link(LinkParams{250, 0.0, 0.0});
+    EXPECT_EQ(*net.transfer(0, 1, 1 << 20), 250u);
+}
+
+TEST(SimNetwork, PerLinkOverrides) {
+    SimNetwork net;
+    net.set_default_link(LinkParams{100, 0.0, 0.0});
+    net.set_link(0, 1, LinkParams{5, 0.0, 0.0});
+    EXPECT_EQ(*net.transfer(0, 1, 10), 5u);
+    EXPECT_EQ(*net.transfer(1, 0, 10), 100u);  // override is directional
+    EXPECT_EQ(*net.transfer(0, 2, 10), 100u);
+}
+
+TEST(SimNetwork, ClockAccumulates) {
+    SimNetwork net;
+    net.set_default_link(LinkParams{10, 0.0, 0.0});
+    net.transfer(0, 1, 1);
+    net.transfer(1, 0, 1);
+    net.charge_compute(7);
+    EXPECT_EQ(net.now_us(), 27u);
+}
+
+TEST(SimNetwork, StatsPerLink) {
+    SimNetwork net;
+    net.set_default_link(LinkParams{1, 0.0, 0.0});
+    net.transfer(0, 1, 100);
+    net.transfer(0, 1, 50);
+    net.transfer(1, 0, 10);
+    EXPECT_EQ(net.stats(0, 1).messages, 2u);
+    EXPECT_EQ(net.stats(0, 1).bytes, 150u);
+    EXPECT_EQ(net.stats(1, 0).messages, 1u);
+    LinkStats total = net.total_stats();
+    EXPECT_EQ(total.messages, 3u);
+    EXPECT_EQ(total.bytes, 160u);
+    net.reset_stats();
+    EXPECT_EQ(net.total_stats().messages, 0u);
+}
+
+TEST(SimNetwork, DropInjectionIsDeterministic) {
+    auto run = [](std::uint64_t seed) {
+        SimNetwork net(seed);
+        net.set_default_link(LinkParams{1, 0.0, 0.5});
+        std::vector<bool> outcomes;
+        for (int i = 0; i < 64; ++i) outcomes.push_back(net.transfer(0, 1, 1).has_value());
+        return outcomes;
+    };
+    EXPECT_EQ(run(7), run(7));
+    EXPECT_NE(run(7), run(8));
+}
+
+TEST(SimNetwork, DropRateApproximatesProbability) {
+    SimNetwork net(123);
+    net.set_default_link(LinkParams{1, 0.0, 0.25});
+    int delivered = 0;
+    for (int i = 0; i < 4000; ++i)
+        if (net.transfer(0, 1, 1)) ++delivered;
+    EXPECT_NEAR(delivered / 4000.0, 0.75, 0.03);
+    EXPECT_GT(net.stats(0, 1).drops, 0u);
+}
+
+TEST(SimNetwork, NoDropsAtZeroProbability) {
+    SimNetwork net;
+    net.set_default_link(LinkParams{1, 0.0, 0.0});
+    for (int i = 0; i < 1000; ++i) EXPECT_TRUE(net.transfer(0, 1, 1).has_value());
+}
+
+}  // namespace
+}  // namespace rafda::net

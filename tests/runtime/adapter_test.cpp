@@ -1,0 +1,144 @@
+#include "runtime/adapter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/assembler.hpp"
+#include "model/verifier.hpp"
+#include "vm/prelude.hpp"
+
+namespace rafda::runtime {
+namespace {
+
+using vm::Value;
+
+constexpr const char* kApp = R"(
+class Chatty {
+  field peer LChatty;
+  field n I
+  ctor ()V {
+    return
+  }
+  method setPeer (LChatty;)V {
+    load 0
+    load 1
+    putfield Chatty.peer LChatty;
+    return
+  }
+  method ping ()I {
+    load 0
+    load 0
+    getfield Chatty.n I
+    const 1
+    add
+    putfield Chatty.n I
+    load 0
+    getfield Chatty.n I
+    returnvalue
+  }
+  method chat ()I {
+    locals 2
+    const 0
+    store 1
+  Top:
+    load 1
+    const 4
+    cmpge
+    iftrue Done
+    load 0
+    getfield Chatty.peer LChatty;
+    invokevirtual Chatty.ping ()I
+    pop
+    load 1
+    const 1
+    add
+    store 1
+    goto Top
+  Done:
+    load 0
+    getfield Chatty.peer LChatty;
+    invokevirtual Chatty.ping ()I
+    returnvalue
+  }
+}
+)";
+
+struct AdapterFixture : ::testing::Test {
+    model::ClassPool original;
+    std::unique_ptr<System> system;
+    Value worker, peer;
+
+    void SetUp() override {
+        vm::install_prelude(original);
+        model::assemble_into(original, kApp);
+        model::verify_pool(original);
+        system = std::make_unique<System>(original);
+        system->add_node();
+        system->add_node();
+        worker = system->construct(0, "Chatty", "()V");
+        peer = system->construct(0, "Chatty", "()V");
+        system->node(0).interp().call_virtual(worker, "setPeer", "(LChatty_O_Int;)V",
+                                              {peer});
+    }
+
+    std::uint64_t run_phase() {
+        std::uint64_t t0 = system->network().now_us();
+        for (int k = 0; k < 5; ++k)
+            system->node(0).interp().call_virtual(worker, "chat", "()I");
+        return system->network().now_us() - t0;
+    }
+};
+
+TEST_F(AdapterFixture, NoMoveWhileCostsAreStable) {
+    GreedyAdapter adapter(*system, 0, worker.as_ref(), "RMI");
+    adapter.set_affinity(0);
+    EXPECT_FALSE(adapter.report_phase_cost(run_phase()));
+    EXPECT_FALSE(adapter.report_phase_cost(run_phase()));
+    EXPECT_EQ(adapter.migrations(), 0u);
+    EXPECT_EQ(adapter.current_node(), 0);
+}
+
+TEST_F(AdapterFixture, MovesTowardsAffinityOnRegression) {
+    GreedyAdapter adapter(*system, 0, worker.as_ref(), "RMI");
+    std::uint64_t cheap = run_phase();
+    adapter.report_phase_cost(cheap);  // first report: baseline, never moves
+
+    // Environment change: the peer moves to node 1, making phases costly.
+    system->migrate_instance(0, peer.as_ref(), 1, "RMI");
+    adapter.set_affinity(1);
+    std::uint64_t costly = run_phase();
+    ASSERT_GT(costly, cheap);
+    EXPECT_TRUE(adapter.report_phase_cost(costly));
+    EXPECT_EQ(adapter.current_node(), 1);
+    EXPECT_EQ(adapter.migrations(), 1u);
+
+    // With the worker co-located, phases get cheap again (driver pays one
+    // hop per chat; the chat's pings are local on node 1).
+    std::uint64_t after = run_phase();
+    EXPECT_LT(after, costly);
+    EXPECT_FALSE(adapter.report_phase_cost(after));
+}
+
+TEST_F(AdapterFixture, DoesNotMoveWhenAlreadyAtAffinity) {
+    GreedyAdapter adapter(*system, 0, worker.as_ref(), "RMI");
+    adapter.set_affinity(0);
+    adapter.report_phase_cost(10);
+    EXPECT_FALSE(adapter.report_phase_cost(100));  // regressed, but at home
+    EXPECT_EQ(adapter.migrations(), 0u);
+}
+
+TEST_F(AdapterFixture, TracksOidAcrossMultipleMoves) {
+    GreedyAdapter adapter(*system, 0, worker.as_ref(), "RMI");
+    adapter.report_phase_cost(1);
+    adapter.set_affinity(1);
+    EXPECT_TRUE(adapter.report_phase_cost(2));
+    adapter.set_affinity(0);
+    EXPECT_TRUE(adapter.report_phase_cost(3));
+    EXPECT_EQ(adapter.current_node(), 0);
+    EXPECT_EQ(adapter.migrations(), 2u);
+    // The tracked oid is the live local object on node 0.
+    EXPECT_EQ(system->node(0).interp().class_of(adapter.current_oid()).name,
+              "Chatty_O_Local");
+}
+
+}  // namespace
+}  // namespace rafda::runtime

@@ -1,0 +1,123 @@
+// Proxy forwarding chains: created by repeated migration, observable in
+// cost, and collapsible with System::shorten_chain.
+#include <gtest/gtest.h>
+
+#include "model/assembler.hpp"
+#include "model/verifier.hpp"
+#include "runtime/system.hpp"
+#include "vm/prelude.hpp"
+
+namespace rafda::runtime {
+namespace {
+
+using vm::Value;
+
+constexpr const char* kApp = R"(
+class C {
+  field state I
+  ctor ()V {
+    return
+  }
+  method poke ()I {
+    load 0
+    load 0
+    getfield C.state I
+    const 1
+    add
+    putfield C.state I
+    load 0
+    getfield C.state I
+    returnvalue
+  }
+}
+)";
+
+struct ChainFixture : ::testing::Test {
+    model::ClassPool original;
+    std::unique_ptr<System> system;
+    Value c;
+
+    void SetUp() override {
+        vm::install_prelude(original);
+        model::assemble_into(original, kApp);
+        model::verify_pool(original);
+        system = std::make_unique<System>(original);
+        system->add_node();
+        system->add_node();
+        system->add_node();
+        c = system->construct(0, "C", "()V");
+    }
+
+    /// Bounce the object around to build a chain: 0 -> 1 -> 2.
+    vm::ObjId build_chain() {
+        vm::ObjId on1 = system->migrate_instance(0, c.as_ref(), 1, "RMI");
+        return system->migrate_instance(1, on1, 2, "RMI");
+    }
+};
+
+TEST_F(ChainFixture, ResolveTerminalFollowsChain) {
+    vm::ObjId on2 = build_chain();
+    auto [node, oid] = system->resolve_terminal(0, c.as_ref());
+    EXPECT_EQ(node, 2);
+    EXPECT_EQ(oid, on2);
+    // Terminal of a local object is itself.
+    auto [n2, o2] = system->resolve_terminal(2, on2);
+    EXPECT_EQ(n2, 2);
+    EXPECT_EQ(o2, on2);
+}
+
+TEST_F(ChainFixture, ChainedCallsCostMoreThanDirect) {
+    build_chain();
+    vm::Interpreter& n0 = system->node(0).interp();
+
+    std::uint64_t t0 = system->network().now_us();
+    n0.call_virtual(c, "poke", "()I");
+    std::uint64_t chained = system->network().now_us() - t0;
+
+    int removed = system->shorten_chain(0, c.as_ref());
+    EXPECT_EQ(removed, 1);  // one intermediate proxy (on node 1) bypassed
+
+    t0 = system->network().now_us();
+    n0.call_virtual(c, "poke", "()I");
+    std::uint64_t direct = system->network().now_us() - t0;
+
+    EXPECT_GT(chained, direct);
+    EXPECT_NEAR(static_cast<double>(chained), 2.0 * static_cast<double>(direct),
+                static_cast<double>(direct) * 0.2);
+}
+
+TEST_F(ChainFixture, ShorteningPreservesBehaviour) {
+    vm::Interpreter& n0 = system->node(0).interp();
+    EXPECT_EQ(n0.call_virtual(c, "poke", "()I").as_int(), 1);
+    build_chain();
+    EXPECT_EQ(n0.call_virtual(c, "poke", "()I").as_int(), 2);
+    system->shorten_chain(0, c.as_ref());
+    EXPECT_EQ(n0.call_virtual(c, "poke", "()I").as_int(), 3);
+}
+
+TEST_F(ChainFixture, ShortenOnLocalObjectIsNoop) {
+    EXPECT_EQ(system->shorten_chain(0, c.as_ref()), 0);
+}
+
+TEST_F(ChainFixture, ShortenOnDirectProxyIsNoop) {
+    system->migrate_instance(0, c.as_ref(), 1, "RMI");
+    // The proxy already points at the terminal: nothing to collapse.
+    EXPECT_EQ(system->shorten_chain(0, c.as_ref()), 0);
+}
+
+TEST_F(ChainFixture, LongerChains) {
+    // 0 -> 1 -> 2 -> 0 -> 1: four migrations, the original slot chains
+    // through three intermediates.
+    vm::ObjId cur = system->migrate_instance(0, c.as_ref(), 1, "RMI");
+    cur = system->migrate_instance(1, cur, 2, "RMI");
+    cur = system->migrate_instance(2, cur, 0, "RMI");
+    cur = system->migrate_instance(0, cur, 1, "RMI");
+    auto [node, oid] = system->resolve_terminal(0, c.as_ref());
+    EXPECT_EQ(node, 1);
+    EXPECT_EQ(oid, cur);
+    EXPECT_EQ(system->shorten_chain(0, c.as_ref()), 3);
+    EXPECT_EQ(system->node(0).interp().call_virtual(c, "poke", "()I").as_int(), 1);
+}
+
+}  // namespace
+}  // namespace rafda::runtime

@@ -1,0 +1,91 @@
+#include "runtime/policy_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace rafda::runtime {
+namespace {
+
+TEST(PolicyConfig, ParsesFullExample) {
+    DistributionPolicy policy;
+    net::SimNetwork network;
+    apply_policy_config(R"(
+# deployment: two racks
+protocol default CORBA
+instance Inventory on 1 via SOAP
+instance Worker on 0
+singleton Registry on 1 via RMI
+
+link 0 -> 1 latency 250 bandwidth 125 drop 0.01
+link 1 -> 0 latency 250
+)",
+                        policy, &network);
+
+    EXPECT_EQ(policy.default_protocol(), "CORBA");
+    EXPECT_EQ(policy.instance_placement("Inventory", 0),
+              (Placement{1, "SOAP"}));
+    // 'via' omitted: the default protocol applies.
+    EXPECT_EQ(policy.instance_placement("Worker", 5), (Placement{0, "CORBA"}));
+    EXPECT_EQ(policy.singleton_placement("Registry", 0), (Placement{1, "RMI"}));
+    // Unmentioned classes keep the defaults.
+    EXPECT_EQ(policy.instance_placement("Other", 3), (Placement{3, "CORBA"}));
+    EXPECT_EQ(policy.singleton_placement("Other", 3), (Placement{0, "CORBA"}));
+
+    EXPECT_EQ(network.link(0, 1).latency_us, 250u);
+    EXPECT_DOUBLE_EQ(network.link(0, 1).drop_probability, 0.01);
+    EXPECT_DOUBLE_EQ(network.link(0, 1).bandwidth_bytes_per_us, 125.0);
+    EXPECT_EQ(network.link(1, 0).latency_us, 250u);
+}
+
+TEST(PolicyConfig, EmptyAndCommentOnlyInputIsFine) {
+    DistributionPolicy policy;
+    apply_policy_config("", policy);
+    apply_policy_config("\n# nothing here\n\n", policy);
+    EXPECT_EQ(policy.default_protocol(), "RMI");
+}
+
+TEST(PolicyConfig, RejectsUnknownProtocol) {
+    DistributionPolicy policy;
+    EXPECT_THROW(apply_policy_config("protocol default DCOM", policy), ParseError);
+    EXPECT_THROW(apply_policy_config("instance A on 0 via DCOM", policy), ParseError);
+}
+
+TEST(PolicyConfig, RejectsMalformedLines) {
+    DistributionPolicy policy;
+    EXPECT_THROW(apply_policy_config("instance A at 0", policy), ParseError);
+    EXPECT_THROW(apply_policy_config("instance A on minusone", policy), ParseError);
+    EXPECT_THROW(apply_policy_config("instance A on -1", policy), ParseError);
+    EXPECT_THROW(apply_policy_config("singleton", policy), ParseError);
+    EXPECT_THROW(apply_policy_config("teleport A on 0", policy), ParseError);
+    EXPECT_THROW(apply_policy_config("link 0 1 latency 5", policy), ParseError);
+    EXPECT_THROW(apply_policy_config("link 0 -> 1 latency 5 warp 9", policy), ParseError);
+}
+
+TEST(PolicyConfig, LinkWithoutNetworkIsAnError) {
+    DistributionPolicy policy;
+    EXPECT_THROW(apply_policy_config("link 0 -> 1 latency 5", policy), ParseError);
+}
+
+TEST(PolicyConfig, ErrorsCarryLineNumbers) {
+    DistributionPolicy policy;
+    try {
+        apply_policy_config("protocol default RMI\n\nbogus directive\n", policy);
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.line(), 3);
+    }
+}
+
+TEST(PolicyConfig, LaterLinesOverrideEarlier) {
+    DistributionPolicy policy;
+    apply_policy_config(R"(
+instance A on 1
+instance A on 2 via SOAP
+)",
+                        policy);
+    EXPECT_EQ(policy.instance_placement("A", 0), (Placement{2, "SOAP"}));
+}
+
+}  // namespace
+}  // namespace rafda::runtime

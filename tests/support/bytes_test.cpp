@@ -1,0 +1,111 @@
+#include "support/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace rafda {
+namespace {
+
+TEST(Bytes, RoundTripPrimitives) {
+    ByteWriter w;
+    w.u8(0xab);
+    w.u16(0xbeef);
+    w.u32(0xdeadbeef);
+    w.u64(0x0123456789abcdefULL);
+    w.i32(-42);
+    w.i64(-1234567890123LL);
+    w.f64(3.14159);
+    w.str("hello");
+
+    ByteReader r(w.data());
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u16(), 0xbeef);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+    EXPECT_EQ(r.i32(), -42);
+    EXPECT_EQ(r.i64(), -1234567890123LL);
+    EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+    EXPECT_EQ(r.str(), "hello");
+    EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, EmptyString) {
+    ByteWriter w;
+    w.str("");
+    ByteReader r(w.data());
+    EXPECT_EQ(r.str(), "");
+    EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, StringWithEmbeddedNulAndUnicode) {
+    std::string s("a\0b\xc3\xa9", 5);
+    ByteWriter w;
+    w.str(s);
+    ByteReader r(w.data());
+    EXPECT_EQ(r.str(), s);
+}
+
+TEST(Bytes, TruncatedReadThrows) {
+    ByteWriter w;
+    w.u16(7);
+    ByteReader r(w.data());
+    EXPECT_EQ(r.u8(), 7);
+    EXPECT_EQ(r.u8(), 0);
+    EXPECT_THROW(r.u8(), CodecError);
+}
+
+TEST(Bytes, TruncatedStringThrows) {
+    ByteWriter w;
+    w.u32(100);  // claims 100 bytes follow
+    w.u8('x');
+    ByteReader r(w.data());
+    EXPECT_THROW(r.str(), CodecError);
+}
+
+TEST(Bytes, NegativeExtremes) {
+    ByteWriter w;
+    w.i32(std::numeric_limits<std::int32_t>::min());
+    w.i64(std::numeric_limits<std::int64_t>::min());
+    w.f64(-std::numeric_limits<double>::infinity());
+    ByteReader r(w.data());
+    EXPECT_EQ(r.i32(), std::numeric_limits<std::int32_t>::min());
+    EXPECT_EQ(r.i64(), std::numeric_limits<std::int64_t>::min());
+    EXPECT_EQ(r.f64(), -std::numeric_limits<double>::infinity());
+}
+
+TEST(Bytes, RemainingTracksPosition) {
+    ByteWriter w;
+    w.u32(1);
+    w.u32(2);
+    ByteReader r(w.data());
+    EXPECT_EQ(r.remaining(), 8u);
+    r.u32();
+    EXPECT_EQ(r.remaining(), 4u);
+    r.u32();
+    EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, RawAppends) {
+    ByteWriter inner;
+    inner.u32(99);
+    ByteWriter outer;
+    outer.u8(1);
+    outer.raw(inner.data());
+    ByteReader r(outer.data());
+    EXPECT_EQ(r.u8(), 1);
+    EXPECT_EQ(r.u32(), 99u);
+}
+
+TEST(Bytes, TakeMovesBuffer) {
+    ByteWriter w;
+    w.str("abc");
+    Bytes b = w.take();
+    EXPECT_EQ(b.size(), 7u);  // 4-byte length + 3 bytes
+    EXPECT_EQ(w.size(), 0u);
+}
+
+}  // namespace
+}  // namespace rafda

@@ -1,0 +1,78 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rafda {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next()) ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowStaysInRange) {
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+    Rng r(7);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        std::int64_t v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);  // all 7 values hit in 1000 draws
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng r(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+    Rng r(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+    Rng r(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        if (r.chance(0.3)) ++hits;
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+    Rng a(5);
+    Rng b = a.fork();
+    // The fork must not replay the parent's sequence.
+    Rng a2(5);
+    a2.next();  // fork consumed one draw
+    EXPECT_NE(b.next(), a2.next());
+}
+
+}  // namespace
+}  // namespace rafda

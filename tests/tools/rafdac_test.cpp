@@ -1,0 +1,107 @@
+// End-to-end tests of the rafdac CLI binary (path injected by CMake).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace {
+
+struct RunResult {
+    int status = -1;
+    std::string output;  // stdout only
+};
+
+RunResult run_cli(const std::string& args) {
+    std::string cmd = std::string(RAFDAC_PATH) + " " + args + " 2>/dev/null";
+    std::array<char, 512> buf{};
+    RunResult result;
+    FILE* pipe = popen(cmd.c_str(), "r");
+    if (!pipe) return result;
+    while (fgets(buf.data(), buf.size(), pipe)) result.output += buf.data();
+    int rc = pclose(pipe);
+    result.status = WEXITSTATUS(rc);
+    return result;
+}
+
+class RafdacCli : public ::testing::Test {
+protected:
+    std::string dir_;
+
+    void SetUp() override {
+        dir_ = ::testing::TempDir();
+        std::ofstream app(dir_ + "app.rir");
+        app << R"(
+class Greeter {
+  field who S
+  ctor (S)V {
+    load 0
+    load 1
+    putfield Greeter.who S
+    return
+  }
+  method greet ()S {
+    const "hello, "
+    load 0
+    getfield Greeter.who S
+    concat
+    returnvalue
+  }
+}
+class Main {
+  static method main ()V {
+    new Greeter
+    dup
+    const "cli"
+    invokespecial Greeter.<init> (S)V
+    invokevirtual Greeter.greet ()S
+    invokestatic Sys.println (S)V
+    return
+  }
+}
+)";
+        std::ofstream cfg(dir_ + "policy.cfg");
+        cfg << "protocol default SOAP\ninstance Greeter on 1 via SOAP\n";
+    }
+};
+
+TEST_F(RafdacCli, Analyze) {
+    RunResult r = run_cli("analyze " + dir_ + "app.rir");
+    EXPECT_EQ(r.status, 0);
+    EXPECT_NE(r.output.find("transformable:      2"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("Sys: native-method"), std::string::npos);
+    EXPECT_NE(r.output.find("Throwable: special-class"), std::string::npos);
+}
+
+TEST_F(RafdacCli, RunLocal) {
+    RunResult r = run_cli("run " + dir_ + "app.rir Main");
+    EXPECT_EQ(r.status, 0);
+    EXPECT_EQ(r.output, "hello, cli\n");
+}
+
+TEST_F(RafdacCli, TransformThenPrintArtefact) {
+    RunResult t = run_cli("transform " + dir_ + "app.rir " + dir_ + "app.rirb");
+    EXPECT_EQ(t.status, 0);
+    EXPECT_NE(t.output.find("substituted 2"), std::string::npos) << t.output;
+
+    RunResult p = run_cli("print " + dir_ + "app.rirb");
+    EXPECT_EQ(p.status, 0);
+    EXPECT_NE(p.output.find("interface Greeter_O_Int"), std::string::npos);
+    EXPECT_NE(p.output.find("class Greeter_O_Factory"), std::string::npos);
+}
+
+TEST_F(RafdacCli, DeployDistributed) {
+    RunResult r = run_cli("deploy " + dir_ + "app.rir " + dir_ + "policy.cfg Main 2");
+    EXPECT_EQ(r.status, 0);
+    EXPECT_EQ(r.output, "hello, cli\n");  // identical application output
+}
+
+TEST_F(RafdacCli, UsageAndErrors) {
+    EXPECT_EQ(run_cli("").status, 1);
+    EXPECT_EQ(run_cli("frobnicate x").status, 1);
+    EXPECT_EQ(run_cli("analyze /nonexistent/x.rir").status, 2);
+    EXPECT_EQ(run_cli("run " + dir_ + "app.rirb Main").status, 2);  // needs .rir
+}
+
+}  // namespace

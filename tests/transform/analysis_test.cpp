@@ -1,0 +1,236 @@
+#include "transform/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/assembler.hpp"
+#include "vm/prelude.hpp"
+
+namespace rafda::transform {
+namespace {
+
+model::ClassPool pool_of(const char* src) {
+    model::ClassPool pool;
+    model::assemble_into(pool, src);
+    return pool;
+}
+
+TEST(Analysis, PlainClassesAreTransformable) {
+    model::ClassPool pool = pool_of(R"(
+class A {
+  field x I
+}
+class B extends A {
+}
+)");
+    Analysis a = analyze(pool);
+    EXPECT_TRUE(a.transformable("A"));
+    EXPECT_TRUE(a.transformable("B"));
+    EXPECT_EQ(a.non_transformable_count(), 0u);
+    EXPECT_DOUBLE_EQ(a.non_transformable_fraction(), 0.0);
+}
+
+TEST(Analysis, Rule1NativeMethod) {
+    model::ClassPool pool = pool_of(R"(
+class N {
+  native method f ()V
+}
+)");
+    Analysis a = analyze(pool);
+    EXPECT_FALSE(a.transformable("N"));
+    EXPECT_EQ(a.status_of("N").reason, Reason::NativeMethod);
+}
+
+TEST(Analysis, Rule2SpecialClassAndInheritors) {
+    model::ClassPool pool = pool_of(R"(
+special class Thr {
+}
+class MyError extends Thr {
+}
+class DeepError extends MyError {
+}
+class Fine {
+}
+)");
+    Analysis a = analyze(pool);
+    EXPECT_EQ(a.status_of("Thr").reason, Reason::SpecialClass);
+    EXPECT_EQ(a.status_of("MyError").reason, Reason::SpecialClass);
+    EXPECT_EQ(a.status_of("DeepError").reason, Reason::SpecialClass);
+    EXPECT_TRUE(a.transformable("Fine"));
+}
+
+TEST(Analysis, Rule3SuperOfNonTransformable) {
+    model::ClassPool pool = pool_of(R"(
+class Base {
+}
+class Mid extends Base {
+}
+class Native extends Mid {
+  native method f ()V
+}
+)");
+    Analysis a = analyze(pool);
+    EXPECT_FALSE(a.transformable("Native"));
+    EXPECT_FALSE(a.transformable("Mid"));
+    EXPECT_FALSE(a.transformable("Base"));  // propagates up the chain
+    EXPECT_EQ(a.status_of("Mid").reason, Reason::SuperOfNonTransformable);
+    EXPECT_EQ(a.status_of("Mid").blamed_on, "Native");
+}
+
+TEST(Analysis, Rule4ReferencedByNonTransformable) {
+    model::ClassPool pool = pool_of(R"(
+class Victim {
+}
+class AlsoVictim {
+}
+class Native {
+  field v LVictim;
+  native method f ()V
+  method g (LAlsoVictim;)V {
+    return
+  }
+}
+class Unrelated {
+}
+)");
+    Analysis a = analyze(pool);
+    EXPECT_FALSE(a.transformable("Victim"));
+    EXPECT_EQ(a.status_of("Victim").reason, Reason::ReferencedByNonTransformable);
+    EXPECT_FALSE(a.transformable("AlsoVictim"));
+    EXPECT_TRUE(a.transformable("Unrelated"));
+}
+
+TEST(Analysis, Rule4PropagatesTransitively) {
+    // Native -> refs A; A is NT; A refs B => B NT too (B is referenced by a
+    // non-transformable class).
+    model::ClassPool pool = pool_of(R"(
+class B {
+}
+class A {
+  field b LB;
+}
+class Native {
+  field a LA;
+  native method f ()V
+}
+)");
+    Analysis a = analyze(pool);
+    EXPECT_FALSE(a.transformable("A"));
+    EXPECT_FALSE(a.transformable("B"));
+}
+
+TEST(Analysis, ReferenceFromTransformableDoesNotPropagate) {
+    // The propagation direction matters: a transformable class may freely
+    // reference a non-transformable one.
+    model::ClassPool pool = pool_of(R"(
+class Native {
+  native method f ()V
+}
+class User {
+  method g (LNative;)V {
+    return
+  }
+}
+)");
+    Analysis a = analyze(pool);
+    EXPECT_FALSE(a.transformable("Native"));
+    EXPECT_TRUE(a.transformable("User"));
+}
+
+TEST(Analysis, CodeOperandReferencesCount) {
+    model::ClassPool pool = pool_of(R"(
+class Helper {
+  static method h ()V {
+    return
+  }
+}
+class Native {
+  native method f ()V
+  method g ()V {
+    invokestatic Helper.h ()V
+    return
+  }
+}
+)");
+    Analysis a = analyze(pool);
+    EXPECT_FALSE(a.transformable("Helper"));
+}
+
+TEST(Analysis, PreludeIsNonTransformable) {
+    model::ClassPool pool;
+    vm::install_prelude(pool);
+    Analysis a = analyze(pool);
+    EXPECT_FALSE(a.transformable("Sys"));        // native methods
+    EXPECT_FALSE(a.transformable("Throwable"));  // special
+    EXPECT_EQ(a.status_of("Sys").reason, Reason::NativeMethod);
+    EXPECT_EQ(a.status_of("Throwable").reason, Reason::SpecialClass);
+}
+
+TEST(Analysis, InterfaceImplementedByNativeClassIsNonTransformable) {
+    model::ClassPool pool = pool_of(R"(
+interface Api {
+  method f ()V
+}
+class Impl implements Api {
+  native method sys ()V
+  method f ()V {
+    return
+  }
+}
+)");
+    Analysis a = analyze(pool);
+    // Impl references Api (implements edge) => rule 4.
+    EXPECT_FALSE(a.transformable("Api"));
+}
+
+TEST(Analysis, HistogramAndFraction) {
+    model::ClassPool pool = pool_of(R"(
+special class S {
+}
+class N {
+  native method f ()V
+}
+class V {
+}
+class Ref {
+  field v LV;
+  native method g ()V
+}
+class Ok {
+}
+class Ok2 {
+}
+)");
+    Analysis a = analyze(pool);
+    EXPECT_EQ(a.total(), 6u);
+    EXPECT_EQ(a.non_transformable_count(), 4u);  // S, N, Ref, V
+    EXPECT_NEAR(a.non_transformable_fraction(), 4.0 / 6.0, 1e-12);
+    auto hist = a.reason_histogram();
+    EXPECT_EQ(hist[Reason::NativeMethod], 2u);
+    EXPECT_EQ(hist[Reason::SpecialClass], 1u);
+    EXPECT_EQ(hist[Reason::ReferencedByNonTransformable], 1u);
+    EXPECT_EQ(a.transformable_classes(), (std::vector<std::string>{"Ok", "Ok2"}));
+}
+
+TEST(Analysis, ThrowableReferencesDoNotBlockThrower) {
+    // A class that throws (references Throwable) stays transformable: the
+    // reference direction is from the transformable class to the special
+    // one, which is allowed.
+    model::ClassPool pool;
+    vm::install_prelude(pool);
+    model::assemble_into(pool, R"(
+class Thrower {
+  static method f ()V {
+    new Throwable
+    dup
+    const "x"
+    invokespecial Throwable.<init> (S)V
+    throw
+  }
+}
+)");
+    Analysis a = analyze(pool);
+    EXPECT_TRUE(a.transformable("Thrower"));
+}
+
+}  // namespace
+}  // namespace rafda::transform

@@ -1,0 +1,312 @@
+// E1 — golden reproduction of the paper's worked example.
+//
+// Figure 2 gives the sample application class X:
+//
+//   public class X {
+//     private Y y;
+//     public X(Y y) { this.y = y; }
+//     protected int m(long j) { return y.n(j); }
+//     static final Z z = new Z(Y.K);
+//     static int p(int i) { return z.q(i); }
+//   }
+//
+// Figures 3-5 show the generated X_O_Int / X_O_Local / proxies, the
+// X_C_Int / X_C_Local / proxies (with singleton declarations), and the
+// factories.  This test runs the pipeline on the Figure 2 input and checks
+// the generated artefacts have exactly the paper's structure, plus runs
+// the local version to show the transformed program behaves like the
+// original ("semantically equivalent", Sec 1).
+#include <gtest/gtest.h>
+
+#include "model/assembler.hpp"
+#include "model/printer.hpp"
+#include "model/verifier.hpp"
+#include "transform/local_binder.hpp"
+#include "transform/pipeline.hpp"
+#include "vm/interp.hpp"
+#include "vm/prelude.hpp"
+
+namespace rafda::transform {
+namespace {
+
+// Figure 2 in RIR.  Y and Z are minimal companions: Y.n and Z.q give the
+// methods the figure calls; Y.K is the static Y constant Figure 5 reads
+// via Y_C_Factory.discover().get_K().
+constexpr const char* kFigure2 = R"(
+class Y {
+  static field K LY;
+  field seed J
+  ctor (J)V {
+    load 0
+    load 1
+    putfield Y.seed J
+    return
+  }
+  method n (J)I {
+    load 0
+    getfield Y.seed J
+    load 1
+    add
+    conv I
+    returnvalue
+  }
+  clinit {
+    new Y
+    dup
+    const 100L
+    invokespecial Y.<init> (J)V
+    putstatic Y.K LY;
+    return
+  }
+}
+class Z {
+  field y LY;
+  ctor (LY;)V {
+    load 0
+    load 1
+    putfield Z.y LY;
+    return
+  }
+  method q (I)I {
+    load 0
+    getfield Z.y LY;
+    load 0
+    getfield Z.y LY;
+    getfield Y.seed J
+    invokevirtual Y.n (J)I
+    load 1
+    add
+    returnvalue
+  }
+}
+class X {
+  field private y LY;
+  static field final z LZ;
+  ctor (LY;)V {
+    load 0
+    load 1
+    putfield X.y LY;
+    return
+  }
+  protected method m (J)I {
+    load 0
+    getfield X.y LY;
+    load 1
+    invokevirtual Y.n (J)I
+    returnvalue
+  }
+  static method p (I)I {
+    getstatic X.z LZ;
+    load 0
+    invokevirtual Z.q (I)I
+    returnvalue
+  }
+  clinit {
+    new Z
+    dup
+    getstatic Y.K LY;
+    invokespecial Z.<init> (LY;)V
+    putstatic X.z LZ;
+    return
+  }
+}
+)";
+
+struct GoldenFixture : ::testing::Test {
+    model::ClassPool original;
+    PipelineResult result = make_result(original);
+
+    static PipelineResult make_result(model::ClassPool& original) {
+        vm::install_prelude(original);
+        model::assemble_into(original, kFigure2);
+        model::verify_pool(original);
+        return run_pipeline(original);
+    }
+
+    const model::ClassFile& cls(const char* name) { return result.pool.get(name); }
+
+    bool has_abstract(const model::ClassFile& cf, const char* name, const char* desc) {
+        const model::Method* m = cf.find_method(name, desc);
+        return m && m->is_abstract;
+    }
+};
+
+// ---- Figure 3: instance members transformation -------------------------
+
+TEST_F(GoldenFixture, Fig3_XOInt) {
+    const model::ClassFile& x_o_int = cls("X_O_Int");
+    EXPECT_TRUE(x_o_int.is_interface);
+    // Y_O_Int get_y(); void set_y(Y_O_Int y); int m(long j);
+    EXPECT_TRUE(has_abstract(x_o_int, "get_y", "()LY_O_Int;"));
+    EXPECT_TRUE(has_abstract(x_o_int, "set_y", "(LY_O_Int;)V"));
+    EXPECT_TRUE(has_abstract(x_o_int, "m", "(J)I"));
+    EXPECT_EQ(x_o_int.methods.size(), 3u);
+}
+
+TEST_F(GoldenFixture, Fig3_XOLocal) {
+    const model::ClassFile& local = cls("X_O_Local");
+    EXPECT_EQ(local.interfaces, (std::vector<std::string>{"X_O_Int"}));
+    // private Y_O_Int y;
+    const model::Field* y = local.find_field("y");
+    ASSERT_NE(y, nullptr);
+    EXPECT_EQ(y->type.descriptor(), "LY_O_Int;");
+    EXPECT_EQ(y->vis, model::Visibility::Private);
+    // public X_O_Local() { }
+    const model::Method* ctor = local.find_method("<init>", "()V");
+    ASSERT_NE(ctor, nullptr);
+    // public int m(long j) { return get_y().n(j); } — both interface calls.
+    const model::Method* m = local.find_method("m", "(J)I");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->vis, model::Visibility::Public);  // publicized from protected
+    std::vector<std::pair<std::string, std::string>> calls;
+    for (const model::Instruction& i : m->code.instrs)
+        if (i.op == model::Op::InvokeInterface) calls.push_back({i.owner, i.member});
+    ASSERT_EQ(calls.size(), 2u);
+    EXPECT_EQ(calls[0], (std::pair<std::string, std::string>{"X_O_Int", "get_y"}));
+    EXPECT_EQ(calls[1], (std::pair<std::string, std::string>{"Y_O_Int", "n"}));
+}
+
+TEST_F(GoldenFixture, Fig3_Proxies) {
+    for (const char* name : {"X_O_Proxy_SOAP", "X_O_Proxy_RMI"}) {
+        const model::ClassFile& proxy = cls(name);
+        EXPECT_EQ(proxy.interfaces, (std::vector<std::string>{"X_O_Int"}));
+        EXPECT_NE(proxy.find_method("<init>", "()V"), nullptr);
+        for (const char* m : {"get_y", "set_y", "m"}) {
+            bool native_found = false;
+            for (const model::Method& method : proxy.methods)
+                if (method.name == m && method.is_native) native_found = true;
+            EXPECT_TRUE(native_found) << name << "." << m;
+        }
+    }
+}
+
+// ---- Figure 4: static members transformation ---------------------------
+
+TEST_F(GoldenFixture, Fig4_XCInt) {
+    const model::ClassFile& x_c_int = cls("X_C_Int");
+    EXPECT_TRUE(x_c_int.is_interface);
+    // Z_O_Int get_z(); int p(int i);  (set_z also exists: fields become
+    // properties uniformly.)
+    EXPECT_TRUE(has_abstract(x_c_int, "get_z", "()LZ_O_Int;"));
+    EXPECT_TRUE(has_abstract(x_c_int, "p", "(I)I"));
+}
+
+TEST_F(GoldenFixture, Fig4_XCLocal_SingletonAndBody) {
+    const model::ClassFile& clocal = cls("X_C_Local");
+    // private static X_C_Int me; public static X_C_Int get_me();
+    const model::Field* me = clocal.find_field("me");
+    ASSERT_NE(me, nullptr);
+    EXPECT_TRUE(me->is_static);
+    EXPECT_EQ(me->type.descriptor(), "LX_C_Int;");
+    EXPECT_EQ(me->vis, model::Visibility::Private);
+    EXPECT_NE(clocal.find_method("get_me", "()LX_C_Int;"), nullptr);
+
+    // public int p(int i) { return get_z().q(i); }
+    const model::Method* p = clocal.find_method("p", "(I)I");
+    ASSERT_NE(p, nullptr);
+    EXPECT_FALSE(p->is_static);  // made non-static (Sec 2.2)
+    std::vector<std::pair<std::string, std::string>> calls;
+    for (const model::Instruction& i : p->code.instrs)
+        if (i.op == model::Op::InvokeInterface) calls.push_back({i.owner, i.member});
+    ASSERT_EQ(calls.size(), 2u);
+    EXPECT_EQ(calls[0], (std::pair<std::string, std::string>{"X_C_Int", "get_z"}));
+    EXPECT_EQ(calls[1], (std::pair<std::string, std::string>{"Z_O_Int", "q"}));
+}
+
+TEST_F(GoldenFixture, Fig4_CProxies) {
+    for (const char* name : {"X_C_Proxy_RMI", "X_C_Proxy_SOAP"}) {
+        const model::ClassFile& proxy = cls(name);
+        EXPECT_EQ(proxy.interfaces, (std::vector<std::string>{"X_C_Int"}));
+        bool get_z_native = false;
+        for (const model::Method& m : proxy.methods)
+            if (m.name == "get_z" && m.is_native) get_z_native = true;
+        EXPECT_TRUE(get_z_native) << name;
+    }
+}
+
+// ---- Figure 5: factories ------------------------------------------------
+
+TEST_F(GoldenFixture, Fig5_XOFactory) {
+    const model::ClassFile& fac = cls("X_O_Factory");
+    // public static X_O_Int make();
+    const model::Method* make = fac.find_method("make", "()LX_O_Int;");
+    ASSERT_NE(make, nullptr);
+    EXPECT_TRUE(make->is_static);
+    // public static void init(X_O_Int that, Y_O_Int y) { that.set_y(y); }
+    const model::Method* init = fac.find_method("init", "(LX_O_Int;LY_O_Int;)V");
+    ASSERT_NE(init, nullptr);
+    bool set_y = false;
+    for (const model::Instruction& i : init->code.instrs)
+        if (i.op == model::Op::InvokeInterface && i.owner == "X_O_Int" &&
+            i.member == "set_y")
+            set_y = true;
+    EXPECT_TRUE(set_y);
+}
+
+TEST_F(GoldenFixture, Fig5_XCFactory) {
+    const model::ClassFile& fac = cls("X_C_Factory");
+    EXPECT_NE(fac.find_method("discover", "()LX_C_Int;"), nullptr);
+    // clinit(that):
+    //   Z_O_Int t = Z_O_Factory.make();
+    //   Z_O_Factory.init(t, Y_C_Factory.discover().get_K());
+    //   that.set_z(t);
+    const model::Method* clinit = fac.find_method("clinit", "(LX_C_Int;)V");
+    ASSERT_NE(clinit, nullptr);
+    bool z_make = false, z_init = false, y_discover = false, get_k = false, set_z = false;
+    for (const model::Instruction& i : clinit->code.instrs) {
+        if (i.op == model::Op::InvokeStatic && i.owner == "Z_O_Factory") {
+            if (i.member == "make") z_make = true;
+            if (i.member == "init") z_init = true;
+        }
+        if (i.op == model::Op::InvokeStatic && i.owner == "Y_C_Factory" &&
+            i.member == "discover")
+            y_discover = true;
+        if (i.op == model::Op::InvokeInterface && i.owner == "Y_C_Int" &&
+            i.member == "get_K")
+            get_k = true;
+        if (i.op == model::Op::InvokeInterface && i.owner == "X_C_Int" &&
+            i.member == "set_z")
+            set_z = true;
+    }
+    EXPECT_TRUE(z_make);
+    EXPECT_TRUE(z_init);
+    EXPECT_TRUE(y_discover);
+    EXPECT_TRUE(get_k);
+    EXPECT_TRUE(set_z);
+}
+
+// ---- Behaviour: the local transformed version computes the same --------
+
+TEST_F(GoldenFixture, TransformedLocalVersionBehavesLikeOriginal) {
+    // Original.
+    vm::Interpreter orig(original);
+    vm::bind_prelude_natives(orig);
+    vm::Value y = orig.construct("Y", "(J)V", {vm::Value::of_long(7)});
+    vm::Value x = orig.construct("X", "(LY;)V", {y});
+    std::int32_t orig_m =
+        orig.call_virtual(x, "m", "(J)I", {vm::Value::of_long(5)}).as_int();
+    std::int32_t orig_p =
+        orig.call_static("X", "p", "(I)I", {vm::Value::of_int(3)}).as_int();
+
+    // Transformed, bound locally.
+    vm::Interpreter trans(result.pool);
+    vm::bind_prelude_natives(trans);
+    bind_local_factories(trans, result.report);
+    vm::Value ty = trans.call_static("Y_O_Factory", "make", "()LY_O_Int;");
+    trans.call_static("Y_O_Factory", "init", "(LY_O_Int;J)V", {ty, vm::Value::of_long(7)});
+    vm::Value tx = trans.call_static("X_O_Factory", "make", "()LX_O_Int;");
+    trans.call_static("X_O_Factory", "init", "(LX_O_Int;LY_O_Int;)V", {tx, ty});
+    std::int32_t trans_m =
+        trans.call_virtual(tx, "m", "(J)I", {vm::Value::of_long(5)}).as_int();
+    std::int32_t trans_p = call_transformed_static(trans, original, result.report, "X", "p",
+                                                   "(I)I", {vm::Value::of_int(3)})
+                               .as_int();
+
+    EXPECT_EQ(orig_m, trans_m);
+    EXPECT_EQ(orig_p, trans_p);
+    EXPECT_EQ(orig_m, 12);   // y.n(5) with seed 7
+    EXPECT_EQ(orig_p, 203);  // z.q(3) = K.n(K.seed=100) + 3 = 200 + 3
+}
+
+}  // namespace
+}  // namespace rafda::transform

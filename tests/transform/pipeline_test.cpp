@@ -1,0 +1,276 @@
+#include "transform/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/assembler.hpp"
+#include "model/verifier.hpp"
+#include "transform/naming.hpp"
+#include "vm/prelude.hpp"
+
+namespace rafda::transform {
+namespace {
+
+model::ClassPool pool_of(const char* src) {
+    model::ClassPool pool;
+    vm::install_prelude(pool);
+    model::assemble_into(pool, src);
+    model::verify_pool(pool);
+    return pool;
+}
+
+constexpr const char* kApp = R"(
+class Counter {
+  field n I
+  static field total I
+  ctor (I)V {
+    load 0
+    load 1
+    putfield Counter.n I
+    return
+  }
+  method bump ()I {
+    load 0
+    load 0
+    getfield Counter.n I
+    const 1
+    add
+    putfield Counter.n I
+    load 0
+    getfield Counter.n I
+    returnvalue
+  }
+  static method track ()I {
+    getstatic Counter.total I
+    const 1
+    add
+    dup
+    putstatic Counter.total I
+    returnvalue
+  }
+}
+)";
+
+TEST(Pipeline, OutputVerifies) {
+    model::ClassPool original = pool_of(kApp);
+    PipelineResult result = run_pipeline(original);
+    EXPECT_TRUE(model::verify_pool_collect(result.pool).empty());
+}
+
+TEST(Pipeline, EmitsFullFamily) {
+    model::ClassPool original = pool_of(kApp);
+    PipelineResult result = run_pipeline(original);
+    for (const char* name :
+         {"Counter_O_Int", "Counter_O_Local", "Counter_O_Proxy_RMI",
+          "Counter_O_Proxy_SOAP", "Counter_C_Int", "Counter_C_Local",
+          "Counter_C_Proxy_RMI", "Counter_C_Proxy_SOAP", "Counter_O_Factory",
+          "Counter_C_Factory"})
+        EXPECT_TRUE(result.pool.contains(name)) << name;
+    // The original class is replaced by its family.
+    EXPECT_FALSE(result.pool.contains("Counter"));
+    EXPECT_TRUE(result.report.substituted("Counter"));
+}
+
+TEST(Pipeline, NonTransformableKeptVerbatim) {
+    model::ClassPool original = pool_of(kApp);
+    PipelineResult result = run_pipeline(original);
+    EXPECT_TRUE(result.pool.contains("Sys"));
+    EXPECT_TRUE(result.pool.contains("Throwable"));
+    EXPECT_FALSE(result.pool.contains("Sys_O_Int"));
+    EXPECT_FALSE(result.report.substituted("Sys"));
+}
+
+TEST(Pipeline, CustomProtocols) {
+    model::ClassPool original = pool_of(kApp);
+    PipelineOptions options;
+    options.generator.protocols = {"CORBA"};
+    PipelineResult result = run_pipeline(original, options);
+    EXPECT_TRUE(result.pool.contains("Counter_O_Proxy_CORBA"));
+    EXPECT_FALSE(result.pool.contains("Counter_O_Proxy_RMI"));
+    EXPECT_EQ(result.report.protocols(), (std::vector<std::string>{"CORBA"}));
+}
+
+TEST(Pipeline, InterfaceSignaturesRewrittenInPlace) {
+    model::ClassPool original = pool_of(R"(
+interface Sink {
+  method accept (LItem;)V
+}
+class Item {
+  ctor ()V {
+    return
+  }
+}
+class Basket implements Sink {
+  ctor ()V {
+    return
+  }
+  method accept (LItem;)V {
+    return
+  }
+}
+)");
+    PipelineResult result = run_pipeline(original);
+    ASSERT_TRUE(result.pool.contains("Sink"));
+    const model::ClassFile& sink = result.pool.get("Sink");
+    EXPECT_TRUE(sink.is_interface);
+    ASSERT_EQ(sink.methods.size(), 1u);
+    EXPECT_EQ(sink.methods[0].descriptor(), "(LItem_O_Int;)V");
+    // Basket_O_Int extends Sink, so locals and proxies satisfy it.
+    const model::ClassFile& basket_int = result.pool.get("Basket_O_Int");
+    EXPECT_EQ(basket_int.interfaces, (std::vector<std::string>{"Sink"}));
+}
+
+TEST(Pipeline, InheritanceMapsToFamilyInheritance) {
+    model::ClassPool original = pool_of(R"(
+class Base {
+  field b I
+  ctor ()V {
+    return
+  }
+  method bm ()I {
+    load 0
+    getfield Base.b I
+    returnvalue
+  }
+}
+class Derived extends Base {
+  field d I
+  ctor ()V {
+    load 0
+    invokespecial Base.<init> ()V
+    return
+  }
+  method dm ()I {
+    load 0
+    getfield Derived.d I
+    returnvalue
+  }
+}
+)");
+    PipelineResult result = run_pipeline(original);
+    EXPECT_EQ(result.pool.get("Derived_O_Int").interfaces,
+              (std::vector<std::string>{"Base_O_Int"}));
+    EXPECT_EQ(result.pool.get("Derived_O_Local").super_name, "Base_O_Local");
+    // Derived's ctor chains to Base's init through the factory.
+    const model::Method* init =
+        result.pool.get("Derived_O_Factory").find_method("init", "(LDerived_O_Int;)V");
+    ASSERT_NE(init, nullptr);
+    bool found = false;
+    for (const model::Instruction& i : init->code.instrs)
+        if (i.op == model::Op::InvokeStatic && i.owner == "Base_O_Factory" &&
+            i.member == "init")
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(Pipeline, TransformableClassMayExtendNonTransformable) {
+    model::ClassPool original = pool_of(R"(
+class RawBase {
+  native method nat ()V
+  method rm ()I {
+    const 3
+    returnvalue
+  }
+}
+class Child extends RawBase {
+  ctor ()V {
+    return
+  }
+  method cm ()I {
+    const 4
+    returnvalue
+  }
+}
+)");
+    // RawBase is non-transformable (native); Child extends it but remains
+    // transformable, so Child_O_Local extends the raw RawBase.
+    PipelineResult result = run_pipeline(original);
+    EXPECT_TRUE(result.pool.contains("RawBase"));
+    EXPECT_EQ(result.pool.get("Child_O_Local").super_name, "RawBase");
+    EXPECT_TRUE(model::verify_pool_collect(result.pool).empty());
+}
+
+TEST(Pipeline, ProxiesDeclareAllInterfaceMethodsNative) {
+    model::ClassPool original = pool_of(R"(
+class Base {
+  field b I
+  ctor ()V {
+    return
+  }
+  method bm ()I {
+    const 0
+    returnvalue
+  }
+}
+class Derived extends Base {
+  ctor ()V {
+    load 0
+    invokespecial Base.<init> ()V
+    return
+  }
+  method dm ()I {
+    const 1
+    returnvalue
+  }
+}
+)");
+    PipelineResult result = run_pipeline(original);
+    const model::ClassFile& proxy = result.pool.get("Derived_O_Proxy_RMI");
+    // Inherited members must be present so the proxy satisfies the whole
+    // interface chain.
+    for (const char* name : {"dm", "bm", "get_b", "set_b"}) {
+        bool found = false;
+        for (const model::Method& m : proxy.methods)
+            if (m.name == name && m.is_native) found = true;
+        EXPECT_TRUE(found) << name;
+    }
+    // Routing fields are present.
+    EXPECT_NE(proxy.find_field(naming::kProxyNodeField), nullptr);
+    EXPECT_NE(proxy.find_field(naming::kProxyOidField), nullptr);
+}
+
+TEST(Pipeline, FactoryShapesMatchPaper) {
+    model::ClassPool original = pool_of(kApp);
+    PipelineResult result = run_pipeline(original);
+    const model::ClassFile& of = result.pool.get("Counter_O_Factory");
+    const model::Method* make = of.find_method("make", "()LCounter_O_Int;");
+    ASSERT_NE(make, nullptr);
+    EXPECT_TRUE(make->is_native);
+    EXPECT_TRUE(make->is_static);
+    const model::Method* init = of.find_method("init", "(LCounter_O_Int;I)V");
+    ASSERT_NE(init, nullptr);
+    EXPECT_FALSE(init->is_native);
+
+    const model::ClassFile& cfac = result.pool.get("Counter_C_Factory");
+    EXPECT_NE(cfac.find_method("discover", "()LCounter_C_Int;"), nullptr);
+    EXPECT_NE(cfac.find_method("clinit", "(LCounter_C_Int;)V"), nullptr);
+    EXPECT_NE(cfac.find_method("call_track", "()I"), nullptr);
+}
+
+TEST(Pipeline, SingletonDeclarationsOnCLocal) {
+    model::ClassPool original = pool_of(kApp);
+    PipelineResult result = run_pipeline(original);
+    const model::ClassFile& clocal = result.pool.get("Counter_C_Local");
+    const model::Field* me = clocal.find_field("me");
+    ASSERT_NE(me, nullptr);
+    EXPECT_TRUE(me->is_static);
+    EXPECT_EQ(me->type.descriptor(), "LCounter_C_Int;");
+    EXPECT_NE(clocal.find_method("get_me", "()LCounter_C_Int;"), nullptr);
+}
+
+TEST(Pipeline, MapMethodDesc) {
+    model::ClassPool original = pool_of(kApp);
+    PipelineResult result = run_pipeline(original);
+    EXPECT_EQ(result.report.map_method_desc(original, "(LCounter;I)LCounter;"),
+              "(LCounter_O_Int;I)LCounter_O_Int;");
+    EXPECT_EQ(result.report.map_method_desc(original, "(S)V"), "(S)V");
+}
+
+TEST(Pipeline, EmptyPool) {
+    model::ClassPool original;
+    PipelineResult result = run_pipeline(original);
+    EXPECT_EQ(result.pool.size(), 0u);
+    EXPECT_TRUE(result.report.substituted_classes().empty());
+}
+
+}  // namespace
+}  // namespace rafda::transform

@@ -1,0 +1,412 @@
+#include "transform/rewriter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/assembler.hpp"
+#include "transform/naming.hpp"
+
+namespace rafda::transform {
+namespace {
+
+using model::Op;
+
+struct Fixture {
+    model::ClassPool pool;
+    Analysis analysis;
+    Substitutables subst;
+
+    Fixture()
+        : pool(make_pool()), analysis(analyze(pool)), subst(pool, analysis) {}
+
+    static model::ClassPool make_pool() {
+        model::ClassPool pool;
+        model::assemble_into(pool, R"(
+class Y {
+  static field K LY;
+  method n (J)I {
+    const 0
+    returnvalue
+  }
+}
+class Z {
+  ctor (LY;)V {
+    return
+  }
+  method q (I)I {
+    load 1
+    returnvalue
+  }
+}
+class X {
+  field y LY;
+  static field z LZ;
+  ctor (LY;)V {
+    load 0
+    load 1
+    putfield X.y LY;
+    return
+  }
+  method m (J)I {
+    load 0
+    getfield X.y LY;
+    load 1
+    invokevirtual Y.n (J)I
+    returnvalue
+  }
+  static method p (I)I {
+    getstatic X.z LZ;
+    load 0
+    invokevirtual Z.q (I)I
+    returnvalue
+  }
+}
+class NativeOne {
+  native method raw ()V
+  method useIt ()V {
+    return
+  }
+}
+)");
+        return pool;
+    }
+
+    model::Code rewrite(const char* cls, const char* method, const char* desc,
+                        bool static_family = false) {
+        const model::Method* m = pool.get(cls).find_method(method, desc);
+        EXPECT_NE(m, nullptr);
+        RewriteContext ctx{&subst, cls, static_family};
+        return rewrite_code(ctx, m->code);
+    }
+};
+
+TEST(MapType, MapsSubstitutableRefs) {
+    Fixture f;
+    EXPECT_EQ(map_type(f.subst, model::TypeDesc::ref("Y")).descriptor(), "LY_O_Int;");
+    EXPECT_EQ(map_type(f.subst, model::TypeDesc::ref("NativeOne")).descriptor(),
+              "LNativeOne;");
+    EXPECT_EQ(map_type(f.subst, model::TypeDesc::int_()).descriptor(), "I");
+}
+
+TEST(MapSig, MapsParamsAndReturn) {
+    Fixture f;
+    model::MethodSig sig = model::MethodSig::parse("(JLY;)LZ;");
+    EXPECT_EQ(map_sig(f.subst, sig).descriptor(), "(JLY_O_Int;)LZ_O_Int;");
+}
+
+TEST(MapType, FilteredSubstitutablesKeepUnselectedRaw) {
+    Fixture f;
+    Substitutables only_y(f.pool, f.analysis, {"Y"});
+    EXPECT_EQ(map_type(only_y, model::TypeDesc::ref("Y")).descriptor(), "LY_O_Int;");
+    EXPECT_EQ(map_type(only_y, model::TypeDesc::ref("Z")).descriptor(), "LZ;");
+    EXPECT_FALSE(only_y.contains("Z"));
+    EXPECT_TRUE(only_y.contains("Y"));
+    // A filter can never make a non-transformable class substitutable.
+    Substitutables bogus(f.pool, f.analysis, {"NativeOne"});
+    EXPECT_FALSE(bogus.contains("NativeOne"));
+}
+
+TEST(Rewriter, FieldAccessBecomesInterfaceCall) {
+    Fixture f;
+    model::Code code = f.rewrite("X", "m", "(J)I");
+    // load 0; getfield -> invokeinterface X_O_Int.get_y; load 1;
+    // invokevirtual Y.n -> invokeinterface Y_O_Int.n
+    ASSERT_EQ(code.instrs.size(), 5u);
+    EXPECT_EQ(code.instrs[1].op, Op::InvokeInterface);
+    EXPECT_EQ(code.instrs[1].owner, "X_O_Int");
+    EXPECT_EQ(code.instrs[1].member, "get_y");
+    EXPECT_EQ(code.instrs[1].desc, "()LY_O_Int;");
+    EXPECT_EQ(code.instrs[3].op, Op::InvokeInterface);
+    EXPECT_EQ(code.instrs[3].owner, "Y_O_Int");
+    EXPECT_EQ(code.instrs[3].desc, "(J)I");
+}
+
+TEST(Rewriter, PutFieldBecomesSetter) {
+    Fixture f;
+    model::Code code = f.rewrite("X", "<init>", "(LY;)V");
+    ASSERT_EQ(code.instrs.size(), 4u);
+    EXPECT_EQ(code.instrs[2].op, Op::InvokeInterface);
+    EXPECT_EQ(code.instrs[2].owner, "X_O_Int");
+    EXPECT_EQ(code.instrs[2].member, "set_y");
+    EXPECT_EQ(code.instrs[2].desc, "(LY_O_Int;)V");
+}
+
+TEST(Rewriter, GetStaticOutsideOwnerUsesDiscover) {
+    Fixture f;
+    // Static method p rewritten for the static family: getstatic X.z is a
+    // self access -> load 0 + get_z (paper Fig 4).
+    model::Code code = f.rewrite("X", "p", "(I)I", /*static_family=*/true);
+    EXPECT_EQ(code.instrs[0].op, Op::Load);
+    EXPECT_EQ(code.instrs[0].a, 0);
+    EXPECT_EQ(code.instrs[1].op, Op::InvokeInterface);
+    EXPECT_EQ(code.instrs[1].owner, "X_C_Int");
+    EXPECT_EQ(code.instrs[1].member, "get_z");
+    // Param slot shifted by one (instance receiver now occupies slot 0).
+    EXPECT_EQ(code.instrs[2].op, Op::Load);
+    EXPECT_EQ(code.instrs[2].a, 1);
+    // Z.q virtual call becomes an interface call.
+    EXPECT_EQ(code.instrs[3].owner, "Z_O_Int");
+    EXPECT_EQ(code.max_locals, 2);
+}
+
+TEST(Rewriter, GetStaticFromOtherClassUsesDiscover) {
+    model::ClassPool pool;
+    model::assemble_into(pool, R"(
+class A {
+  static field v I
+}
+class B {
+  static method read ()I {
+    getstatic A.v I
+    returnvalue
+  }
+  static method write (I)V {
+    load 0
+    putstatic A.v I
+    return
+  }
+}
+)");
+    Analysis analysis = analyze(pool);
+    Substitutables subst(pool, analysis);
+    RewriteContext ctx{&subst, "B", true};
+    model::Code read = rewrite_code(ctx, pool.get("B").find_method("read", "()I")->code);
+    ASSERT_EQ(read.instrs.size(), 3u);
+    EXPECT_EQ(read.instrs[0].op, Op::InvokeStatic);
+    EXPECT_EQ(read.instrs[0].owner, "A_C_Factory");
+    EXPECT_EQ(read.instrs[0].member, "discover");
+    EXPECT_EQ(read.instrs[1].op, Op::InvokeInterface);
+    EXPECT_EQ(read.instrs[1].owner, "A_C_Int");
+    EXPECT_EQ(read.instrs[1].member, "get_v");
+
+    model::Code write = rewrite_code(ctx, pool.get("B").find_method("write", "(I)V")->code);
+    // load, discover, swap, set_v, return
+    ASSERT_EQ(write.instrs.size(), 5u);
+    EXPECT_EQ(write.instrs[1].member, "discover");
+    EXPECT_EQ(write.instrs[2].op, Op::Swap);
+    EXPECT_EQ(write.instrs[3].member, "set_v");
+}
+
+TEST(Rewriter, NewPlusCtorBecomesFactoryMakeInit) {
+    model::ClassPool pool;
+    model::assemble_into(pool, R"(
+class Z {
+  ctor (I)V {
+    return
+  }
+}
+class User {
+  static method mk ()LZ; {
+    new Z
+    dup
+    const 7
+    invokespecial Z.<init> (I)V
+    returnvalue
+  }
+}
+)");
+    Analysis analysis = analyze(pool);
+    Substitutables subst(pool, analysis);
+    RewriteContext ctx{&subst, "User", false};
+    model::Code code = rewrite_code(ctx, pool.get("User").find_method("mk", "()LZ;")->code);
+    ASSERT_EQ(code.instrs.size(), 5u);
+    EXPECT_EQ(code.instrs[0].op, Op::InvokeStatic);
+    EXPECT_EQ(code.instrs[0].owner, "Z_O_Factory");
+    EXPECT_EQ(code.instrs[0].member, "make");
+    EXPECT_EQ(code.instrs[0].desc, "()LZ_O_Int;");
+    EXPECT_EQ(code.instrs[3].op, Op::InvokeStatic);
+    EXPECT_EQ(code.instrs[3].owner, "Z_O_Factory");
+    EXPECT_EQ(code.instrs[3].member, "init");
+    EXPECT_EQ(code.instrs[3].desc, "(LZ_O_Int;I)V");
+}
+
+TEST(Rewriter, StaticCallBecomesForwarder) {
+    model::ClassPool pool;
+    model::assemble_into(pool, R"(
+class Lib {
+  static method twice (I)I {
+    load 0
+    const 2
+    mul
+    returnvalue
+  }
+}
+class User {
+  static method f (I)I {
+    load 0
+    invokestatic Lib.twice (I)I
+    returnvalue
+  }
+}
+)");
+    Analysis analysis = analyze(pool);
+    Substitutables subst(pool, analysis);
+    RewriteContext ctx{&subst, "User", false};
+    model::Code code =
+        rewrite_code(ctx, pool.get("User").find_method("f", "(I)I")->code);
+    EXPECT_EQ(code.instrs[1].op, Op::InvokeStatic);
+    EXPECT_EQ(code.instrs[1].owner, "Lib_C_Factory");
+    EXPECT_EQ(code.instrs[1].member, "call_twice");
+}
+
+TEST(Rewriter, StaticCallResolvedToDeclaringClass) {
+    model::ClassPool pool;
+    model::assemble_into(pool, R"(
+class Base {
+  static method util ()I {
+    const 9
+    returnvalue
+  }
+}
+class Derived extends Base {
+}
+class User {
+  static method f ()I {
+    invokestatic Derived.util ()I
+    returnvalue
+  }
+}
+)");
+    Analysis analysis = analyze(pool);
+    Substitutables subst(pool, analysis);
+    RewriteContext ctx{&subst, "User", false};
+    model::Code code = rewrite_code(ctx, pool.get("User").find_method("f", "()I")->code);
+    EXPECT_EQ(code.instrs[0].owner, "Base_C_Factory");
+}
+
+TEST(Rewriter, NonTransformableOperandsUntouched) {
+    Fixture f;
+    model::Code code = f.rewrite("NativeOne", "useIt", "()V");
+    ASSERT_EQ(code.instrs.size(), 1u);
+    EXPECT_EQ(code.instrs[0].op, Op::Return);
+}
+
+TEST(Rewriter, BranchTargetsRemapped) {
+    model::ClassPool pool;
+    model::assemble_into(pool, R"(
+class Box {
+  field v I
+  ctor ()V {
+    return
+  }
+}
+class User {
+  static method count (LBox;I)I {
+    locals 3
+    const 0
+    store 2
+  Top:
+    load 2
+    load 1
+    cmpge
+    iftrue Done
+    load 0
+    load 0
+    getfield Box.v I
+    const 1
+    add
+    putfield Box.v I
+    load 2
+    const 1
+    add
+    store 2
+    goto Top
+  Done:
+    load 0
+    getfield Box.v I
+    returnvalue
+  }
+}
+)");
+    Analysis analysis = analyze(pool);
+    Substitutables subst(pool, analysis);
+    RewriteContext ctx{&subst, "User", false};
+    const model::Code& original =
+        pool.get("User").find_method("count", "(LBox;I)I")->code;
+    model::Code code = rewrite_code(ctx, original);
+    // getfield/putfield became interface calls: same instruction count here
+    // (1->1 rewrites), but targets must still point at the same logical
+    // positions.  Find the iftrue and goto and check they are in range and
+    // consistent.
+    int iftrue_target = -1, goto_target = -1;
+    for (const model::Instruction& i : code.instrs) {
+        if (i.op == Op::IfTrue) iftrue_target = i.a;
+        if (i.op == Op::Goto) goto_target = i.a;
+    }
+    ASSERT_GE(iftrue_target, 0);
+    ASSERT_GE(goto_target, 0);
+    // goto jumps back to the loop head (pc 2: first instr after store 2).
+    EXPECT_EQ(goto_target, 2);
+    // iftrue jumps to the load 0 before the final getfield.
+    EXPECT_EQ(code.instrs[static_cast<std::size_t>(iftrue_target)].op, Op::Load);
+    // And the rewritten code must itself be branch-consistent: the
+    // instruction before iftrue's target is the goto.
+    EXPECT_EQ(code.instrs[static_cast<std::size_t>(iftrue_target) - 1].op, Op::Goto);
+}
+
+TEST(Rewriter, ExpandingRewriteShiftsLaterTargets) {
+    // putstatic expands 1 -> 3 instructions; a branch over it must be
+    // remapped to the new position.
+    model::ClassPool pool;
+    model::assemble_into(pool, R"(
+class A {
+  static field v I
+}
+class User {
+  static method f (Z)I {
+    load 0
+    iffalse Skip
+    const 5
+    putstatic A.v I
+  Skip:
+    const 1
+    returnvalue
+  }
+}
+)");
+    Analysis analysis = analyze(pool);
+    Substitutables subst(pool, analysis);
+    RewriteContext ctx{&subst, "User", false};
+    model::Code code = rewrite_code(ctx, pool.get("User").find_method("f", "(Z)I")->code);
+    // Layout: load, iffalse, const 5, discover, swap, set_v, const 1, returnvalue
+    ASSERT_EQ(code.instrs.size(), 8u);
+    EXPECT_EQ(code.instrs[1].op, Op::IfFalse);
+    EXPECT_EQ(code.instrs[1].a, 6);  // Skip label moved from 4 to 6
+}
+
+TEST(Rewriter, HandlersRemapped) {
+    model::ClassPool pool;
+    model::assemble_into(pool, R"(
+special class Thr {
+}
+class A {
+  static field v I
+}
+class User {
+  static method f ()I {
+  S:
+    const 5
+    putstatic A.v I
+  E:
+    const 0
+    returnvalue
+  H:
+    pop
+    const -1
+    returnvalue
+    catch Thr from S to E using H
+  }
+}
+)");
+    Analysis analysis = analyze(pool);
+    Substitutables subst(pool, analysis);
+    RewriteContext ctx{&subst, "User", false};
+    model::Code code = rewrite_code(ctx, pool.get("User").find_method("f", "()I")->code);
+    ASSERT_EQ(code.handlers.size(), 1u);
+    EXPECT_EQ(code.handlers[0].start, 0);
+    EXPECT_EQ(code.handlers[0].end, 4);    // putstatic expanded by 2
+    EXPECT_EQ(code.handlers[0].target, 6);
+    EXPECT_EQ(code.handlers[0].class_name, "Thr");  // special: untouched
+}
+
+}  // namespace
+}  // namespace rafda::transform

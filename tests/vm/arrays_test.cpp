@@ -1,0 +1,416 @@
+// Arrays — the paper defers them ("language specific issues ... beyond the
+// scope of this paper", Sec 2.4) but notes solutions exist.  These tests
+// cover our implementation: typed arrays in the VM, element-type mapping
+// through the transformation, and the documented node-local restriction.
+#include <gtest/gtest.h>
+
+#include "model/assembler.hpp"
+#include "model/printer.hpp"
+#include "model/verifier.hpp"
+#include "runtime/system.hpp"
+#include "support/error.hpp"
+#include "transform/local_binder.hpp"
+#include "transform/pipeline.hpp"
+#include "vm/interp.hpp"
+#include "vm/prelude.hpp"
+#include "wrapper/wrapper_pipeline.hpp"
+
+namespace rafda::vm {
+namespace {
+
+struct Fixture {
+    model::ClassPool pool;
+    std::unique_ptr<Interpreter> interp;
+
+    explicit Fixture(const char* src) {
+        install_prelude(pool);
+        model::assemble_into(pool, src);
+        model::verify_pool(pool);
+        interp = std::make_unique<Interpreter>(pool);
+        bind_prelude_natives(*interp);
+    }
+};
+
+TEST(Arrays, TypeDescriptorSyntax) {
+    model::TypeDesc ints = model::TypeDesc::parse("[I");
+    EXPECT_TRUE(ints.is_array());
+    EXPECT_EQ(ints.element().kind(), model::Kind::Int);
+    EXPECT_EQ(ints.descriptor(), "[I");
+
+    model::TypeDesc nested = model::TypeDesc::parse("[[LX;");
+    EXPECT_TRUE(nested.is_array());
+    EXPECT_TRUE(nested.element().is_array());
+    EXPECT_EQ(nested.element().element().class_name(), "X");
+    EXPECT_EQ(nested.descriptor(), "[[LX;");
+
+    EXPECT_THROW(model::TypeDesc::parse("["), ParseError);
+    EXPECT_THROW(model::TypeDesc::parse("[V"), ParseError);
+    EXPECT_THROW(model::TypeDesc::int_().element(), VerifyError);
+}
+
+TEST(Arrays, SumLoop) {
+    Fixture f(R"(
+class A {
+  static method sumSquares (I)J {
+    locals 3
+    load 0
+    newarray J
+    store 1
+    const 0
+    store 2
+  Fill:
+    load 2
+    load 0
+    cmpge
+    iftrue Sum
+    load 1
+    load 2
+    load 2
+    load 2
+    mul
+    conv J
+    astore
+    load 2
+    const 1
+    add
+    store 2
+    goto Fill
+  Sum:
+    const 0L
+    store 0
+    const 0
+    store 2
+  Top:
+    load 2
+    load 1
+    alen
+    cmpge
+    iftrue Done
+    load 0
+    load 1
+    load 2
+    aload
+    add
+    store 0
+    load 2
+    const 1
+    add
+    store 2
+    goto Top
+  Done:
+    load 0
+    returnvalue
+  }
+}
+)");
+    // sum of squares 0..9 = 285
+    EXPECT_EQ(
+        f.interp->call_static("A", "sumSquares", "(I)J", {Value::of_int(10)}).as_long(),
+        285);
+}
+
+TEST(Arrays, DefaultValuesPerElementType) {
+    Fixture f(R"(
+class A {
+  static method firstLong ()J {
+    const 3
+    newarray J
+    const 0
+    aload
+    returnvalue
+  }
+  static method firstStr ()S {
+    const 3
+    newarray S
+    const 0
+    aload
+    returnvalue
+  }
+  static method firstRefIsNull ()Z {
+    const 3
+    newarray LA;
+    const 0
+    aload
+    const null
+    cmpeq
+    returnvalue
+  }
+}
+)");
+    EXPECT_EQ(f.interp->call_static("A", "firstLong", "()J").as_long(), 0);
+    EXPECT_EQ(f.interp->call_static("A", "firstStr", "()S").as_str(), "");
+    EXPECT_TRUE(f.interp->call_static("A", "firstRefIsNull", "()Z").as_bool());
+}
+
+TEST(Arrays, BoundsChecked) {
+    Fixture f(R"(
+class A {
+  static method oob (I)I {
+    const 2
+    newarray I
+    load 0
+    aload
+    returnvalue
+  }
+}
+)");
+    EXPECT_EQ(f.interp->call_static("A", "oob", "(I)I", {Value::of_int(1)}).as_int(), 0);
+    EXPECT_THROW(f.interp->call_static("A", "oob", "(I)I", {Value::of_int(2)}), VmError);
+    EXPECT_THROW(f.interp->call_static("A", "oob", "(I)I", {Value::of_int(-1)}), VmError);
+}
+
+TEST(Arrays, NegativeLengthRejected) {
+    Fixture f(R"(
+class A {
+  static method mk (I)V {
+    load 0
+    newarray I
+    pop
+    return
+  }
+}
+)");
+    EXPECT_THROW(f.interp->call_static("A", "mk", "(I)V", {Value::of_int(-1)}), VmError);
+}
+
+TEST(Arrays, ArraysOfObjectsHoldReferences) {
+    Fixture f(R"(
+class Cell {
+  field v I
+  ctor (I)V {
+    load 0
+    load 1
+    putfield Cell.v I
+    return
+  }
+  method get ()I {
+    load 0
+    getfield Cell.v I
+    returnvalue
+  }
+}
+class A {
+  static method viaArray (I)I {
+    locals 2
+    const 1
+    newarray LCell;
+    store 1
+    load 1
+    const 0
+    new Cell
+    dup
+    load 0
+    invokespecial Cell.<init> (I)V
+    astore
+    load 1
+    const 0
+    aload
+    invokevirtual Cell.get ()I
+    returnvalue
+  }
+}
+)");
+    EXPECT_EQ(
+        f.interp->call_static("A", "viaArray", "(I)I", {Value::of_int(17)}).as_int(), 17);
+}
+
+// --- transformation ------------------------------------------------------
+
+constexpr const char* kArrayApp = R"(
+class Item {
+  field weight I
+  ctor (I)V {
+    load 0
+    load 1
+    putfield Item.weight I
+    return
+  }
+  method weight ()I {
+    load 0
+    getfield Item.weight I
+    returnvalue
+  }
+}
+class Main {
+  static method main ()V {
+    locals 2
+    const 3
+    newarray LItem;
+    store 0
+    const 0
+    store 1
+  Fill:
+    load 1
+    const 3
+    cmpge
+    iftrue Use
+    load 0
+    load 1
+    new Item
+    dup
+    load 1
+    const 10
+    mul
+    invokespecial Item.<init> (I)V
+    astore
+    load 1
+    const 1
+    add
+    store 1
+    goto Fill
+  Use:
+    const "w1="
+    load 0
+    const 1
+    aload
+    invokevirtual Item.weight ()I
+    concat
+    const " len="
+    concat
+    load 0
+    alen
+    concat
+    invokestatic Sys.println (S)V
+    return
+  }
+}
+)";
+
+TEST(Arrays, TransformedProgramEquivalent) {
+    model::ClassPool original;
+    install_prelude(original);
+    model::assemble_into(original, kArrayApp);
+    model::verify_pool(original);
+
+    Interpreter orig(original);
+    bind_prelude_natives(orig);
+    orig.call_static("Main", "main", "()V");
+    ASSERT_EQ(orig.output(), "w1=10 len=3\n");
+
+    transform::PipelineResult result = transform::run_pipeline(original);
+    // The allocation site was retyped to the extracted interface.
+    const model::Method* main =
+        result.pool.get("Main_C_Local").find_method("main", "()V");
+    ASSERT_NE(main, nullptr);
+    bool saw_mapped_newarray = false;
+    for (const model::Instruction& i : main->code.instrs)
+        if (i.op == model::Op::NewArray && i.desc == "LItem_O_Int;")
+            saw_mapped_newarray = true;
+    EXPECT_TRUE(saw_mapped_newarray);
+
+    Interpreter trans(result.pool);
+    bind_prelude_natives(trans);
+    transform::bind_local_factories(trans, result.report);
+    transform::call_transformed_static(trans, original, result.report, "Main", "main",
+                                       "()V");
+    EXPECT_EQ(trans.output(), orig.output());
+}
+
+TEST(Arrays, ArrayFieldsAndSignaturesMap) {
+    model::ClassPool original;
+    install_prelude(original);
+    model::assemble_into(original, R"(
+class Elem {
+  ctor ()V {
+    return
+  }
+}
+class Holder {
+  field items [LElem;
+  ctor ()V {
+    load 0
+    const 4
+    newarray LElem;
+    putfield Holder.items [LElem;
+    return
+  }
+  method items ()[LElem; {
+    load 0
+    getfield Holder.items [LElem;
+    returnvalue
+  }
+}
+)");
+    model::verify_pool(original);
+    transform::PipelineResult result = transform::run_pipeline(original);
+    const model::ClassFile& iface = result.pool.get("Holder_O_Int");
+    EXPECT_NE(iface.find_method("get_items", "()[LElem_O_Int;"), nullptr);
+    EXPECT_NE(iface.find_method("items", "()[LElem_O_Int;"), nullptr);
+}
+
+TEST(Arrays, CannotCrossAddressSpaces) {
+    model::ClassPool original;
+    install_prelude(original);
+    model::assemble_into(original, R"(
+class Sink {
+  ctor ()V {
+    return
+  }
+  method consume ([I)V {
+    return
+  }
+}
+)");
+    model::verify_pool(original);
+    runtime::System system(original);
+    system.add_node();
+    system.add_node();
+    system.policy().set_instance_home("Sink", 1, "RMI");
+    Value sink = system.construct(0, "Sink", "()V");
+    vm::Interpreter& n0 = system.node(0).interp();
+    Value arr = Value::of_ref(n0.heap().alloc_array(model::TypeDesc::int_(), 4));
+    EXPECT_THROW(n0.call_virtual(sink, "consume", "([I)V", {arr}), RuntimeError);
+}
+
+TEST(Arrays, WrapperPipelineRejectsWrappedElementArrays) {
+    model::ClassPool original;
+    install_prelude(original);
+    model::assemble_into(original, R"(
+class Elem {
+  ctor ()V {
+    return
+  }
+}
+class User {
+  static method mk ()V {
+    const 2
+    newarray LElem;
+    pop
+    return
+  }
+}
+)");
+    model::verify_pool(original);
+    EXPECT_THROW(wrapper::run_wrapper_pipeline(original), TransformError);
+}
+
+TEST(Arrays, PrintAssembleRoundTrip) {
+    model::ClassPool pool;
+    install_prelude(pool);
+    model::assemble_into(pool, kArrayApp);
+    model::ClassPool reparsed;
+    model::assemble_into(reparsed, model::print_pool(pool));
+    EXPECT_EQ(model::print_pool(pool), model::print_pool(reparsed));
+    EXPECT_TRUE(model::verify_pool_collect(reparsed).empty());
+}
+
+TEST(Arrays, VerifierCatchesBadArrayTypes) {
+    model::ClassPool pool;
+    model::assemble_into(pool, R"(
+class A {
+  static method f ()V {
+    const 1
+    newarray LGhost;
+    pop
+    return
+  }
+}
+)");
+    bool found = false;
+    for (const std::string& p : model::verify_pool_collect(pool))
+        if (p.find("array of unknown class Ghost") != std::string::npos) found = true;
+    EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace rafda::vm

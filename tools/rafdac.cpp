@@ -1,0 +1,159 @@
+// rafdac — the RAFDA command-line transformer.
+//
+//   rafdac analyze   app.rir              transformability report (Sec 2.4)
+//   rafdac transform app.rir out.rirb     transform, save binary artefact
+//   rafdac print     app.rir[b]           disassemble (RIR or RIRB input)
+//   rafdac run       app.rir[b] Main      run locally (transforms .rir
+//                                         input first; .rirb input is
+//                                         assumed already transformed)
+//   rafdac deploy    app.rir policy.cfg Main [nodes]
+//                                         run distributed under a policy
+//                                         configuration file
+//
+// Exit status: 0 on success, 1 on usage errors, 2 on processing errors.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "model/assembler.hpp"
+#include "model/binio.hpp"
+#include "model/printer.hpp"
+#include "model/verifier.hpp"
+#include "runtime/policy_config.hpp"
+#include "runtime/system.hpp"
+#include "support/strings.hpp"
+#include "transform/local_binder.hpp"
+#include "transform/pipeline.hpp"
+#include "vm/prelude.hpp"
+
+namespace {
+
+using namespace rafda;
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw Error("cannot open " + path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+void write_file(const std::string& path, const Bytes& data) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw Error("cannot write " + path);
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+}
+
+/// Loads a pool from .rir (assembled + prelude) or .rirb (binary).
+model::ClassPool load_input(const std::string& path, bool* was_binary = nullptr) {
+    if (ends_with(path, ".rirb")) {
+        if (was_binary) *was_binary = true;
+        std::string raw = read_file(path);
+        return model::load_pool(Bytes(raw.begin(), raw.end()));
+    }
+    if (was_binary) *was_binary = false;
+    model::ClassPool pool;
+    vm::install_prelude(pool);
+    model::assemble_into(pool, read_file(path));
+    model::verify_pool(pool);
+    return pool;
+}
+
+int cmd_analyze(const std::string& input) {
+    model::ClassPool pool = load_input(input);
+    transform::Analysis analysis = transform::analyze(pool);
+    std::cout << "classes/interfaces: " << analysis.total() << "\n"
+              << "transformable:      " << analysis.transformable_classes().size() << "\n"
+              << "non-transformable:  " << analysis.non_transformable_count() << " ("
+              << static_cast<int>(100.0 * analysis.non_transformable_fraction() + 0.5)
+              << "%)\n";
+    for (const std::string& cls : analysis.non_transformable_classes()) {
+        const transform::ClassStatus& st = analysis.status_of(cls);
+        std::cout << "  " << cls << ": " << transform::reason_name(st.reason);
+        if (!st.blamed_on.empty()) std::cout << " (via " << st.blamed_on << ")";
+        std::cout << "\n";
+    }
+    return 0;
+}
+
+int cmd_transform(const std::string& input, const std::string& output) {
+    model::ClassPool pool = load_input(input);
+    transform::PipelineResult result = transform::run_pipeline(pool);
+    Bytes artefact = model::save_pool(result.pool);
+    write_file(output, artefact);
+    std::cout << "substituted " << result.report.substituted_classes().size() << " of "
+              << pool.size() << " classes; wrote " << result.pool.size() << " classes ("
+              << artefact.size() << " bytes) to " << output << "\n";
+    return 0;
+}
+
+int cmd_print(const std::string& input) {
+    model::ClassPool pool = load_input(input);
+    std::cout << model::print_pool(pool);
+    return 0;
+}
+
+int cmd_run(const std::string& input, const std::string& main_cls) {
+    bool was_binary = false;
+    model::ClassPool pool = load_input(input, &was_binary);
+    if (was_binary)
+        throw Error(
+            "running a pre-transformed .rirb directly needs the transform report; "
+            "pass the original .rir instead");
+    transform::PipelineResult result = transform::run_pipeline(pool);
+    vm::Interpreter interp(result.pool);
+    vm::bind_prelude_natives(interp);
+    transform::bind_local_factories(interp, result.report);
+    transform::call_transformed_static(interp, pool, result.report, main_cls, "main",
+                                       "()V");
+    std::cout << interp.output();
+    return 0;
+}
+
+int cmd_deploy(const std::string& input, const std::string& config_path,
+               const std::string& main_cls, int nodes) {
+    model::ClassPool pool = load_input(input);
+    runtime::System system(pool);
+    for (int k = 0; k < nodes; ++k) system.add_node();
+    runtime::apply_policy_config(read_file(config_path), system.policy(),
+                                 &system.network());
+    system.call_static(0, main_cls, "main", "()V");
+    std::cout << system.node(0).interp().output();
+    std::cerr << "[rafdac] virtual time " << system.network().now_us() << "us";
+    for (const auto& [proto, s] : system.remote_stats())
+        std::cerr << "; " << proto << ": " << s.calls + s.creates + s.discovers
+                  << " requests, " << s.request_bytes + s.reply_bytes << " bytes";
+    std::cerr << "\n";
+    return 0;
+}
+
+int usage() {
+    std::cerr << "usage:\n"
+              << "  rafdac analyze   <app.rir[b]>\n"
+              << "  rafdac transform <app.rir> <out.rirb>\n"
+              << "  rafdac print     <app.rir[b]>\n"
+              << "  rafdac run       <app.rir> <MainClass>\n"
+              << "  rafdac deploy    <app.rir> <policy.cfg> <MainClass> [nodes=2]\n";
+    return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    try {
+        if (args.size() == 2 && args[0] == "analyze") return cmd_analyze(args[1]);
+        if (args.size() == 3 && args[0] == "transform")
+            return cmd_transform(args[1], args[2]);
+        if (args.size() == 2 && args[0] == "print") return cmd_print(args[1]);
+        if (args.size() == 3 && args[0] == "run") return cmd_run(args[1], args[2]);
+        if ((args.size() == 4 || args.size() == 5) && args[0] == "deploy")
+            return cmd_deploy(args[1], args[2], args[3],
+                              args.size() == 5 ? std::atoi(args[4].c_str()) : 2);
+        return usage();
+    } catch (const std::exception& e) {
+        std::cerr << "rafdac: " << e.what() << "\n";
+        return 2;
+    }
+}
