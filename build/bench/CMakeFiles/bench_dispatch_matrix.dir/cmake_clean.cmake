@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dispatch_matrix.dir/bench_dispatch_matrix.cpp.o"
+  "CMakeFiles/bench_dispatch_matrix.dir/bench_dispatch_matrix.cpp.o.d"
+  "bench_dispatch_matrix"
+  "bench_dispatch_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dispatch_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_factory_overhead.dir/bench_factory_overhead.cpp.o"
+  "CMakeFiles/bench_factory_overhead.dir/bench_factory_overhead.cpp.o.d"
+  "bench_factory_overhead"
+  "bench_factory_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_factory_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

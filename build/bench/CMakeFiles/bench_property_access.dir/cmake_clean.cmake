@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_property_access.dir/bench_property_access.cpp.o"
+  "CMakeFiles/bench_property_access.dir/bench_property_access.cpp.o.d"
+  "bench_property_access"
+  "bench_property_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_property_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_redistribution.dir/bench_redistribution.cpp.o"
+  "CMakeFiles/bench_redistribution.dir/bench_redistribution.cpp.o.d"
+  "bench_redistribution"
+  "bench_redistribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_redistribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

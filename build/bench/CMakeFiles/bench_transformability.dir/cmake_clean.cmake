@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transformability.dir/bench_transformability.cpp.o"
+  "CMakeFiles/bench_transformability.dir/bench_transformability.cpp.o.d"
+  "bench_transformability"
+  "bench_transformability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transformability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

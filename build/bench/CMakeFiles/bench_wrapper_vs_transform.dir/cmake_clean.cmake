@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wrapper_vs_transform.dir/bench_wrapper_vs_transform.cpp.o"
+  "CMakeFiles/bench_wrapper_vs_transform.dir/bench_wrapper_vs_transform.cpp.o.d"
+  "bench_wrapper_vs_transform"
+  "bench_wrapper_vs_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wrapper_vs_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

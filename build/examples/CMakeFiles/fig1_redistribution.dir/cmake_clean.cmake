@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_redistribution.dir/fig1_redistribution.cpp.o"
+  "CMakeFiles/fig1_redistribution.dir/fig1_redistribution.cpp.o.d"
+  "fig1_redistribution"
+  "fig1_redistribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_redistribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_optimizing.dir/self_optimizing.cpp.o"
+  "CMakeFiles/self_optimizing.dir/self_optimizing.cpp.o.d"
+  "self_optimizing"
+  "self_optimizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_optimizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

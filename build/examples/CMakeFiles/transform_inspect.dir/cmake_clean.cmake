@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_inspect.dir/transform_inspect.cpp.o"
+  "CMakeFiles/transform_inspect.dir/transform_inspect.cpp.o.d"
+  "transform_inspect"
+  "transform_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

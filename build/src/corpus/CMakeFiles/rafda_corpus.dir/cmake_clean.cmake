@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rafda_corpus.dir/jdk_corpus.cpp.o"
+  "CMakeFiles/rafda_corpus.dir/jdk_corpus.cpp.o.d"
+  "CMakeFiles/rafda_corpus.dir/program_gen.cpp.o"
+  "CMakeFiles/rafda_corpus.dir/program_gen.cpp.o.d"
+  "librafda_corpus.a"
+  "librafda_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rafda_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

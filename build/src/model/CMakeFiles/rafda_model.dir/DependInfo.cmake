@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/assembler.cpp" "src/model/CMakeFiles/rafda_model.dir/assembler.cpp.o" "gcc" "src/model/CMakeFiles/rafda_model.dir/assembler.cpp.o.d"
+  "/root/repo/src/model/binio.cpp" "src/model/CMakeFiles/rafda_model.dir/binio.cpp.o" "gcc" "src/model/CMakeFiles/rafda_model.dir/binio.cpp.o.d"
+  "/root/repo/src/model/builder.cpp" "src/model/CMakeFiles/rafda_model.dir/builder.cpp.o" "gcc" "src/model/CMakeFiles/rafda_model.dir/builder.cpp.o.d"
+  "/root/repo/src/model/classfile.cpp" "src/model/CMakeFiles/rafda_model.dir/classfile.cpp.o" "gcc" "src/model/CMakeFiles/rafda_model.dir/classfile.cpp.o.d"
+  "/root/repo/src/model/classpool.cpp" "src/model/CMakeFiles/rafda_model.dir/classpool.cpp.o" "gcc" "src/model/CMakeFiles/rafda_model.dir/classpool.cpp.o.d"
+  "/root/repo/src/model/instr.cpp" "src/model/CMakeFiles/rafda_model.dir/instr.cpp.o" "gcc" "src/model/CMakeFiles/rafda_model.dir/instr.cpp.o.d"
+  "/root/repo/src/model/printer.cpp" "src/model/CMakeFiles/rafda_model.dir/printer.cpp.o" "gcc" "src/model/CMakeFiles/rafda_model.dir/printer.cpp.o.d"
+  "/root/repo/src/model/type.cpp" "src/model/CMakeFiles/rafda_model.dir/type.cpp.o" "gcc" "src/model/CMakeFiles/rafda_model.dir/type.cpp.o.d"
+  "/root/repo/src/model/verifier.cpp" "src/model/CMakeFiles/rafda_model.dir/verifier.cpp.o" "gcc" "src/model/CMakeFiles/rafda_model.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rafda_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

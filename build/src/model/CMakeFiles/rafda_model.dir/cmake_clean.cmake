@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rafda_model.dir/assembler.cpp.o"
+  "CMakeFiles/rafda_model.dir/assembler.cpp.o.d"
+  "CMakeFiles/rafda_model.dir/binio.cpp.o"
+  "CMakeFiles/rafda_model.dir/binio.cpp.o.d"
+  "CMakeFiles/rafda_model.dir/builder.cpp.o"
+  "CMakeFiles/rafda_model.dir/builder.cpp.o.d"
+  "CMakeFiles/rafda_model.dir/classfile.cpp.o"
+  "CMakeFiles/rafda_model.dir/classfile.cpp.o.d"
+  "CMakeFiles/rafda_model.dir/classpool.cpp.o"
+  "CMakeFiles/rafda_model.dir/classpool.cpp.o.d"
+  "CMakeFiles/rafda_model.dir/instr.cpp.o"
+  "CMakeFiles/rafda_model.dir/instr.cpp.o.d"
+  "CMakeFiles/rafda_model.dir/printer.cpp.o"
+  "CMakeFiles/rafda_model.dir/printer.cpp.o.d"
+  "CMakeFiles/rafda_model.dir/type.cpp.o"
+  "CMakeFiles/rafda_model.dir/type.cpp.o.d"
+  "CMakeFiles/rafda_model.dir/verifier.cpp.o"
+  "CMakeFiles/rafda_model.dir/verifier.cpp.o.d"
+  "librafda_model.a"
+  "librafda_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rafda_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

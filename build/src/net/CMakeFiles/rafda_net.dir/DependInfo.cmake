@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/codec.cpp" "src/net/CMakeFiles/rafda_net.dir/codec.cpp.o" "gcc" "src/net/CMakeFiles/rafda_net.dir/codec.cpp.o.d"
+  "/root/repo/src/net/corbx.cpp" "src/net/CMakeFiles/rafda_net.dir/corbx.cpp.o" "gcc" "src/net/CMakeFiles/rafda_net.dir/corbx.cpp.o.d"
+  "/root/repo/src/net/message.cpp" "src/net/CMakeFiles/rafda_net.dir/message.cpp.o" "gcc" "src/net/CMakeFiles/rafda_net.dir/message.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/rafda_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/rafda_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/rmib.cpp" "src/net/CMakeFiles/rafda_net.dir/rmib.cpp.o" "gcc" "src/net/CMakeFiles/rafda_net.dir/rmib.cpp.o.d"
+  "/root/repo/src/net/soapx.cpp" "src/net/CMakeFiles/rafda_net.dir/soapx.cpp.o" "gcc" "src/net/CMakeFiles/rafda_net.dir/soapx.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rafda_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

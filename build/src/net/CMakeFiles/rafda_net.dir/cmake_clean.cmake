@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rafda_net.dir/codec.cpp.o"
+  "CMakeFiles/rafda_net.dir/codec.cpp.o.d"
+  "CMakeFiles/rafda_net.dir/corbx.cpp.o"
+  "CMakeFiles/rafda_net.dir/corbx.cpp.o.d"
+  "CMakeFiles/rafda_net.dir/message.cpp.o"
+  "CMakeFiles/rafda_net.dir/message.cpp.o.d"
+  "CMakeFiles/rafda_net.dir/network.cpp.o"
+  "CMakeFiles/rafda_net.dir/network.cpp.o.d"
+  "CMakeFiles/rafda_net.dir/rmib.cpp.o"
+  "CMakeFiles/rafda_net.dir/rmib.cpp.o.d"
+  "CMakeFiles/rafda_net.dir/soapx.cpp.o"
+  "CMakeFiles/rafda_net.dir/soapx.cpp.o.d"
+  "librafda_net.a"
+  "librafda_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rafda_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

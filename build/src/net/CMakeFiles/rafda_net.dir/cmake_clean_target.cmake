@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librafda_net.a"
+)

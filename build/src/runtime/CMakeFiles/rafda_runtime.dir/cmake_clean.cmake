@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rafda_runtime.dir/adapter.cpp.o"
+  "CMakeFiles/rafda_runtime.dir/adapter.cpp.o.d"
+  "CMakeFiles/rafda_runtime.dir/advisor.cpp.o"
+  "CMakeFiles/rafda_runtime.dir/advisor.cpp.o.d"
+  "CMakeFiles/rafda_runtime.dir/node.cpp.o"
+  "CMakeFiles/rafda_runtime.dir/node.cpp.o.d"
+  "CMakeFiles/rafda_runtime.dir/policy.cpp.o"
+  "CMakeFiles/rafda_runtime.dir/policy.cpp.o.d"
+  "CMakeFiles/rafda_runtime.dir/policy_config.cpp.o"
+  "CMakeFiles/rafda_runtime.dir/policy_config.cpp.o.d"
+  "CMakeFiles/rafda_runtime.dir/system.cpp.o"
+  "CMakeFiles/rafda_runtime.dir/system.cpp.o.d"
+  "librafda_runtime.a"
+  "librafda_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rafda_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rafda_support.dir/bytes.cpp.o"
+  "CMakeFiles/rafda_support.dir/bytes.cpp.o.d"
+  "CMakeFiles/rafda_support.dir/error.cpp.o"
+  "CMakeFiles/rafda_support.dir/error.cpp.o.d"
+  "CMakeFiles/rafda_support.dir/log.cpp.o"
+  "CMakeFiles/rafda_support.dir/log.cpp.o.d"
+  "CMakeFiles/rafda_support.dir/rng.cpp.o"
+  "CMakeFiles/rafda_support.dir/rng.cpp.o.d"
+  "CMakeFiles/rafda_support.dir/strings.cpp.o"
+  "CMakeFiles/rafda_support.dir/strings.cpp.o.d"
+  "librafda_support.a"
+  "librafda_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rafda_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/analysis.cpp" "src/transform/CMakeFiles/rafda_transform.dir/analysis.cpp.o" "gcc" "src/transform/CMakeFiles/rafda_transform.dir/analysis.cpp.o.d"
+  "/root/repo/src/transform/generator.cpp" "src/transform/CMakeFiles/rafda_transform.dir/generator.cpp.o" "gcc" "src/transform/CMakeFiles/rafda_transform.dir/generator.cpp.o.d"
+  "/root/repo/src/transform/local_binder.cpp" "src/transform/CMakeFiles/rafda_transform.dir/local_binder.cpp.o" "gcc" "src/transform/CMakeFiles/rafda_transform.dir/local_binder.cpp.o.d"
+  "/root/repo/src/transform/naming.cpp" "src/transform/CMakeFiles/rafda_transform.dir/naming.cpp.o" "gcc" "src/transform/CMakeFiles/rafda_transform.dir/naming.cpp.o.d"
+  "/root/repo/src/transform/pipeline.cpp" "src/transform/CMakeFiles/rafda_transform.dir/pipeline.cpp.o" "gcc" "src/transform/CMakeFiles/rafda_transform.dir/pipeline.cpp.o.d"
+  "/root/repo/src/transform/rewriter.cpp" "src/transform/CMakeFiles/rafda_transform.dir/rewriter.cpp.o" "gcc" "src/transform/CMakeFiles/rafda_transform.dir/rewriter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/rafda_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/rafda_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rafda_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rafda_transform.dir/analysis.cpp.o"
+  "CMakeFiles/rafda_transform.dir/analysis.cpp.o.d"
+  "CMakeFiles/rafda_transform.dir/generator.cpp.o"
+  "CMakeFiles/rafda_transform.dir/generator.cpp.o.d"
+  "CMakeFiles/rafda_transform.dir/local_binder.cpp.o"
+  "CMakeFiles/rafda_transform.dir/local_binder.cpp.o.d"
+  "CMakeFiles/rafda_transform.dir/naming.cpp.o"
+  "CMakeFiles/rafda_transform.dir/naming.cpp.o.d"
+  "CMakeFiles/rafda_transform.dir/pipeline.cpp.o"
+  "CMakeFiles/rafda_transform.dir/pipeline.cpp.o.d"
+  "CMakeFiles/rafda_transform.dir/rewriter.cpp.o"
+  "CMakeFiles/rafda_transform.dir/rewriter.cpp.o.d"
+  "librafda_transform.a"
+  "librafda_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rafda_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librafda_transform.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/heap.cpp" "src/vm/CMakeFiles/rafda_vm.dir/heap.cpp.o" "gcc" "src/vm/CMakeFiles/rafda_vm.dir/heap.cpp.o.d"
+  "/root/repo/src/vm/interp.cpp" "src/vm/CMakeFiles/rafda_vm.dir/interp.cpp.o" "gcc" "src/vm/CMakeFiles/rafda_vm.dir/interp.cpp.o.d"
+  "/root/repo/src/vm/prelude.cpp" "src/vm/CMakeFiles/rafda_vm.dir/prelude.cpp.o" "gcc" "src/vm/CMakeFiles/rafda_vm.dir/prelude.cpp.o.d"
+  "/root/repo/src/vm/value.cpp" "src/vm/CMakeFiles/rafda_vm.dir/value.cpp.o" "gcc" "src/vm/CMakeFiles/rafda_vm.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/rafda_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rafda_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

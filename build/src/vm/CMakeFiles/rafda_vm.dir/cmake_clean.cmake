@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rafda_vm.dir/heap.cpp.o"
+  "CMakeFiles/rafda_vm.dir/heap.cpp.o.d"
+  "CMakeFiles/rafda_vm.dir/interp.cpp.o"
+  "CMakeFiles/rafda_vm.dir/interp.cpp.o.d"
+  "CMakeFiles/rafda_vm.dir/prelude.cpp.o"
+  "CMakeFiles/rafda_vm.dir/prelude.cpp.o.d"
+  "CMakeFiles/rafda_vm.dir/value.cpp.o"
+  "CMakeFiles/rafda_vm.dir/value.cpp.o.d"
+  "librafda_vm.a"
+  "librafda_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rafda_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

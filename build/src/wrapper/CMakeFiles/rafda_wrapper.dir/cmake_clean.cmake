@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rafda_wrapper.dir/wrapper_pipeline.cpp.o"
+  "CMakeFiles/rafda_wrapper.dir/wrapper_pipeline.cpp.o.d"
+  "librafda_wrapper.a"
+  "librafda_wrapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rafda_wrapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

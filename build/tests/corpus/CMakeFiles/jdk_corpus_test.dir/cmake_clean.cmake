@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jdk_corpus_test.dir/jdk_corpus_test.cpp.o"
+  "CMakeFiles/jdk_corpus_test.dir/jdk_corpus_test.cpp.o.d"
+  "jdk_corpus_test"
+  "jdk_corpus_test.pdb"
+  "jdk_corpus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jdk_corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

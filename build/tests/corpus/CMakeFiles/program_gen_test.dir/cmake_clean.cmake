@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/program_gen_test.dir/program_gen_test.cpp.o"
+  "CMakeFiles/program_gen_test.dir/program_gen_test.cpp.o.d"
+  "program_gen_test"
+  "program_gen_test.pdb"
+  "program_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/program_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_scenario_test.dir/full_scenario_test.cpp.o"
+  "CMakeFiles/full_scenario_test.dir/full_scenario_test.cpp.o.d"
+  "full_scenario_test"
+  "full_scenario_test.pdb"
+  "full_scenario_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_and_fuzz_test.dir/scale_and_fuzz_test.cpp.o"
+  "CMakeFiles/scale_and_fuzz_test.dir/scale_and_fuzz_test.cpp.o.d"
+  "scale_and_fuzz_test"
+  "scale_and_fuzz_test.pdb"
+  "scale_and_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_and_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classpool_test.dir/classpool_test.cpp.o"
+  "CMakeFiles/classpool_test.dir/classpool_test.cpp.o.d"
+  "classpool_test"
+  "classpool_test.pdb"
+  "classpool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classpool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/model
+# Build directory: /root/repo/build/tests/model
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/model/type_test[1]_include.cmake")
+include("/root/repo/build/tests/model/assembler_test[1]_include.cmake")
+include("/root/repo/build/tests/model/classpool_test[1]_include.cmake")
+include("/root/repo/build/tests/model/builder_test[1]_include.cmake")
+include("/root/repo/build/tests/model/verifier_test[1]_include.cmake")
+include("/root/repo/build/tests/model/printer_test[1]_include.cmake")
+include("/root/repo/build/tests/model/binio_test[1]_include.cmake")
+include("/root/repo/build/tests/model/classfile_test[1]_include.cmake")

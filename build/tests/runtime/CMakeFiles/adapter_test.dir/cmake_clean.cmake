@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapter_test.dir/adapter_test.cpp.o"
+  "CMakeFiles/adapter_test.dir/adapter_test.cpp.o.d"
+  "adapter_test"
+  "adapter_test.pdb"
+  "adapter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chains_test.dir/chains_test.cpp.o"
+  "CMakeFiles/chains_test.dir/chains_test.cpp.o.d"
+  "chains_test"
+  "chains_test.pdb"
+  "chains_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chains_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

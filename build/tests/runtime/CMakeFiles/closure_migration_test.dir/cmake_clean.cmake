@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closure_migration_test.dir/closure_migration_test.cpp.o"
+  "CMakeFiles/closure_migration_test.dir/closure_migration_test.cpp.o.d"
+  "closure_migration_test"
+  "closure_migration_test.pdb"
+  "closure_migration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closure_migration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

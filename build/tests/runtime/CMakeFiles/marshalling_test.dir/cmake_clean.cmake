@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marshalling_test.dir/marshalling_test.cpp.o"
+  "CMakeFiles/marshalling_test.dir/marshalling_test.cpp.o.d"
+  "marshalling_test"
+  "marshalling_test.pdb"
+  "marshalling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marshalling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redistribution_test.dir/redistribution_test.cpp.o"
+  "CMakeFiles/redistribution_test.dir/redistribution_test.cpp.o.d"
+  "redistribution_test"
+  "redistribution_test.pdb"
+  "redistribution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redistribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/runtime
+# Build directory: /root/repo/build/tests/runtime
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/runtime/system_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime/redistribution_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime/faults_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime/policy_config_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime/chains_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime/adapter_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime/closure_migration_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime/marshalling_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime/advisor_test[1]_include.cmake")

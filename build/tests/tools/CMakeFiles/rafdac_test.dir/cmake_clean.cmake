@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rafdac_test.dir/rafdac_test.cpp.o"
+  "CMakeFiles/rafdac_test.dir/rafdac_test.cpp.o.d"
+  "rafdac_test"
+  "rafdac_test.pdb"
+  "rafdac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rafdac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/transform/figures_golden_test.cpp" "tests/transform/CMakeFiles/figures_golden_test.dir/figures_golden_test.cpp.o" "gcc" "tests/transform/CMakeFiles/figures_golden_test.dir/figures_golden_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transform/CMakeFiles/rafda_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/rafda_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rafda_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rafda_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

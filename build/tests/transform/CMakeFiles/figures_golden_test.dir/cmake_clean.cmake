@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figures_golden_test.dir/figures_golden_test.cpp.o"
+  "CMakeFiles/figures_golden_test.dir/figures_golden_test.cpp.o.d"
+  "figures_golden_test"
+  "figures_golden_test.pdb"
+  "figures_golden_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figures_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

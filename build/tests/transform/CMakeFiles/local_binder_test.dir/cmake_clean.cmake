@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_binder_test.dir/local_binder_test.cpp.o"
+  "CMakeFiles/local_binder_test.dir/local_binder_test.cpp.o.d"
+  "local_binder_test"
+  "local_binder_test.pdb"
+  "local_binder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_binder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

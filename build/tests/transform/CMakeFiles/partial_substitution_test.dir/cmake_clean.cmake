@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_substitution_test.dir/partial_substitution_test.cpp.o"
+  "CMakeFiles/partial_substitution_test.dir/partial_substitution_test.cpp.o.d"
+  "partial_substitution_test"
+  "partial_substitution_test.pdb"
+  "partial_substitution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_substitution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

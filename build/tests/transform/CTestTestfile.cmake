@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/transform
+# Build directory: /root/repo/build/tests/transform
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/transform/naming_test[1]_include.cmake")
+include("/root/repo/build/tests/transform/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/transform/rewriter_test[1]_include.cmake")
+include("/root/repo/build/tests/transform/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/transform/figures_golden_test[1]_include.cmake")
+include("/root/repo/build/tests/transform/equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/transform/partial_substitution_test[1]_include.cmake")
+include("/root/repo/build/tests/transform/local_binder_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exceptions_test.dir/exceptions_test.cpp.o"
+  "CMakeFiles/exceptions_test.dir/exceptions_test.cpp.o.d"
+  "exceptions_test"
+  "exceptions_test.pdb"
+  "exceptions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exceptions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

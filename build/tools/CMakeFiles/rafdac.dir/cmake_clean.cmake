@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rafdac.dir/rafdac.cpp.o"
+  "CMakeFiles/rafdac.dir/rafdac.cpp.o.d"
+  "rafdac"
+  "rafdac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rafdac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rafdac.
+# This may be replaced when dependencies are built.
