@@ -187,6 +187,23 @@ void BM_Adaptive(benchmark::State& state) {
 }
 BENCHMARK(BM_Adaptive);
 
+void emit_summary() {
+    RunResult pinned0 = run(0);
+    RunResult pinned1 = run(1);
+    RunResult adaptive = run(-1);
+    bench::JsonSummary("E6")
+        .add("pinned0_total_us", pinned0.total_us)
+        .add("pinned1_total_us", pinned1.total_us)
+        .add("adaptive_total_us", adaptive.total_us)
+        .add("adaptive_migrations", adaptive.migrations)
+        .add("identical_results",
+             std::string(pinned0.outcome == adaptive.outcome &&
+                                 pinned1.outcome == adaptive.outcome
+                             ? "yes"
+                             : "no"))
+        .emit();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -198,5 +215,6 @@ int main(int argc, char** argv) {
     print_series();
     ::benchmark::Initialize(&argc, argv);
     ::benchmark::RunSpecifiedBenchmarks();
+    emit_summary();
     return 0;
 }

@@ -140,6 +140,37 @@ BENCHMARK(BM_PayloadRMI)->Arg(16)->Arg(256)->Arg(4096);
 void BM_PayloadSOAP(benchmark::State& state) { run_payload(state, "SOAP"); }
 BENCHMARK(BM_PayloadSOAP)->Arg(16)->Arg(256)->Arg(4096);
 
+/// 100 remote work() calls per protocol, measured via snapshot/diff.
+void emit_summary() {
+    bench::JsonSummary summary("E5");
+    for (const std::string protocol : {"RMI", "CORBA", "SOAP"}) {
+        model::ClassPool pool = bench::assemble_app(bench::kServiceApp);
+        runtime::SystemOptions options;
+        options.pipeline.generator.protocols = {"RMI", "SOAP", "CORBA"};
+        runtime::System system(pool, options);
+        system.add_node();
+        system.add_node();
+        system.policy().set_instance_home("Service", 1, protocol);
+        Value svc = system.construct(0, "Service", "()V");
+        vm::Interpreter& n0 = system.node(0).interp();
+        obs::Snapshot before = system.metrics().snapshot();
+        const std::uint64_t t0 = system.network().now_us();
+        for (std::int64_t k = 1; k <= 100; ++k)
+            n0.call_virtual(svc, "work", "(J)J", {Value::of_long(k)});
+        obs::Snapshot window = obs::diff(before, system.metrics().snapshot());
+        const std::string prefix = "rpc.proto." + protocol + ".";
+        const double calls =
+            static_cast<double>(window.counter_value(prefix + "calls"));
+        summary.add(protocol + "_virtual_us_per_call",
+                    static_cast<double>(system.network().now_us() - t0) / calls);
+        summary.add(protocol + "_wire_bytes_per_call",
+                    static_cast<double>(window.counter_value(prefix + "request_bytes") +
+                                        window.counter_value(prefix + "reply_bytes")) /
+                        calls);
+    }
+    summary.emit();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -150,5 +181,6 @@ int main(int argc, char** argv) {
         "wire_bytes several times RMI's, growing with payload.\n\n");
     ::benchmark::Initialize(&argc, argv);
     ::benchmark::RunSpecifiedBenchmarks();
+    emit_summary();
     return 0;
 }

@@ -111,6 +111,32 @@ void BM_DiscoverLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_DiscoverLookup);
 
+/// Instruction counts for one burst(100) per creation path — exact, so
+/// the seam's constant factor is pinned by a number, not a timing.
+void emit_summary() {
+    model::ClassPool pool = bench::assemble_app(bench::kAllocApp);
+    vm::Interpreter direct(pool);
+    vm::bind_prelude_natives(direct);
+    direct.call_static("Alloc", "burst", "(I)I", {Value::of_int(100)});
+
+    transform::PipelineResult result = transform::run_pipeline(pool);
+    vm::Interpreter seamed(result.pool);
+    vm::bind_prelude_natives(seamed);
+    transform::bind_local_factories(seamed, result.report);
+    transform::call_transformed_static(seamed, pool, result.report, "Alloc", "burst",
+                                       "(I)I", {Value::of_int(100)});
+
+    bench::JsonSummary("E7")
+        .add("direct_instructions", direct.counters().instructions)
+        .add("factory_instructions", seamed.counters().instructions)
+        .add("direct_allocations", direct.counters().allocations)
+        .add("factory_allocations", seamed.counters().allocations)
+        .add("instruction_factor",
+             static_cast<double>(seamed.counters().instructions) /
+                 static_cast<double>(direct.counters().instructions))
+        .emit();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -118,5 +144,6 @@ int main(int argc, char** argv) {
     std::printf("expected shape: constant-factor overhead (a few extra dispatches).\n\n");
     ::benchmark::Initialize(&argc, argv);
     ::benchmark::RunSpecifiedBenchmarks();
+    emit_summary();
     return 0;
 }

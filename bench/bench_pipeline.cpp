@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "corpus/program_gen.hpp"
 #include "transform/pipeline.hpp"
 #include "vm/prelude.hpp"
@@ -78,6 +79,23 @@ void BM_AnalysisOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_AnalysisOnly);
 
+void emit_summary() {
+    corpus::ProgramParams params;
+    params.classes = 10;
+    params.seed = 3;
+    model::ClassPool pool = corpus::generate_program(params);
+    const std::size_t before = pool.size();
+    transform::PipelineResult result = transform::run_pipeline(pool);
+    bench::JsonSummary("E1")
+        .add("classes_before", static_cast<std::uint64_t>(before))
+        .add("classes_after", static_cast<std::uint64_t>(result.pool.size()))
+        .add("substituted",
+             static_cast<std::uint64_t>(result.report.substituted_classes().size()))
+        .add("expansion_factor",
+             static_cast<double>(result.pool.size()) / static_cast<double>(before))
+        .emit();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -85,5 +103,6 @@ int main(int argc, char** argv) {
     print_expansion_table();
     ::benchmark::Initialize(&argc, argv);
     ::benchmark::RunSpecifiedBenchmarks();
+    emit_summary();
     return 0;
 }

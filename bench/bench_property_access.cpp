@@ -73,6 +73,39 @@ void BM_WrapperPropertyAccess(benchmark::State& state) {
 }
 BENCHMARK(BM_WrapperPropertyAccess);
 
+/// Exact instruction counts for one spin(500) per regime.
+void emit_summary() {
+    model::ClassPool pool = bench::assemble_app(bench::kHotFieldApp);
+
+    vm::Interpreter raw(pool);
+    vm::bind_prelude_natives(raw);
+    Value cell = raw.construct("Cell", "()V", {});
+    raw.call_static("Driver", "spin", "(LCell;I)J", {cell, Value::of_int(kSpin)});
+
+    transform::PipelineResult transformed = transform::run_pipeline(pool);
+    vm::Interpreter rafda(transformed.pool);
+    vm::bind_prelude_natives(rafda);
+    transform::bind_local_factories(rafda, transformed.report);
+    Value prop = rafda.call_static("Cell_O_Factory", "make", "()LCell_O_Int;");
+    rafda.call_static("Cell_O_Factory", "init", "(LCell_O_Int;)V", {prop});
+    transform::call_transformed_static(rafda, pool, transformed.report, "Driver",
+                                       "spin", "(LCell;I)J",
+                                       {prop, Value::of_int(kSpin)});
+
+    wrapper::WrapperResult wrapped = wrapper::run_wrapper_pipeline(pool);
+    vm::Interpreter wrapper_vm(wrapped.pool);
+    vm::bind_prelude_natives(wrapper_vm);
+    Value wcell = wrapper_vm.call_static("Cell_Wrapper", "make", "()LCell_Wrapper;");
+    wrapper_vm.call_static("Cell_Wrapper", "init", "(LCell_Wrapper;)V", {wcell});
+    wrapper_vm.call_static("Driver", "spin", "(LCell;I)J", {wcell, Value::of_int(kSpin)});
+
+    bench::JsonSummary("E8")
+        .add("raw_instructions", raw.counters().instructions)
+        .add("interface_instructions", rafda.counters().instructions)
+        .add("wrapper_instructions", wrapper_vm.counters().instructions)
+        .emit();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -80,5 +113,6 @@ int main(int argc, char** argv) {
     std::printf("expected shape: raw < interface (RAFDA) < wrapper.\n\n");
     ::benchmark::Initialize(&argc, argv);
     ::benchmark::RunSpecifiedBenchmarks();
+    emit_summary();
     return 0;
 }

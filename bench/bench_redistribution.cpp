@@ -182,6 +182,44 @@ void BM_CallBeforeMigration(benchmark::State& state) {
 }
 BENCHMARK(BM_CallBeforeMigration);
 
+/// Deterministic record of the Figure 1 lifecycle, measured through the
+/// metrics registry's snapshot/diff window around the first migration.
+void emit_summary() {
+    model::ClassPool pool = bench::assemble_app(bench::kFig1App);
+    runtime::System system(pool);
+    system.add_node();
+    system.add_node();
+    Value c = system.construct(0, "C", "()V");
+    Value a = system.construct(0, "A", "(LC;)V", {c});
+    vm::Interpreter& n0 = system.node(0).interp();
+    auto per_call_us = [&](int calls) {
+        std::uint64_t t0 = system.network().now_us();
+        for (int k = 0; k < calls; ++k) n0.call_virtual(a, "act", "()I");
+        return static_cast<double>(system.network().now_us() - t0) / calls;
+    };
+
+    const double local_us = per_call_us(100);
+    obs::Snapshot before = system.metrics().snapshot();
+    vm::ObjId on1 = system.migrate_instance(0, c.as_ref(), 1, "RMI");
+    const double remote_us = per_call_us(100);
+    obs::Snapshot window = obs::diff(before, system.metrics().snapshot());
+    system.migrate_instance(1, on1, 0, "RMI");
+    const double chained_us = per_call_us(100);
+    const int hops = system.shorten_chain(0, c.as_ref());
+    const double shortened_us = per_call_us(100);
+
+    bench::JsonSummary("E2")
+        .add("local_us_per_call", local_us)
+        .add("remote_us_per_call", remote_us)
+        .add("chained_us_per_call", chained_us)
+        .add("shortened_us_per_call", shortened_us)
+        .add("chain_hops_removed", static_cast<std::uint64_t>(hops))
+        .add("remote_calls_after_migration",
+             window.counter_value("rpc.proto.RMI.calls"))
+        .add("migration_bytes", window.counter_value("runtime.migration_bytes"))
+        .emit();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -194,5 +232,6 @@ int main(int argc, char** argv) {
     print_closure_table();
     ::benchmark::Initialize(&argc, argv);
     ::benchmark::RunSpecifiedBenchmarks();
+    emit_summary();
     return 0;
 }

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "corpus/jdk_corpus.hpp"
 #include "transform/analysis.hpp"
 
@@ -85,11 +86,24 @@ void BM_GenerateJdkCorpus(benchmark::State& state) {
 }
 BENCHMARK(BM_GenerateJdkCorpus)->Arg(8200);
 
+void emit_summary() {
+    corpus::JdkCorpusParams params;
+    model::ClassPool pool = corpus::generate_jdk_corpus(params);
+    transform::Analysis analysis = transform::analyze(pool);
+    bench::JsonSummary("E3")
+        .add("types", static_cast<std::uint64_t>(analysis.total()))
+        .add("non_transformable",
+             static_cast<std::uint64_t>(analysis.non_transformable_count()))
+        .add("non_transformable_fraction", analysis.non_transformable_fraction())
+        .emit();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     print_experiment_tables();
     ::benchmark::Initialize(&argc, argv);
     ::benchmark::RunSpecifiedBenchmarks();
+    emit_summary();
     return 0;
 }

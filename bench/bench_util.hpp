@@ -1,14 +1,65 @@
 // Shared guest programs and helpers for the experiment benches.
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "model/assembler.hpp"
 #include "model/classpool.hpp"
 #include "model/verifier.hpp"
+#include "obs/export.hpp"
 #include "vm/prelude.hpp"
 
 namespace rafda::bench {
+
+/// Machine-readable experiment record.  Every bench main() ends by
+/// emitting one single-line JSON object — also mirrored to
+/// `BENCH_<experiment>.json` in the working directory — so a harness can
+/// scrape the deterministic virtual-time results without parsing the
+/// human tables above it.  Values come from the simulation (virtual
+/// clock, metric snapshots), never from wall-clock timings.
+class JsonSummary {
+public:
+    explicit JsonSummary(std::string experiment) : experiment_(std::move(experiment)) {}
+
+    JsonSummary& add(const std::string& key, std::uint64_t v) {
+        fields_.emplace_back(key, std::to_string(v));
+        return *this;
+    }
+    JsonSummary& add(const std::string& key, double v) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.6g", v);
+        fields_.emplace_back(key, buf);
+        return *this;
+    }
+    JsonSummary& add(const std::string& key, const std::string& v) {
+        fields_.emplace_back(key, "\"" + obs::json_escape(v) + "\"");
+        return *this;
+    }
+
+    std::string str() const {
+        std::string out = "{\"experiment\":\"" + obs::json_escape(experiment_) + "\"";
+        for (const auto& [k, v] : fields_) out += ",\"" + obs::json_escape(k) + "\":" + v;
+        out += "}";
+        return out;
+    }
+
+    /// Prints the record as the final stdout line and writes the sidecar
+    /// file.
+    void emit() const {
+        const std::string line = str();
+        std::ofstream("BENCH_" + experiment_ + ".json") << line << "\n";
+        std::printf("%s\n", line.c_str());
+    }
+
+private:
+    std::string experiment_;
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 /// A compute-service class used by the dispatch/placement benches: `work`
 /// mixes field access, arithmetic and an optional string payload echo.

@@ -135,11 +135,45 @@ void print_preamble() {
         "allocations).  guest_* counters are deterministic.\n\n");
 }
 
+/// One run of the identical workload per variant; the VM work counters
+/// are exact, so the overhead factors are deterministic.
+void emit_summary() {
+    model::ClassPool pool = corpus::generate_program(workload_params());
+
+    vm::Interpreter original(pool);
+    vm::bind_prelude_natives(original);
+    run_main(original);
+
+    transform::PipelineResult transformed = transform::run_pipeline(pool);
+    vm::Interpreter rafda(transformed.pool);
+    vm::bind_prelude_natives(rafda);
+    transform::bind_local_factories(rafda, transformed.report);
+    transform::call_transformed_static(rafda, pool, transformed.report,
+                                       corpus::kProgramMain, "main", "()V");
+
+    wrapper::WrapperResult wrapped = wrapper::run_wrapper_pipeline(pool);
+    vm::Interpreter wrapper_vm(wrapped.pool);
+    vm::bind_prelude_natives(wrapper_vm);
+    run_main(wrapper_vm);
+
+    const double base = static_cast<double>(original.counters().instructions);
+    bench::JsonSummary("E4")
+        .add("original_instructions", original.counters().instructions)
+        .add("rafda_instructions", rafda.counters().instructions)
+        .add("wrapper_instructions", wrapper_vm.counters().instructions)
+        .add("rafda_overhead_factor",
+             static_cast<double>(rafda.counters().instructions) / base)
+        .add("wrapper_overhead_factor",
+             static_cast<double>(wrapper_vm.counters().instructions) / base)
+        .emit();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     print_preamble();
     ::benchmark::Initialize(&argc, argv);
     ::benchmark::RunSpecifiedBenchmarks();
+    emit_summary();
     return 0;
 }

@@ -47,6 +47,12 @@ enum class RequestKind : std::uint8_t {
 struct CallRequest {
     RequestKind kind = RequestKind::Invoke;
     std::uint64_t request_id = 0;
+    // Trace context (see src/obs/trace.hpp): the caller's trace id and the
+    // span the request was issued under, so the remote dispatch nests under
+    // the proxy invocation that caused it — across forwarding chains too.
+    // Zero means "not traced"; codecs always carry both.
+    std::uint64_t trace_id = 0;
+    std::uint64_t parent_span = 0;
     std::int32_t src_node = 0;
     std::uint64_t target_oid = 0;  // Invoke only
     std::string cls;               // Create/Discover: original class name

@@ -1,6 +1,7 @@
 #include "net/network.hpp"
 
 #include <cmath>
+#include <string>
 
 namespace rafda::net {
 
@@ -17,16 +18,41 @@ const LinkParams& SimNetwork::link(NodeId src, NodeId dst) const {
     return it == links_.end() ? default_link_ : it->second;
 }
 
+SimNetwork::LinkMetrics& SimNetwork::link_metrics(NodeId src, NodeId dst) {
+    auto it = link_metrics_.find({src, dst});
+    if (it == link_metrics_.end()) {
+        const std::string prefix = "net.link." + std::to_string(src) + "." +
+                                   std::to_string(dst) + ".";
+        LinkMetrics m;
+        m.messages = &registry_->counter(prefix + "messages");
+        m.bytes = &registry_->counter(prefix + "bytes");
+        m.drops = &registry_->counter(prefix + "drops");
+        it = link_metrics_.emplace(std::make_pair(src, dst), m).first;
+    }
+    return it->second;
+}
+
+void SimNetwork::attach_metrics(obs::Registry* registry) {
+    registry_ = registry;
+    link_metrics_.clear();
+}
+
 std::optional<std::uint64_t> SimNetwork::transfer(NodeId src, NodeId dst,
                                                   std::size_t size) {
     const LinkParams& params = link(src, dst);
     LinkStats& stats = stats_[{src, dst}];
+    LinkMetrics* metrics = registry_ ? &link_metrics(src, dst) : nullptr;
     if (rng_.chance(params.drop_probability)) {
         ++stats.drops;
+        if (metrics) metrics->drops->add();
         return std::nullopt;
     }
     ++stats.messages;
     stats.bytes += size;
+    if (metrics) {
+        metrics->messages->add();
+        metrics->bytes->add(size);
+    }
     double serialization =
         params.bandwidth_bytes_per_us > 0
             ? static_cast<double>(size) / params.bandwidth_bytes_per_us

@@ -12,6 +12,7 @@
 #include <map>
 #include <optional>
 
+#include "obs/metrics.hpp"
 #include "support/bytes.hpp"
 #include "support/rng.hpp"
 
@@ -58,10 +59,24 @@ public:
     LinkStats total_stats() const;
     void reset_stats();
 
+    /// Mirrors per-link accounting into `registry` as counters named
+    /// net.link.<src>.<dst>.{messages,bytes,drops}.  Pass nullptr to
+    /// detach.  The registry must outlive the network (or be detached).
+    void attach_metrics(obs::Registry* registry);
+
 private:
+    struct LinkMetrics {
+        obs::Counter* messages = nullptr;
+        obs::Counter* bytes = nullptr;
+        obs::Counter* drops = nullptr;
+    };
+    LinkMetrics& link_metrics(NodeId src, NodeId dst);
+
     LinkParams default_link_;
     std::map<std::pair<NodeId, NodeId>, LinkParams> links_;
     mutable std::map<std::pair<NodeId, NodeId>, LinkStats> stats_;
+    obs::Registry* registry_ = nullptr;
+    std::map<std::pair<NodeId, NodeId>, LinkMetrics> link_metrics_;
     std::uint64_t clock_us_ = 0;
     Rng rng_;
 };

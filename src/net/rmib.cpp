@@ -60,6 +60,8 @@ Bytes RmibCodec::encode_request(const CallRequest& req) const {
     w.u8(kMagicRequest);
     w.u8(static_cast<std::uint8_t>(req.kind));
     w.u64(req.request_id);
+    w.u64(req.trace_id);
+    w.u64(req.parent_span);
     w.i32(req.src_node);
     w.u64(req.target_oid);
     w.str(req.cls);
@@ -79,6 +81,8 @@ CallRequest RmibCodec::decode_request(const Bytes& data) const {
         throw CodecError("rmib: bad request kind");
     req.kind = static_cast<RequestKind>(kind);
     req.request_id = r.u64();
+    req.trace_id = r.u64();
+    req.parent_span = r.u64();
     req.src_node = r.i32();
     req.target_oid = r.u64();
     req.cls = r.str();

@@ -233,7 +233,8 @@ const std::string& SoapxCodec::protocol() const {
 Bytes SoapxCodec::encode_request(const CallRequest& req) const {
     std::ostringstream os;
     os << "<Envelope><Body><Request kind=\"" << kind_name(req.kind) << "\" id=\""
-       << req.request_id << "\" src=\"" << req.src_node << "\" target=\""
+       << req.request_id << "\" trace=\"" << req.trace_id << "\" span=\""
+       << req.parent_span << "\" src=\"" << req.src_node << "\" target=\""
        << req.target_oid << "\" class=\"" << xml_escape(req.cls) << "\" method=\""
        << xml_escape(req.method) << "\" desc=\"" << xml_escape(req.desc) << "\">";
     for (const MarshalledValue& a : req.args) encode_value(os, "arg", a);
@@ -249,6 +250,8 @@ CallRequest SoapxCodec::decode_request(const Bytes& data) const {
     CallRequest req;
     req.kind = kind_from_name(request.attr("kind"));
     req.request_id = std::strtoull(request.attr("id").c_str(), nullptr, 10);
+    req.trace_id = std::strtoull(request.attr("trace").c_str(), nullptr, 10);
+    req.parent_span = std::strtoull(request.attr("span").c_str(), nullptr, 10);
     req.src_node =
         static_cast<std::int32_t>(std::strtol(request.attr("src").c_str(), nullptr, 10));
     req.target_oid = std::strtoull(request.attr("target").c_str(), nullptr, 10);

@@ -1,0 +1,102 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace rafda::obs {
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+void emit_sample_json(std::ostringstream& os, const Sample& s) {
+    switch (s.kind) {
+        case Sample::Kind::Counter: os << s.counter; break;
+        case Sample::Kind::Gauge: os << s.gauge; break;
+        case Sample::Kind::Histogram: {
+            double mean = s.count ? static_cast<double>(s.sum) /
+                                        static_cast<double>(s.count)
+                                  : 0.0;
+            os << "{\"count\":" << s.count << ",\"sum\":" << s.sum
+               << ",\"min\":" << s.min << ",\"max\":" << s.max << ",\"mean\":" << mean
+               << ",\"buckets\":{";
+            bool first = true;
+            for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+                if (s.buckets[i] == 0) continue;
+                if (!first) os << ",";
+                first = false;
+                os << "\"";
+                if (i == Histogram::kBuckets - 1)
+                    os << "inf";
+                else
+                    os << "le_" << Histogram::bucket_upper_bound(i);
+                os << "\":" << s.buckets[i];
+            }
+            os << "}}";
+            break;
+        }
+    }
+}
+
+}  // namespace
+
+std::string to_json(const Snapshot& snapshot) {
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    for (const auto& [name, s] : snapshot.samples) {
+        if (!first) os << ",";
+        first = false;
+        os << "\"" << json_escape(name) << "\":";
+        emit_sample_json(os, s);
+    }
+    os << "}";
+    return os.str();
+}
+
+std::string to_table(const Snapshot& snapshot) {
+    std::size_t width = 0;
+    for (const auto& [name, _] : snapshot.samples)
+        if (name.size() > width) width = name.size();
+    std::ostringstream os;
+    for (const auto& [name, s] : snapshot.samples) {
+        os << name << std::string(width - name.size() + 2, ' ');
+        switch (s.kind) {
+            case Sample::Kind::Counter: os << s.counter; break;
+            case Sample::Kind::Gauge: os << s.gauge; break;
+            case Sample::Kind::Histogram: {
+                double mean = s.count ? static_cast<double>(s.sum) /
+                                            static_cast<double>(s.count)
+                                      : 0.0;
+                os << "count=" << s.count << " sum=" << s.sum << " min=" << s.min
+                   << " max=" << s.max << " mean=" << mean;
+                break;
+            }
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace rafda::obs

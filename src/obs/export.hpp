@@ -1,0 +1,27 @@
+// Machine- and human-readable exports of metric snapshots.
+//
+// to_json emits one JSON object on a single line — the contract the
+// `rafdac stats --json` subcommand and the bench summary records rely on
+// (one line in, one parseable document out).  Counters become numbers,
+// gauges become numbers, histograms become objects with count/sum/min/
+// max/mean/p50/p99 plus the non-empty buckets keyed by their inclusive
+// upper bound.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace rafda::obs {
+
+/// Escapes a string for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string json_escape(const std::string& s);
+
+/// The snapshot as a single-line JSON object: {"metric.name": value, ...}.
+std::string to_json(const Snapshot& snapshot);
+
+/// The snapshot as an aligned human-readable table, one metric per line.
+std::string to_table(const Snapshot& snapshot);
+
+}  // namespace rafda::obs

@@ -1,0 +1,149 @@
+// Span tracer — follows one logical RPC across its whole path.
+//
+// A span is a named interval of virtual time on one node; spans nest
+// (parent/child) and share a trace id, so one proxy invocation shows up
+// as a tree:
+//
+//   rpc.invoke C.poke (node 0)
+//   ├─ codec.encode_request RMI
+//   ├─ net.transfer 0->1
+//   ├─ codec.decode_request RMI
+//   ├─ rpc.dispatch poke (node 1)          <- parent propagated on the wire
+//   │  └─ vm.execute poke
+//   ├─ codec.encode_reply RMI
+//   ├─ net.transfer 1->0
+//   └─ codec.decode_reply RMI
+//
+// The parent/trace ids travel in the wire `message` header (CallRequest),
+// so forwarding chains and migrations appear as nested rpc.invoke spans
+// under the dispatch that caused them, exactly as the wire saw it.
+//
+// Time is the simulation's virtual clock (SimNetwork::now_us, mirrored
+// into each VM's logical time), injected via set_clock — results are
+// exactly reproducible, never wall-clock noise.
+//
+// Disabled by default: begin() is a single branch returning 0, so the
+// hot RPC path pays nothing when tracing is off.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rafda::obs {
+
+struct Span {
+    std::uint64_t id = 0;
+    std::uint64_t parent = 0;  // 0 = root
+    std::uint64_t trace = 0;   // shared by every span of one logical operation
+    std::string name;
+    std::int32_t node = -1;  // address space the span ran in (-1 = none)
+    std::uint64_t start_us = 0;
+    std::uint64_t end_us = 0;
+    std::vector<std::pair<std::string, std::string>> notes;
+
+    std::uint64_t duration_us() const noexcept {
+        return end_us >= start_us ? end_us - start_us : 0;
+    }
+};
+
+class Tracer {
+public:
+    void set_enabled(bool on) noexcept { enabled_ = on; }
+    bool enabled() const noexcept { return enabled_; }
+
+    /// Virtual-time source; unset means every span reads 0.
+    void set_clock(std::function<std::uint64_t()> clock) { clock_ = std::move(clock); }
+
+    /// Opens a span as a child of the current innermost open span (a new
+    /// root — and a new trace — when none is open).  Returns the span id,
+    /// or 0 when tracing is disabled.
+    std::uint64_t begin(std::string name, std::int32_t node = -1);
+
+    /// Opens a span whose parentage arrived from elsewhere (the wire
+    /// header): used by the server side of an RPC so the dispatch span is
+    /// the child of the *encoded* parent, not of whatever happens to be
+    /// on this tracer's stack.
+    std::uint64_t begin_remote(std::string name, std::int32_t node,
+                               std::uint64_t trace, std::uint64_t parent);
+
+    /// Closes span `id` (and anything left open beneath it).  id 0 is a
+    /// no-op, so callers can pair begin/end unconditionally.
+    void end(std::uint64_t id);
+
+    /// Attaches a key/value note to the innermost open span.
+    void note(const std::string& key, std::string value);
+
+    /// Id of the innermost open span / its trace (0 when none).
+    std::uint64_t current_span() const noexcept;
+    std::uint64_t current_trace() const noexcept;
+
+    /// Every recorded span, in begin order.  Open spans have end_us == 0.
+    const std::vector<Span>& spans() const noexcept { return spans_; }
+    void clear();
+
+    /// ASCII rendering of the span forest with durations and notes.
+    std::string render_tree() const;
+    /// Machine-readable export: a single-line JSON array of span objects.
+    std::string to_json() const;
+
+private:
+    std::uint64_t now() const { return clock_ ? clock_() : 0; }
+
+    bool enabled_ = false;
+    std::function<std::uint64_t()> clock_;
+    std::vector<Span> spans_;
+    std::vector<std::size_t> open_;  // indices into spans_, innermost last
+    std::uint64_t next_id_ = 1;
+};
+
+/// RAII span: ends the span on scope exit, including exceptional unwinds
+/// (a dropped message must not corrupt the open-span stack).
+class ScopedSpan {
+public:
+    ScopedSpan() = default;
+    ScopedSpan(Tracer& tracer, std::string name, std::int32_t node = -1)
+        : tracer_(&tracer), id_(tracer.begin(std::move(name), node)) {}
+
+    /// Takes ownership of an already-open span (e.g. from begin_remote).
+    static ScopedSpan adopt(Tracer& tracer, std::uint64_t id) {
+        ScopedSpan s;
+        s.tracer_ = &tracer;
+        s.id_ = id;
+        return s;
+    }
+    ScopedSpan(ScopedSpan&& other) noexcept
+        : tracer_(other.tracer_), id_(other.id_) {
+        other.tracer_ = nullptr;
+        other.id_ = 0;
+    }
+    ScopedSpan& operator=(ScopedSpan&& other) noexcept {
+        if (this != &other) {
+            finish();
+            tracer_ = other.tracer_;
+            id_ = other.id_;
+            other.tracer_ = nullptr;
+            other.id_ = 0;
+        }
+        return *this;
+    }
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+    ~ScopedSpan() { finish(); }
+
+    std::uint64_t id() const noexcept { return id_; }
+
+private:
+    void finish() {
+        if (tracer_ && id_) tracer_->end(id_);
+        tracer_ = nullptr;
+        id_ = 0;
+    }
+
+    Tracer* tracer_ = nullptr;
+    std::uint64_t id_ = 0;
+};
+
+}  // namespace rafda::obs

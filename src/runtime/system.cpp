@@ -45,8 +45,42 @@ System::System(const model::ClassPool& original, SystemOptions options)
       result_(transform::run_pipeline(prepared_, options.pipeline)),
       network_(options.network_seed) {
     network_.set_default_link(options.default_link);
+    network_.attach_metrics(&metrics_);
+    tracer_.set_clock([this] { return network_.now_us(); });
+    set_log_time_source(
+        [this] { return static_cast<std::int64_t>(network_.now_us()); }, this);
+    migrations_counter_ = &metrics_.counter("runtime.migrations");
+    migration_bytes_counter_ = &metrics_.counter("runtime.migration_bytes");
+    chain_shortenings_counter_ = &metrics_.counter("runtime.chain_shortenings");
+    chain_hops_removed_counter_ = &metrics_.counter("runtime.chain_hops_removed");
     for (const std::string& proto : result_.report.protocols())
         codecs_[proto] = net::make_codec(proto);
+}
+
+System::~System() { clear_log_time_source(this); }
+
+System::ProtoMetrics& System::proto_metrics(const std::string& protocol) {
+    auto it = proto_metrics_.find(protocol);
+    if (it == proto_metrics_.end()) {
+        const std::string prefix = "rpc.proto." + protocol + ".";
+        ProtoMetrics m;
+        m.calls = &metrics_.counter(prefix + "calls");
+        m.creates = &metrics_.counter(prefix + "creates");
+        m.discovers = &metrics_.counter(prefix + "discovers");
+        m.faults = &metrics_.counter(prefix + "faults");
+        m.drops = &metrics_.counter(prefix + "drops");
+        m.request_bytes = &metrics_.counter(prefix + "request_bytes");
+        m.reply_bytes = &metrics_.counter(prefix + "reply_bytes");
+        m.request_size = &metrics_.histogram(prefix + "request_size");
+        m.reply_size = &metrics_.histogram(prefix + "reply_size");
+        it = proto_metrics_.emplace(protocol, m).first;
+    }
+    return it->second;
+}
+
+void System::enable_method_profiling(bool on) {
+    method_profiling_ = on;
+    for (const auto& n : nodes_) n->interp().set_method_profiling(on);
 }
 
 net::Codec& System::codec(const std::string& protocol) {
@@ -66,6 +100,8 @@ Node& System::add_node() {
                                         result_.pool);
     Node& node = *owned;
     nodes_.push_back(std::move(owned));
+    node.interp().attach_metrics(&metrics_, "vm.node" + std::to_string(node.id()));
+    node.interp().set_method_profiling(method_profiling_);
     wire_node(node);
     return node;
 }
@@ -77,41 +113,106 @@ void System::sync_time(Node& n) {
 }
 
 net::CallReply System::rpc(net::NodeId src, net::NodeId dst, const std::string& protocol,
-                           const net::CallRequest& req) {
+                           net::CallRequest& req) {
     net::Codec& c = codec(protocol);
-    RemoteStats& stats = remote_stats_[protocol];
+    ProtoMetrics& pm = proto_metrics(protocol);
     switch (req.kind) {
-        case net::RequestKind::Invoke: ++stats.calls; break;
-        case net::RequestKind::Create: ++stats.creates; break;
-        case net::RequestKind::Discover: ++stats.discovers; break;
+        case net::RequestKind::Invoke: pm.calls->add(); break;
+        case net::RequestKind::Create: pm.creates->add(); break;
+        case net::RequestKind::Discover: pm.discovers->add(); break;
     }
+    const bool traced = tracer_.enabled();
+    // Stamp the caller's trace context into the wire header; the server
+    // side parents its dispatch span from these fields, not from the stack.
+    req.trace_id = tracer_.current_trace();
+    req.parent_span = tracer_.current_span();
 
-    Bytes request_bytes = c.encode_request(req);
-    stats.request_bytes += request_bytes.size();
     auto charge_cpu = [&](std::size_t size) {
         network_.charge_compute(static_cast<std::uint64_t>(
             std::llround(2.0 * c.cpu_cost_ns_per_byte() * static_cast<double>(size) /
                          1000.0)));  // encode + decode
     };
-    charge_cpu(request_bytes.size());
-    if (!network_.transfer(src, dst, request_bytes.size())) {
-        ++stats.drops;
-        throw Dropped{"request lost on link " + std::to_string(src) + "->" +
-                      std::to_string(dst)};
-    }
-    net::CallRequest decoded = c.decode_request(request_bytes);
-    net::CallReply reply = node(dst).handle_request(decoded, protocol);
 
-    Bytes reply_bytes = c.encode_reply(reply);
-    stats.reply_bytes += reply_bytes.size();
-    charge_cpu(reply_bytes.size());
-    if (!network_.transfer(dst, src, reply_bytes.size())) {
-        ++stats.drops;
-        throw Dropped{"reply lost on link " + std::to_string(dst) + "->" +
-                      std::to_string(src)};
+    Bytes request_bytes;
+    {
+        obs::ScopedSpan span;
+        if (traced)
+            span = obs::ScopedSpan(tracer_, "codec.encode_request " + protocol, src);
+        request_bytes = c.encode_request(req);
+        pm.request_bytes->add(request_bytes.size());
+        pm.request_size->record(request_bytes.size());
+        charge_cpu(request_bytes.size());
     }
-    net::CallReply decoded_reply = c.decode_reply(reply_bytes);
-    if (decoded_reply.is_fault) ++stats.faults;
+    {
+        obs::ScopedSpan span;
+        if (traced) {
+            span = obs::ScopedSpan(tracer_,
+                                   "net.transfer " + std::to_string(src) + "->" +
+                                       std::to_string(dst),
+                                   src);
+            tracer_.note("bytes", std::to_string(request_bytes.size()));
+        }
+        if (!network_.transfer(src, dst, request_bytes.size())) {
+            pm.drops->add();
+            if (traced) tracer_.note("dropped", "request");
+            throw Dropped{"request lost on link " + std::to_string(src) + "->" +
+                          std::to_string(dst)};
+        }
+    }
+    net::CallRequest decoded;
+    {
+        obs::ScopedSpan span;
+        if (traced)
+            span = obs::ScopedSpan(tracer_, "codec.decode_request " + protocol, dst);
+        decoded = c.decode_request(request_bytes);
+    }
+    net::CallReply reply;
+    {
+        obs::ScopedSpan span;
+        if (traced) {
+            const std::string& what =
+                decoded.kind == net::RequestKind::Invoke ? decoded.method : decoded.cls;
+            span = obs::ScopedSpan::adopt(
+                tracer_, tracer_.begin_remote("rpc.dispatch " + what, dst,
+                                              decoded.trace_id, decoded.parent_span));
+        }
+        reply = node(dst).handle_request(decoded, protocol);
+    }
+
+    Bytes reply_bytes;
+    {
+        obs::ScopedSpan span;
+        if (traced)
+            span = obs::ScopedSpan(tracer_, "codec.encode_reply " + protocol, dst);
+        reply_bytes = c.encode_reply(reply);
+        pm.reply_bytes->add(reply_bytes.size());
+        pm.reply_size->record(reply_bytes.size());
+        charge_cpu(reply_bytes.size());
+    }
+    {
+        obs::ScopedSpan span;
+        if (traced) {
+            span = obs::ScopedSpan(tracer_,
+                                   "net.transfer " + std::to_string(dst) + "->" +
+                                       std::to_string(src),
+                                   dst);
+            tracer_.note("bytes", std::to_string(reply_bytes.size()));
+        }
+        if (!network_.transfer(dst, src, reply_bytes.size())) {
+            pm.drops->add();
+            if (traced) tracer_.note("dropped", "reply");
+            throw Dropped{"reply lost on link " + std::to_string(dst) + "->" +
+                          std::to_string(src)};
+        }
+    }
+    net::CallReply decoded_reply;
+    {
+        obs::ScopedSpan span;
+        if (traced)
+            span = obs::ScopedSpan(tracer_, "codec.decode_reply " + protocol, src);
+        decoded_reply = c.decode_reply(reply_bytes);
+    }
+    if (decoded_reply.is_fault) pm.faults->add();
     sync_time(node(src));
     sync_time(node(dst));
     return decoded_reply;
@@ -132,6 +233,9 @@ void System::wire_node(Node& n) {
                                           std::vector<Value>) {
                 Placement p = policy_.instance_placement(cls, node_id);
                 if (p.node == node_id) return vm.construct(o_local, "()V", {});
+                obs::ScopedSpan span;
+                if (tracer_.enabled())
+                    span = obs::ScopedSpan(tracer_, "rpc.create " + cls, node_id);
                 net::CallRequest req;
                 req.kind = net::RequestKind::Create;
                 req.request_id = next_request_id();
@@ -153,6 +257,9 @@ void System::wire_node(Node& n) {
             [this, cls, node_id](vm::Interpreter&, const Value&, std::vector<Value>) {
                 Placement p = policy_.singleton_placement(cls, node_id);
                 if (p.node == node_id) return node(node_id).local_singleton(cls);
+                obs::ScopedSpan span;
+                if (tracer_.enabled())
+                    span = obs::ScopedSpan(tracer_, "rpc.discover " + cls, node_id);
                 net::CallRequest req;
                 req.kind = net::RequestKind::Discover;
                 req.request_id = next_request_id();
@@ -168,11 +275,16 @@ void System::wire_node(Node& n) {
             });
 
         // Proxy dispatch: one class-level native per generated proxy class.
+        // Each dispatcher caches its class's registry handles (one counter
+        // per remote edge, one for loopback) so the hot path never builds
+        // a metric name.
         for (const std::string& proto : result_.report.protocols()) {
-            auto dispatch = [this, node_id, proto, cls](vm::Interpreter& vm,
-                                                        const model::Method& m,
-                                                        const Value& receiver,
-                                                        std::vector<Value> args) {
+            auto dispatch = [this, node_id, proto, cls,
+                             edge_counters = std::map<net::NodeId, obs::Counter*>{},
+                             local_counter = static_cast<obs::Counter*>(nullptr)](
+                                vm::Interpreter& vm, const model::Method& m,
+                                const Value& receiver,
+                                std::vector<Value> args) mutable {
                 Node& self = node(node_id);
                 net::CallRequest req;
                 req.kind = net::RequestKind::Invoke;
@@ -184,13 +296,29 @@ void System::wire_node(Node& n) {
                     vm.get_field(receiver.as_ref(), naming::kProxyNodeField).as_int();
                 req.method = m.name;
                 req.desc = m.descriptor();
+                obs::ScopedSpan span;
+                if (tracer_.enabled()) {
+                    span = obs::ScopedSpan(tracer_, "rpc.invoke " + cls + "." + m.name,
+                                           node_id);
+                    tracer_.note("target_node", std::to_string(target_node));
+                }
                 // Loopback: a proxy whose target lives on this node (e.g.
                 // after shorten_chain collapsed a cycle) dispatches
                 // directly, no wire involved.
-                if (target_node == node_id)
+                if (target_node == node_id) {
+                    if (!local_counter)
+                        local_counter =
+                            &metrics_.counter("runtime.local_calls." + cls);
+                    local_counter->add();
                     return vm.call_virtual(Value::of_ref(req.target_oid), m.name,
                                            m.descriptor(), std::move(args));
-                ++class_traffic_[cls].calls[{node_id, target_node}];
+                }
+                obs::Counter*& edge = edge_counters[target_node];
+                if (!edge)
+                    edge = &metrics_.counter("rpc.class_calls." + cls + "." +
+                                             std::to_string(node_id) + "." +
+                                             std::to_string(target_node));
+                edge->add();
                 req.args.reserve(args.size());
                 for (const Value& a : args) req.args.push_back(self.export_value(a));
                 try {
@@ -248,6 +376,13 @@ vm::ObjId System::migrate_instance(net::NodeId from, vm::ObjId oid, net::NodeId 
     if (!iface)
         throw RuntimeError("can only migrate local implementations, not " + cls_name);
 
+    obs::ScopedSpan span;
+    if (tracer_.enabled()) {
+        span = obs::ScopedSpan(tracer_, "runtime.migrate " + cls_name, from);
+        tracer_.note("from", std::to_string(from));
+        tracer_.note("to", std::to_string(to));
+    }
+
     // Marshal the object state (references become remote references).
     const model::Layout& layout = result_.pool.layout_of(cls_name);
     net::CallRequest transfer_msg;  // used for wire-size accounting
@@ -278,7 +413,8 @@ vm::ObjId System::migrate_instance(net::NodeId from, vm::ObjId oid, net::NodeId 
         oid, proxy_cls,
         {Value::of_int(to), Value::of_long(static_cast<std::int64_t>(new_oid))});
 
-    ++migrations_;
+    migrations_counter_->add();
+    migration_bytes_counter_->add(payload.size());
     sync_time(f);
     sync_time(t);
     log_info("runtime", "migrated ", cls_name, " (", from, ",", oid, ") -> (", to, ",",
@@ -404,13 +540,55 @@ int System::shorten_chain(net::NodeId node_id, vm::ObjId oid) {
     interp.set_field(oid, naming::kProxyNodeField, Value::of_int(term_node));
     interp.set_field(oid, naming::kProxyOidField,
                      Value::of_long(static_cast<std::int64_t>(term_oid)));
+    chain_shortenings_counter_->add();
+    chain_hops_removed_counter_->add(static_cast<std::uint64_t>(hops));
     return hops;
 }
 
+const std::map<std::string, RemoteStats>& System::remote_stats() const {
+    remote_stats_view_.clear();
+    for (const auto& [proto, pm] : proto_metrics_) {
+        RemoteStats s;
+        s.calls = pm.calls->value();
+        s.creates = pm.creates->value();
+        s.discovers = pm.discovers->value();
+        s.faults = pm.faults->value();
+        s.drops = pm.drops->value();
+        s.request_bytes = pm.request_bytes->value();
+        s.reply_bytes = pm.reply_bytes->value();
+        if (s.calls || s.creates || s.discovers || s.faults || s.drops ||
+            s.request_bytes || s.reply_bytes)
+            remote_stats_view_[proto] = s;
+    }
+    return remote_stats_view_;
+}
+
+const std::map<std::string, System::ClassTraffic>& System::class_traffic() const {
+    static constexpr const char* kPrefix = "rpc.class_calls.";
+    static constexpr std::size_t kPrefixLen = 16;
+    class_traffic_view_.clear();
+    metrics_.visit_counters([&](const std::string& name, std::uint64_t value) {
+        if (!value || name.compare(0, kPrefixLen, kPrefix) != 0) return;
+        // <cls>.<src>.<dst> — class names contain no dots, so split from
+        // the right.
+        const std::size_t dst_dot = name.rfind('.');
+        const std::size_t src_dot = name.rfind('.', dst_dot - 1);
+        if (src_dot == std::string::npos || src_dot < kPrefixLen) return;
+        const std::string cls = name.substr(kPrefixLen, src_dot - kPrefixLen);
+        const net::NodeId src = std::stoi(name.substr(src_dot + 1, dst_dot - src_dot - 1));
+        const net::NodeId dst = std::stoi(name.substr(dst_dot + 1));
+        class_traffic_view_[cls].calls[{src, dst}] += value;
+    });
+    return class_traffic_view_;
+}
+
+std::uint64_t System::migrations() const noexcept {
+    return migrations_counter_ ? migrations_counter_->value() : 0;
+}
+
 void System::reset_stats() {
-    remote_stats_.clear();
-    class_traffic_.clear();
-    migrations_ = 0;
+    metrics_.reset();
+    tracer_.clear();
     network_.reset_stats();
 }
 

@@ -18,6 +18,8 @@
 
 #include "net/codec.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/node.hpp"
 #include "runtime/policy.hpp"
 #include "transform/pipeline.hpp"
@@ -50,6 +52,7 @@ public:
     /// are added to a copy if missing) and prepares an empty node set.
     /// `original` must outlive the System.
     explicit System(const model::ClassPool& original, SystemOptions options = {});
+    ~System();
 
     /// Adds a node; node ids are assigned 0, 1, 2, ...
     Node& add_node();
@@ -58,6 +61,22 @@ public:
 
     net::SimNetwork& network() noexcept { return network_; }
     DistributionPolicy& policy() noexcept { return policy_; }
+
+    /// The process-wide measurement substrate: every counter the runtime,
+    /// network and VMs maintain lives here (DESIGN.md "Observability").
+    obs::Registry& metrics() noexcept { return metrics_; }
+    const obs::Registry& metrics() const noexcept { return metrics_; }
+
+    /// Span tracer for cross-node RPC traces.  Disabled by default; enable
+    /// with `tracer().set_enabled(true)` before driving traffic.
+    obs::Tracer& tracer() noexcept { return tracer_; }
+    const obs::Tracer& tracer() const noexcept { return tracer_; }
+
+    /// Turns per-method instruction histograms on/off in every node's VM
+    /// (`vm.node<N>.method_instr.<Cls>.<method>`); applies to nodes added
+    /// later too.
+    void enable_method_profiling(bool on = true);
+
     const transform::TransformReport& report() const noexcept { return result_.report; }
     const model::ClassPool& transformed_pool() const noexcept { return result_.pool; }
     const model::ClassPool& original_pool() const noexcept { return *original_; }
@@ -105,9 +124,10 @@ public:
     /// number of hops eliminated (0 if already direct or not a proxy).
     int shorten_chain(net::NodeId node, vm::ObjId oid);
 
-    const std::map<std::string, RemoteStats>& remote_stats() const noexcept {
-        return remote_stats_;
-    }
+    /// Per-protocol traffic view, rebuilt on each call from the metrics
+    /// registry (`rpc.proto.<proto>.*`).  Protocols with no recorded
+    /// traffic are omitted, so emptiness means "no RPC attempted".
+    const std::map<std::string, RemoteStats>& remote_stats() const;
 
     /// Remote Invoke counts per original class, keyed by (calling node,
     /// target node): the raw signal a placement decision needs ("who talks
@@ -120,10 +140,10 @@ public:
             return n;
         }
     };
-    const std::map<std::string, ClassTraffic>& class_traffic() const noexcept {
-        return class_traffic_;
-    }
-    std::uint64_t migrations() const noexcept { return migrations_; }
+    /// View over the `rpc.class_calls.<cls>.<src>.<dst>` registry
+    /// counters, rebuilt on each call; all-zero edges are omitted.
+    const std::map<std::string, ClassTraffic>& class_traffic() const;
+    std::uint64_t migrations() const noexcept;
     void reset_stats();
 
     // ---- internal plumbing used by Node and the proxy dispatcher ----
@@ -135,17 +155,39 @@ public:
     };
 
     /// Encodes, transfers, decodes, dispatches and returns the reply.
-    /// Throws Dropped on injected loss.
+    /// Stamps the tracer's current trace/span into `req`'s wire header so
+    /// the remote dispatch span parents correctly.  Throws Dropped on
+    /// injected loss.
     net::CallReply rpc(net::NodeId src, net::NodeId dst, const std::string& protocol,
-                       const net::CallRequest& req);
+                       net::CallRequest& req);
 
     net::Codec& codec(const std::string& protocol);
 
 private:
+    /// Cached registry handles for one protocol's `rpc.proto.<proto>.*`
+    /// metrics — resolved once, bumped through pointers on the hot path.
+    struct ProtoMetrics {
+        obs::Counter* calls = nullptr;
+        obs::Counter* creates = nullptr;
+        obs::Counter* discovers = nullptr;
+        obs::Counter* faults = nullptr;
+        obs::Counter* drops = nullptr;
+        obs::Counter* request_bytes = nullptr;
+        obs::Counter* reply_bytes = nullptr;
+        obs::Histogram* request_size = nullptr;
+        obs::Histogram* reply_size = nullptr;
+    };
+    ProtoMetrics& proto_metrics(const std::string& protocol);
+
     void wire_node(Node& node);
     std::uint64_t next_request_id() { return ++request_counter_; }
     void sync_time(Node& n);
 
+    // The registry and tracer are declared first so they outlive the nodes
+    // (interpreter destructors deregister their probes) and the network
+    // (which holds cached counter handles).
+    obs::Registry metrics_;
+    obs::Tracer tracer_;
     const model::ClassPool* original_;
     model::ClassPool prepared_;  // original + prelude + RemoteFault
     transform::PipelineResult result_;
@@ -153,10 +195,17 @@ private:
     DistributionPolicy policy_;
     std::vector<std::unique_ptr<Node>> nodes_;
     std::map<std::string, std::unique_ptr<net::Codec>> codecs_;
-    std::map<std::string, RemoteStats> remote_stats_;
-    std::map<std::string, ClassTraffic> class_traffic_;
+    std::map<std::string, ProtoMetrics> proto_metrics_;
+    obs::Counter* migrations_counter_ = nullptr;
+    obs::Counter* migration_bytes_counter_ = nullptr;
+    obs::Counter* chain_shortenings_counter_ = nullptr;
+    obs::Counter* chain_hops_removed_counter_ = nullptr;
+    // Lazily rebuilt compatibility views over the registry; cached so the
+    // accessors can keep their historical const-reference return types.
+    mutable std::map<std::string, RemoteStats> remote_stats_view_;
+    mutable std::map<std::string, ClassTraffic> class_traffic_view_;
     std::uint64_t request_counter_ = 0;
-    std::uint64_t migrations_ = 0;
+    bool method_profiling_ = false;
 };
 
 }  // namespace rafda::runtime

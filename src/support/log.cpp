@@ -1,22 +1,59 @@
 #include "support/log.hpp"
 
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
+#include <optional>
 
 namespace rafda {
 
 namespace {
-LogLevel g_level = LogLevel::Off;
+
+std::optional<LogLevel> g_level;
+std::function<std::int64_t()> g_time_source;
+const void* g_time_owner = nullptr;
+
+std::optional<LogLevel> parse_level(const char* text) {
+    if (!text) return std::nullopt;
+    std::string s(text);
+    for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (s == "off" || s == "0") return LogLevel::Off;
+    if (s == "error" || s == "1") return LogLevel::Error;
+    if (s == "warn" || s == "warning" || s == "2") return LogLevel::Warn;
+    if (s == "info" || s == "3") return LogLevel::Info;
+    if (s == "debug" || s == "4") return LogLevel::Debug;
+    return std::nullopt;
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+
+LogLevel log_level() {
+    if (!g_level) g_level = parse_level(std::getenv("RAFDA_LOG_LEVEL")).value_or(LogLevel::Off);
+    return *g_level;
+}
+
+void set_log_time_source(std::function<std::int64_t()> fn, const void* owner) {
+    g_time_source = std::move(fn);
+    g_time_owner = g_time_source ? owner : nullptr;
+}
+
+void clear_log_time_source(const void* owner) {
+    if (g_time_owner != owner) return;
+    g_time_source = nullptr;
+    g_time_owner = nullptr;
+}
 
 void log_line(LogLevel level, const std::string& tag, const std::string& msg) {
     if (log_level() < level) return;
     const char* name = level == LogLevel::Error ? "ERROR"
+                     : level == LogLevel::Warn  ? "WARN "
                      : level == LogLevel::Info  ? "INFO "
                                                 : "DEBUG";
-    std::clog << "[" << name << "] [" << tag << "] " << msg << '\n';
+    std::clog << "[" << name << "] ";
+    if (g_time_source) std::clog << "[t=" << g_time_source() << "us] ";
+    std::clog << "[" << tag << "] " << msg << '\n';
 }
 
 }  // namespace rafda

@@ -1,17 +1,33 @@
 // Minimal leveled logger.  Quiet by default so tests and benches stay
 // readable; examples raise the level to narrate what the middleware does.
+//
+// The startup level can also come from the environment: RAFDA_LOG_LEVEL
+// (off | error | warn | info | debug, or the numeric value) is honoured
+// on first use unless set_log_level was called first.  When a running
+// System registers its virtual clock (set_log_time_source), every line is
+// prefixed with the VM logical time, so log output lines up with metric
+// snapshots and trace spans.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 
 namespace rafda {
 
-enum class LogLevel { Off = 0, Error = 1, Info = 2, Debug = 3 };
+enum class LogLevel { Off = 0, Error = 1, Warn = 2, Info = 3, Debug = 4 };
 
 /// Process-wide log level (single-threaded simulation, so a plain global).
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Registers the VM logical-time source used to prefix log lines; `owner`
+/// identifies the registrant so a dying System only clears its own source
+/// (see clear_log_time_source).  Pass a null fn to clear explicitly.
+void set_log_time_source(std::function<std::int64_t()> fn, const void* owner);
+/// Clears the time source iff `owner` registered the current one.
+void clear_log_time_source(const void* owner);
 
 void log_line(LogLevel level, const std::string& tag, const std::string& msg);
 
@@ -22,6 +38,14 @@ void log_info(const std::string& tag, Args&&... args) {
     std::ostringstream os;
     (os << ... << args);
     log_line(LogLevel::Info, tag, os.str());
+}
+
+template <typename... Args>
+void log_warn(const std::string& tag, Args&&... args) {
+    if (log_level() < LogLevel::Warn) return;
+    std::ostringstream os;
+    (os << ... << args);
+    log_line(LogLevel::Warn, tag, os.str());
 }
 
 template <typename... Args>

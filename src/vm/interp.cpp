@@ -1,6 +1,7 @@
 #include "vm/interp.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "support/error.hpp"
 
@@ -23,6 +24,46 @@ std::string native_key(const std::string& owner, const std::string& name,
 }  // namespace
 
 Interpreter::Interpreter(const model::ClassPool& pool) : pool_(&pool) {}
+
+Interpreter::~Interpreter() {
+    if (metrics_) metrics_->remove_probes_with_prefix(metrics_prefix_ + ".");
+}
+
+void Interpreter::attach_metrics(obs::Registry* registry, std::string prefix) {
+    if (metrics_) metrics_->remove_probes_with_prefix(metrics_prefix_ + ".");
+    metrics_ = registry;
+    metrics_prefix_ = std::move(prefix);
+    method_hist_.clear();
+    if (!metrics_) {
+        profile_methods_ = false;
+        return;
+    }
+    auto probe = [this](const std::string& name, std::uint64_t Counters::* field) {
+        metrics_->register_probe(metrics_prefix_ + name, [this, field] {
+            return static_cast<std::int64_t>(counters_.*field);
+        });
+    };
+    probe(".instructions", &Counters::instructions);
+    probe(".native_calls", &Counters::native_calls);
+    probe(".allocations", &Counters::allocations);
+    metrics_->register_probe(metrics_prefix_ + ".invokes", [this] {
+        return static_cast<std::int64_t>(counters_.total_invokes());
+    });
+    metrics_->register_probe(metrics_prefix_ + ".field_accesses", [this] {
+        return static_cast<std::int64_t>(counters_.field_reads + counters_.field_writes);
+    });
+}
+
+void Interpreter::record_method_profile(const ClassFile& cls, const Method& m,
+                                        std::uint64_t instructions) {
+    auto it = method_hist_.find(&m);
+    if (it == method_hist_.end()) {
+        obs::Histogram& h = metrics_->histogram(metrics_prefix_ + ".method_instr." +
+                                                cls.name + "." + m.name);
+        it = method_hist_.emplace(&m, &h).first;
+    }
+    it->second->record(instructions);
+}
 
 GuestException Interpreter::make_guest_exception(ObjId obj) {
     const ClassFile& cls = class_of(obj);
@@ -252,9 +293,12 @@ Value Interpreter::invoke(const ClassFile& cls, const Method& m,
         throw VmError("guest call stack overflow in " + cls.name + "." + m.name);
     }
     locals_with_receiver.resize(static_cast<std::size_t>(m.code.max_locals));
+    const std::uint64_t instr_before = profile_methods_ ? counters_.instructions : 0;
     try {
         Value result = execute(cls, m, std::move(locals_with_receiver));
         --call_depth_;
+        if (profile_methods_)
+            record_method_profile(cls, m, counters_.instructions - instr_before);
         return result;
     } catch (...) {
         --call_depth_;
@@ -285,13 +329,19 @@ Value Interpreter::arith(Op op, const Value& a, const Value& b) {
         std::int64_t x = a.widen_integral(), y = b.widen_integral();
         if ((op == Op::Div || op == Op::Rem) && y == 0)
             throw VmError("integer division by zero");
+        // Two's-complement wraparound (JVM semantics): compute through
+        // unsigned so overflow stays defined, and pin the one remaining
+        // overflowing division, INT64_MIN / -1.
+        const std::uint64_t ux = static_cast<std::uint64_t>(x);
+        const std::uint64_t uy = static_cast<std::uint64_t>(y);
+        constexpr std::int64_t kMinInt64 = std::numeric_limits<std::int64_t>::min();
         std::int64_t z = 0;
         switch (op) {
-            case Op::Add: z = x + y; break;
-            case Op::Sub: z = x - y; break;
-            case Op::Mul: z = x * y; break;
-            case Op::Div: z = x / y; break;
-            case Op::Rem: z = x % y; break;
+            case Op::Add: z = static_cast<std::int64_t>(ux + uy); break;
+            case Op::Sub: z = static_cast<std::int64_t>(ux - uy); break;
+            case Op::Mul: z = static_cast<std::int64_t>(ux * uy); break;
+            case Op::Div: z = (x == kMinInt64 && y == -1) ? x : x / y; break;
+            case Op::Rem: z = (x == kMinInt64 && y == -1) ? 0 : x % y; break;
             default: break;
         }
         if (r == 1) return Value::of_long(z);

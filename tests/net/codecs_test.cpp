@@ -12,6 +12,8 @@ CallRequest sample_request() {
     CallRequest req;
     req.kind = RequestKind::Invoke;
     req.request_id = 42;
+    req.trace_id = 7001;
+    req.parent_span = 7002;
     req.src_node = 3;
     req.target_oid = 1234567890123ULL;
     req.cls = "";

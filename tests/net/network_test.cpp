@@ -83,5 +83,49 @@ TEST(SimNetwork, NoDropsAtZeroProbability) {
     for (int i = 0; i < 1000; ++i) EXPECT_TRUE(net.transfer(0, 1, 1).has_value());
 }
 
+TEST(SimNetwork, RegistryMirrorsPerLinkStats) {
+    obs::Registry reg;
+    SimNetwork net(123);
+    net.set_default_link(LinkParams{1, 0.0, 0.25});
+    net.attach_metrics(&reg);
+
+    for (int i = 0; i < 400; ++i) net.transfer(0, 1, 8);
+    net.transfer(1, 0, 16);
+
+    const LinkStats& s01 = net.stats(0, 1);
+    EXPECT_GT(s01.drops, 0u);  // the seed produces drops at p=0.25
+    obs::Snapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counter_value("net.link.0.1.messages"), s01.messages);
+    EXPECT_EQ(snap.counter_value("net.link.0.1.bytes"), s01.bytes);
+    EXPECT_EQ(snap.counter_value("net.link.0.1.drops"), s01.drops);
+    EXPECT_EQ(snap.counter_value("net.link.1.0.messages"), net.stats(1, 0).messages);
+    EXPECT_EQ(snap.counter_value("net.link.1.0.bytes"), 16u);
+}
+
+TEST(SimNetwork, DetachingStopsMirroring) {
+    obs::Registry reg;
+    SimNetwork net;
+    net.set_default_link(LinkParams{1, 0.0, 0.0});
+    net.attach_metrics(&reg);
+    net.transfer(0, 1, 5);
+    net.attach_metrics(nullptr);
+    net.transfer(0, 1, 5);
+    EXPECT_EQ(net.stats(0, 1).messages, 2u);
+    EXPECT_EQ(reg.snapshot().counter_value("net.link.0.1.messages"), 1u);
+}
+
+TEST(SimNetwork, TransfersBeforeAttachAreNotBackfilled) {
+    // Attach mid-flight: the registry mirrors only what it observed, so
+    // callers wanting totals-from-zero must attach before traffic starts.
+    obs::Registry reg;
+    SimNetwork net;
+    net.set_default_link(LinkParams{1, 0.0, 0.0});
+    net.transfer(0, 1, 5);
+    net.attach_metrics(&reg);
+    net.transfer(0, 1, 5);
+    EXPECT_EQ(net.stats(0, 1).bytes, 10u);
+    EXPECT_EQ(reg.snapshot().counter_value("net.link.0.1.bytes"), 5u);
+}
+
 }  // namespace
 }  // namespace rafda::net

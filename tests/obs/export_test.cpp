@@ -1,0 +1,62 @@
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rafda::obs {
+namespace {
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+    EXPECT_EQ(json_escape("plain"), "plain");
+    EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(json_escape("a\nb\tc\r"), "a\\nb\\tc\\r");
+    EXPECT_EQ(json_escape(std::string("x\x01y")), "x\\u0001y");
+}
+
+TEST(ToJson, EmptySnapshotIsEmptyObject) {
+    EXPECT_EQ(to_json(Snapshot{}), "{}");
+}
+
+TEST(ToJson, EmitsEveryKindOnOneLine) {
+    Registry reg;
+    reg.counter("rpc.calls").add(3);
+    reg.gauge("queue.depth").set(-2);
+    Histogram& h = reg.histogram("rpc.size");
+    h.record(1);
+    h.record(3);
+
+    std::string json = to_json(reg.snapshot());
+    EXPECT_EQ(json.find('\n'), std::string::npos);
+    // std::map ordering makes the whole document deterministic.
+    EXPECT_EQ(json,
+              "{\"queue.depth\":-2,"
+              "\"rpc.calls\":3,"
+              "\"rpc.size\":{\"count\":2,\"sum\":4,\"min\":1,\"max\":3,\"mean\":2,"
+              "\"buckets\":{\"le_1\":1,\"le_3\":1}}}");
+}
+
+TEST(ToJson, LastHistogramBucketIsNamedInf) {
+    Registry reg;
+    reg.histogram("h").record(~std::uint64_t{0});
+    EXPECT_NE(to_json(reg.snapshot()).find("\"inf\":1"), std::string::npos);
+}
+
+TEST(ToTable, AlignsNamesAndSummarisesHistograms) {
+    Registry reg;
+    reg.counter("short").add(7);
+    reg.counter("a.much.longer.metric.name").add(1);
+    reg.histogram("h").record(4);
+
+    std::string table = to_table(reg.snapshot());
+    // One line per metric; names padded two past the longest name's column.
+    const std::string longest = "a.much.longer.metric.name";
+    EXPECT_NE(table.find(longest + "  1\n"), std::string::npos);
+    EXPECT_NE(table.find("short" + std::string(longest.size() - 5 + 2, ' ') + "7\n"),
+              std::string::npos);
+    EXPECT_NE(table.find("count=1 sum=4 min=4 max=4 mean=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rafda::obs

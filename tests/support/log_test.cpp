@@ -1,0 +1,93 @@
+#include "support/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace rafda {
+namespace {
+
+/// Redirects std::clog into a string for the scope of a test.
+class ClogCapture {
+public:
+    ClogCapture() : old_(std::clog.rdbuf(buffer_.rdbuf())) {}
+    ~ClogCapture() { std::clog.rdbuf(old_); }
+    std::string str() const { return buffer_.str(); }
+
+private:
+    std::ostringstream buffer_;
+    std::streambuf* old_;
+};
+
+struct LogFixture : ::testing::Test {
+    void TearDown() override {
+        set_log_level(LogLevel::Off);
+        clear_log_time_source(this);
+    }
+};
+
+// Must run before anything else in this process touches the logger: the
+// environment is only consulted on the first log_level() call.  Each test
+// is its own process under ctest, and gtest keeps declaration order when
+// the binary runs whole, so declaring it first suffices.
+TEST_F(LogFixture, EnvVariableSetsInitialLevel) {
+    ::setenv("RAFDA_LOG_LEVEL", "warn", 1);
+    EXPECT_EQ(log_level(), LogLevel::Warn);
+    ::unsetenv("RAFDA_LOG_LEVEL");
+}
+
+TEST_F(LogFixture, SetLogLevelOverridesEnvironment) {
+    set_log_level(LogLevel::Debug);
+    EXPECT_EQ(log_level(), LogLevel::Debug);
+    set_log_level(LogLevel::Off);
+    EXPECT_EQ(log_level(), LogLevel::Off);
+}
+
+TEST_F(LogFixture, WarnEmitsAtWarnAndAbove) {
+    set_log_level(LogLevel::Warn);
+    ClogCapture capture;
+    log_warn("net", "queue depth ", 17);
+    log_info("net", "suppressed");
+    log_debug("net", "suppressed");
+    EXPECT_EQ(capture.str(), "[WARN ] [net] queue depth 17\n");
+}
+
+TEST_F(LogFixture, OffSilencesEverything) {
+    set_log_level(LogLevel::Off);
+    ClogCapture capture;
+    log_warn("x", "nope");
+    log_line(LogLevel::Error, "x", "also nope");
+    EXPECT_EQ(capture.str(), "");
+}
+
+TEST_F(LogFixture, TimeSourcePrefixesLinesWithVirtualTime) {
+    set_log_level(LogLevel::Info);
+    set_log_time_source([] { return std::int64_t{42}; }, this);
+    {
+        ClogCapture capture;
+        log_info("net", "delivered");
+        EXPECT_EQ(capture.str(), "[INFO ] [t=42us] [net] delivered\n");
+    }
+    clear_log_time_source(this);
+    {
+        ClogCapture capture;
+        log_info("net", "delivered");
+        EXPECT_EQ(capture.str(), "[INFO ] [net] delivered\n");
+    }
+}
+
+TEST_F(LogFixture, ClearOnlyHonoursTheRegisteredOwner) {
+    set_log_level(LogLevel::Info);
+    int other = 0;
+    set_log_time_source([] { return std::int64_t{7}; }, this);
+    clear_log_time_source(&other);  // wrong owner: prefix stays
+    ClogCapture capture;
+    log_info("sys", "still stamped");
+    EXPECT_EQ(capture.str(), "[INFO ] [t=7us] [sys] still stamped\n");
+}
+
+}  // namespace
+}  // namespace rafda

@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cctype>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 
@@ -25,13 +27,125 @@ RunResult run_cli(const std::string& args) {
     return result;
 }
 
+/// Minimal recursive-descent JSON checker — just enough of a parser to
+/// prove the --json outputs round-trip through one.
+class JsonChecker {
+public:
+    explicit JsonChecker(const std::string& s) : s_(s) {}
+
+    bool valid() {
+        skip_ws();
+        if (!value()) return false;
+        skip_ws();
+        return pos_ == s_.size();
+    }
+
+private:
+    bool eat(char c) {
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+    void skip_ws() {
+        while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                    s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+    bool value() {
+        if (pos_ >= s_.size()) return false;
+        switch (s_[pos_]) {
+            case '{': return object();
+            case '[': return array();
+            case '"': return string();
+            case 't': return literal("true");
+            case 'f': return literal("false");
+            case 'n': return literal("null");
+            default: return number();
+        }
+    }
+    bool object() {
+        if (!eat('{')) return false;
+        skip_ws();
+        if (eat('}')) return true;
+        do {
+            skip_ws();
+            if (!string()) return false;
+            skip_ws();
+            if (!eat(':')) return false;
+            skip_ws();
+            if (!value()) return false;
+            skip_ws();
+        } while (eat(','));
+        return eat('}');
+    }
+    bool array() {
+        if (!eat('[')) return false;
+        skip_ws();
+        if (eat(']')) return true;
+        do {
+            skip_ws();
+            if (!value()) return false;
+            skip_ws();
+        } while (eat(','));
+        return eat(']');
+    }
+    bool string() {
+        if (!eat('"')) return false;
+        while (pos_ < s_.size()) {
+            char c = s_[pos_++];
+            if (c == '"') return true;
+            if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+            if (c == '\\') {
+                if (pos_ >= s_.size()) return false;
+                char e = s_[pos_++];
+                if (e == 'u') {
+                    for (int k = 0; k < 4; ++k)
+                        if (pos_ >= s_.size() || !std::isxdigit(
+                                static_cast<unsigned char>(s_[pos_++])))
+                            return false;
+                } else if (!std::strchr("\"\\/bfnrt", e)) {
+                    return false;
+                }
+            }
+        }
+        return false;
+    }
+    bool number() {
+        std::size_t start = pos_;
+        eat('-');
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-'))
+            ++pos_;
+        return pos_ > start + (s_[start] == '-' ? 1u : 0u);
+    }
+    bool literal(const char* word) {
+        for (const char* p = word; *p; ++p)
+            if (!eat(*p)) return false;
+        return true;
+    }
+
+    const std::string& s_;
+    std::size_t pos_ = 0;
+};
+
+bool json_parses(const std::string& s) { return JsonChecker(s).valid(); }
+
 class RafdacCli : public ::testing::Test {
 protected:
-    std::string dir_;
+    std::string app_;  // per-test file names: tests run concurrently under
+    std::string cfg_;  // ctest -j and must not clobber each other's inputs
 
     void SetUp() override {
-        dir_ = ::testing::TempDir();
-        std::ofstream app(dir_ + "app.rir");
+        const std::string base = std::string(::testing::TempDir()) + "rafdac_" +
+                                 ::testing::UnitTest::GetInstance()
+                                     ->current_test_info()
+                                     ->name();
+        app_ = base + "_app.rir";
+        cfg_ = base + "_policy.cfg";
+        std::ofstream app(app_);
         app << R"(
 class Greeter {
   field who S
@@ -61,13 +175,13 @@ class Main {
   }
 }
 )";
-        std::ofstream cfg(dir_ + "policy.cfg");
+        std::ofstream cfg(cfg_);
         cfg << "protocol default SOAP\ninstance Greeter on 1 via SOAP\n";
     }
 };
 
 TEST_F(RafdacCli, Analyze) {
-    RunResult r = run_cli("analyze " + dir_ + "app.rir");
+    RunResult r = run_cli("analyze " + app_);
     EXPECT_EQ(r.status, 0);
     EXPECT_NE(r.output.find("transformable:      2"), std::string::npos) << r.output;
     EXPECT_NE(r.output.find("Sys: native-method"), std::string::npos);
@@ -75,33 +189,74 @@ TEST_F(RafdacCli, Analyze) {
 }
 
 TEST_F(RafdacCli, RunLocal) {
-    RunResult r = run_cli("run " + dir_ + "app.rir Main");
+    RunResult r = run_cli("run " + app_ + " Main");
     EXPECT_EQ(r.status, 0);
     EXPECT_EQ(r.output, "hello, cli\n");
 }
 
 TEST_F(RafdacCli, TransformThenPrintArtefact) {
-    RunResult t = run_cli("transform " + dir_ + "app.rir " + dir_ + "app.rirb");
+    RunResult t = run_cli("transform " + app_ + " " + app_ + "b");
     EXPECT_EQ(t.status, 0);
     EXPECT_NE(t.output.find("substituted 2"), std::string::npos) << t.output;
 
-    RunResult p = run_cli("print " + dir_ + "app.rirb");
+    RunResult p = run_cli("print " + app_ + "b");
     EXPECT_EQ(p.status, 0);
     EXPECT_NE(p.output.find("interface Greeter_O_Int"), std::string::npos);
     EXPECT_NE(p.output.find("class Greeter_O_Factory"), std::string::npos);
 }
 
 TEST_F(RafdacCli, DeployDistributed) {
-    RunResult r = run_cli("deploy " + dir_ + "app.rir " + dir_ + "policy.cfg Main 2");
+    RunResult r = run_cli("deploy " + app_ + " " + cfg_ + " Main 2");
     EXPECT_EQ(r.status, 0);
     EXPECT_EQ(r.output, "hello, cli\n");  // identical application output
+}
+
+TEST_F(RafdacCli, StatsPrintsRegistryTable) {
+    RunResult r = run_cli("stats " + app_ + " " + cfg_ + " Main 2");
+    EXPECT_EQ(r.status, 0);
+    EXPECT_NE(r.output.find("rpc.proto.SOAP.calls"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("net.link.0.1.bytes"), std::string::npos);
+    EXPECT_NE(r.output.find("vm.node0.instructions"), std::string::npos);
+    // The application's own output goes to stderr, keeping stdout machine-
+    // readable.
+    EXPECT_EQ(r.output.find("hello, cli"), std::string::npos);
+}
+
+TEST_F(RafdacCli, StatsJsonRoundTripsThroughParser) {
+    RunResult r = run_cli("stats " + app_ + " " + cfg_ + " Main 2 --json");
+    EXPECT_EQ(r.status, 0);
+    // One line of JSON, nothing else.
+    ASSERT_FALSE(r.output.empty());
+    EXPECT_EQ(r.output.find('\n'), r.output.size() - 1);
+    EXPECT_TRUE(json_parses(r.output)) << r.output;
+    EXPECT_NE(r.output.find("\"rpc.proto.SOAP.calls\":"), std::string::npos);
+}
+
+TEST_F(RafdacCli, TraceShowsNestedSpanTree) {
+    RunResult r = run_cli("trace " + app_ + " " + cfg_ + " Main 2");
+    EXPECT_EQ(r.status, 0);
+    EXPECT_NE(r.output.find("rpc.invoke Greeter.greet"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("rpc.dispatch greet"), std::string::npos);
+    EXPECT_NE(r.output.find("vm.execute greet"), std::string::npos);
+    EXPECT_NE(r.output.find("net.transfer 0->1"), std::string::npos);
+    EXPECT_NE(r.output.find("└─"), std::string::npos);  // actual nesting
+}
+
+TEST_F(RafdacCli, TraceJsonRoundTripsThroughParser) {
+    RunResult r = run_cli("trace " + app_ + " " + cfg_ + " Main 2 --json");
+    EXPECT_EQ(r.status, 0);
+    ASSERT_FALSE(r.output.empty());
+    EXPECT_EQ(r.output.find('\n'), r.output.size() - 1);
+    EXPECT_TRUE(json_parses(r.output)) << r.output;
+    EXPECT_NE(r.output.find("\"name\":\"rpc.dispatch greet\""), std::string::npos);
 }
 
 TEST_F(RafdacCli, UsageAndErrors) {
     EXPECT_EQ(run_cli("").status, 1);
     EXPECT_EQ(run_cli("frobnicate x").status, 1);
     EXPECT_EQ(run_cli("analyze /nonexistent/x.rir").status, 2);
-    EXPECT_EQ(run_cli("run " + dir_ + "app.rirb Main").status, 2);  // needs .rir
+    EXPECT_EQ(run_cli("run " + app_ + "b Main").status, 2);  // needs .rir
+    EXPECT_EQ(run_cli("stats /nonexistent/x.rir " + cfg_ + " Main").status, 2);
 }
 
 }  // namespace

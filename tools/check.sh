@@ -1,0 +1,23 @@
+#!/bin/sh
+# Configure, build and run the full test suite for the default build and
+# the ASan+UBSan build.  This is the pre-merge gate: both must be green.
+#
+#   tools/check.sh            # both presets
+#   tools/check.sh sanitize   # just one
+set -eu
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || echo 4)
+presets=${1:-"default sanitize"}
+
+# The VM guards guest recursion at ~2000 frames, which fits comfortably in
+# a default 8 MiB stack — but ASan multiplies native frame sizes, so the
+# sanitizer build needs more headroom to reach the guest guard first.
+ulimit -s 262144 2>/dev/null || ulimit -s unlimited 2>/dev/null || true
+
+for preset in $presets; do
+    echo "== preset: $preset =="
+    cmake --preset "$preset"
+    cmake --build --preset "$preset" -j "$jobs"
+    ctest --preset "$preset" -j "$jobs"
+done

@@ -9,8 +9,18 @@
 //   rafdac deploy    app.rir policy.cfg Main [nodes]
 //                                         run distributed under a policy
 //                                         configuration file
+//   rafdac stats     app.rir policy.cfg Main [nodes] [--json]
+//                                         deploy, run, then dump the full
+//                                         metrics registry (table or JSON)
+//   rafdac trace     app.rir policy.cfg Main [nodes] [--json]
+//                                         deploy, run with span tracing on,
+//                                         then print the RPC span trees
+//
+// stats/trace print the application's own output on stderr so stdout
+// stays machine-readable.
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on processing errors.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -19,6 +29,7 @@
 #include "model/binio.hpp"
 #include "model/printer.hpp"
 #include "model/verifier.hpp"
+#include "obs/export.hpp"
 #include "runtime/policy_config.hpp"
 #include "runtime/system.hpp"
 #include "support/strings.hpp"
@@ -128,13 +139,37 @@ int cmd_deploy(const std::string& input, const std::string& config_path,
     return 0;
 }
 
+/// Shared driver for `stats` and `trace`: deploy, run the entry point,
+/// then report from the observability layer instead of the application.
+int cmd_observe(const std::string& input, const std::string& config_path,
+                const std::string& main_cls, int nodes, bool want_trace, bool json) {
+    model::ClassPool pool = load_input(input);
+    runtime::System system(pool);
+    for (int k = 0; k < nodes; ++k) system.add_node();
+    runtime::apply_policy_config(read_file(config_path), system.policy(),
+                                 &system.network());
+    if (want_trace) system.tracer().set_enabled(true);
+    system.enable_method_profiling(true);
+    system.call_static(0, main_cls, "main", "()V");
+    std::cerr << system.node(0).interp().output();
+    if (want_trace)
+        std::cout << (json ? system.tracer().to_json() + "\n"
+                           : system.tracer().render_tree());
+    else
+        std::cout << (json ? obs::to_json(system.metrics().snapshot()) + "\n"
+                           : obs::to_table(system.metrics().snapshot()));
+    return 0;
+}
+
 int usage() {
     std::cerr << "usage:\n"
               << "  rafdac analyze   <app.rir[b]>\n"
               << "  rafdac transform <app.rir> <out.rirb>\n"
               << "  rafdac print     <app.rir[b]>\n"
               << "  rafdac run       <app.rir> <MainClass>\n"
-              << "  rafdac deploy    <app.rir> <policy.cfg> <MainClass> [nodes=2]\n";
+              << "  rafdac deploy    <app.rir> <policy.cfg> <MainClass> [nodes=2]\n"
+              << "  rafdac stats     <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n"
+              << "  rafdac trace     <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n";
     return 1;
 }
 
@@ -142,6 +177,11 @@ int usage() {
 
 int main(int argc, char** argv) {
     std::vector<std::string> args(argv + 1, argv + argc);
+    bool json = false;
+    if (auto it = std::find(args.begin(), args.end(), "--json"); it != args.end()) {
+        json = true;
+        args.erase(it);
+    }
     try {
         if (args.size() == 2 && args[0] == "analyze") return cmd_analyze(args[1]);
         if (args.size() == 3 && args[0] == "transform")
@@ -151,6 +191,11 @@ int main(int argc, char** argv) {
         if ((args.size() == 4 || args.size() == 5) && args[0] == "deploy")
             return cmd_deploy(args[1], args[2], args[3],
                               args.size() == 5 ? std::atoi(args[4].c_str()) : 2);
+        if ((args.size() == 4 || args.size() == 5) &&
+            (args[0] == "stats" || args[0] == "trace"))
+            return cmd_observe(args[1], args[2], args[3],
+                               args.size() == 5 ? std::atoi(args[4].c_str()) : 2,
+                               args[0] == "trace", json);
         return usage();
     } catch (const std::exception& e) {
         std::cerr << "rafdac: " << e.what() << "\n";
