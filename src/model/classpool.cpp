@@ -51,7 +51,12 @@ const ClassFile* ClassPool::find(std::string_view name) const {
 
 ClassFile* ClassPool::find_mutable(std::string_view name) {
     auto it = classes_.find(name);
-    return it == classes_.end() ? nullptr : it->second.get();
+    if (it == classes_.end()) return nullptr;
+    // Handing out a mutable pointer means the caller may rewrite the class
+    // in place; memoized layouts (and any generation-checked cache built on
+    // top of this pool) must not outlive that.
+    invalidate_caches();
+    return it->second.get();
 }
 
 std::vector<const ClassFile*> ClassPool::all() const {
@@ -145,6 +150,7 @@ const ClassFile* ClassPool::resolve_static_field(std::string_view owner,
 }
 
 void ClassPool::invalidate_caches() {
+    ++generation_;
     layouts_.clear();
     static_layouts_.clear();
 }

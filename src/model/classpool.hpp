@@ -6,6 +6,12 @@
 // pipeline adds generated classes (interfaces, locals, proxies, factories)
 // and rewrites existing ones; derived data (field layouts, subtype facts)
 // is cached and invalidated on mutation.
+//
+// Every mutation path — add/remove and every handout of a mutable
+// ClassFile* — routes through invalidate_caches(), which also bumps a
+// monotonic generation counter.  Consumers that memoize resolution
+// results (the interpreter's inline caches, notably) validate against
+// generation() instead of subscribing to explicit invalidation events.
 #pragma once
 
 #include <map>
@@ -50,8 +56,12 @@ public:
     bool contains(std::string_view name) const;
     /// Throws VerifyError if the class is absent.
     const ClassFile& get(std::string_view name) const;
+    /// Mutable access invalidates the derived-data caches and bumps the
+    /// generation (the caller may rewrite fields/methods/hierarchy through
+    /// the returned reference; the pool must assume it will).
     ClassFile& get_mutable(std::string_view name);
     const ClassFile* find(std::string_view name) const;
+    /// Like get_mutable: a non-null result invalidates and bumps.
     ClassFile* find_mutable(std::string_view name);
 
     std::size_t size() const noexcept { return classes_.size(); }
@@ -87,10 +97,19 @@ public:
                                           std::string_view field_name) const;
 
     /// Call after externally mutating a class file's fields/hierarchy.
+    /// Drops the memoized layouts and bumps generation().  add/remove and
+    /// the mutable accessors call this themselves.
     void invalidate_caches();
+
+    /// Monotonic mutation counter, starting at 1 (so 0 can mean "never
+    /// validated" in consumers).  Any value observed here is proof that
+    /// name resolution and layouts are unchanged since the same value was
+    /// last observed.
+    std::uint64_t generation() const noexcept { return generation_; }
 
 private:
     std::map<std::string, std::unique_ptr<ClassFile>, std::less<>> classes_;
+    std::uint64_t generation_ = 1;
     mutable std::unordered_map<std::string, Layout> layouts_;
     mutable std::unordered_map<std::string, Layout> static_layouts_;
 };

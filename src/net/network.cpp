@@ -45,6 +45,10 @@ std::optional<std::uint64_t> SimNetwork::transfer(NodeId src, NodeId dst,
     if (rng_.chance(params.drop_probability)) {
         ++stats.drops;
         if (metrics) metrics->drops->add();
+        // A lost message still occupied the link before it died: charge
+        // the propagation delay so loss is not free in virtual time (a
+        // free drop would bias adaptation experiments toward lossy links).
+        clock_us_ += params.latency_us;
         return std::nullopt;
     }
     ++stats.messages;

@@ -47,7 +47,9 @@ public:
 
     /// Accounts one transfer of `size` bytes; returns the transfer delay in
     /// microseconds and advances the virtual clock by it, or nullopt when
-    /// the message was dropped (fault injection).
+    /// the message was dropped (fault injection).  A drop still advances
+    /// the clock by the link's latency — losing a message costs the
+    /// propagation delay before the sender can observe the failure.
     std::optional<std::uint64_t> transfer(NodeId src, NodeId dst, std::size_t size);
 
     /// Advances the virtual clock by a compute cost (e.g. codec CPU time).

@@ -156,7 +156,8 @@ net::CallReply System::rpc(net::NodeId src, net::NodeId dst, const std::string& 
             pm.drops->add();
             if (traced) tracer_.note("dropped", "request");
             throw Dropped{"request lost on link " + std::to_string(src) + "->" +
-                          std::to_string(dst)};
+                              std::to_string(dst),
+                          /*executed_remotely=*/false};
         }
     }
     net::CallRequest decoded;
@@ -201,8 +202,11 @@ net::CallReply System::rpc(net::NodeId src, net::NodeId dst, const std::string& 
         if (!network_.transfer(dst, src, reply_bytes.size())) {
             pm.drops->add();
             if (traced) tracer_.note("dropped", "reply");
+            // The dispatch above already ran: this is the "executed but
+            // reply lost" arm of at-most-once (DESIGN.md §12).
             throw Dropped{"reply lost on link " + std::to_string(dst) + "->" +
-                          std::to_string(src)};
+                              std::to_string(src),
+                          /*executed_remotely=*/true};
         }
     }
     net::CallReply decoded_reply;

@@ -150,8 +150,17 @@ public:
 
     /// Marker thrown (C++-level) when the simulated network drops a
     /// message; converted to a guest RemoteFault at the proxy boundary.
+    ///
+    /// RPC here is at-most-once, and the two loss points are not
+    /// equivalent: a lost *request* never executed, a lost *reply* means
+    /// the remote side already ran the call and only the result vanished.
+    /// `executed_remotely` distinguishes them so callers can reason about
+    /// side effects (retrying a create after a reply loss leaks an
+    /// instance; retrying after a request loss does not).  See DESIGN.md
+    /// §12.
     struct Dropped {
         std::string what;
+        bool executed_remotely = false;
     };
 
     /// Encodes, transfers, decodes, dispatches and returns the reply.

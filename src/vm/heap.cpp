@@ -21,16 +21,9 @@ ObjId Heap::alloc_array(const model::TypeDesc& elem, std::size_t length) {
     return objects_.size();
 }
 
-Object& Heap::get(ObjId id) {
+void Heap::throw_bad_id(ObjId id) const {
     if (id == 0) throw VmError("null dereference");
-    if (id > objects_.size()) throw VmError("dangling object id");
-    return objects_[id - 1];
-}
-
-const Object& Heap::get(ObjId id) const {
-    if (id == 0) throw VmError("null dereference");
-    if (id > objects_.size()) throw VmError("dangling object id");
-    return objects_[id - 1];
+    throw VmError("dangling object id");
 }
 
 void Heap::transmute(ObjId id, const model::ClassFile& cls, std::vector<Value> fields) {

@@ -31,9 +31,16 @@ public:
     /// Allocates an array of `length` elements of `elem`, default-filled.
     ObjId alloc_array(const model::TypeDesc& elem, std::size_t length);
 
-    /// Throws VmError for the null id (0) or out-of-range ids.
-    Object& get(ObjId id);
-    const Object& get(ObjId id) const;
+    /// Throws VmError for the null id (0) or out-of-range ids.  Inline —
+    /// this sits under every field access and virtual dispatch.
+    Object& get(ObjId id) {
+        if (id == 0 || id > objects_.size()) throw_bad_id(id);
+        return objects_[id - 1];
+    }
+    const Object& get(ObjId id) const {
+        if (id == 0 || id > objects_.size()) throw_bad_id(id);
+        return objects_[id - 1];
+    }
 
     /// Replaces the object behind `id` in place: new class, new fields —
     /// object identity (the id) is preserved, so every reference that
@@ -45,6 +52,8 @@ public:
     std::size_t size() const noexcept { return objects_.size(); }
 
 private:
+    [[noreturn]] void throw_bad_id(ObjId id) const;
+
     std::deque<Object> objects_;  // deque: stable addresses, ids are index+1
 };
 

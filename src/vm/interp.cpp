@@ -2,6 +2,11 @@
 
 #include <cmath>
 #include <limits>
+#include <tuple>
+
+#ifdef __unix__
+#include <sys/resource.h>
+#endif
 
 #include "support/error.hpp"
 
@@ -51,6 +56,12 @@ void Interpreter::attach_metrics(obs::Registry* registry, std::string prefix) {
     });
     metrics_->register_probe(metrics_prefix_ + ".field_accesses", [this] {
         return static_cast<std::int64_t>(counters_.field_reads + counters_.field_writes);
+    });
+    metrics_->register_probe(metrics_prefix_ + ".ic_hits", [this] {
+        return static_cast<std::int64_t>(counters_.ic_hits());
+    });
+    metrics_->register_probe(metrics_prefix_ + ".ic_misses", [this] {
+        return static_cast<std::int64_t>(counters_.ic_misses());
     });
 }
 
@@ -102,8 +113,10 @@ void Interpreter::register_class_native(const std::string& owner, ClassNativeFn 
 }
 
 ObjId Interpreter::allocate(const std::string& class_name) {
-    const ClassFile& cls = pool_->get(class_name);
-    const model::Layout& layout = pool_->layout_of(class_name);
+    return allocate_with(pool_->get(class_name), pool_->layout_of(class_name));
+}
+
+ObjId Interpreter::allocate_with(const ClassFile& cls, const model::Layout& layout) {
     ObjId id = heap_.alloc(cls, static_cast<std::size_t>(layout.size()));
     Object& obj = heap_.get(id);
     for (int i = 0; i < layout.size(); ++i)
@@ -224,13 +237,51 @@ void Interpreter::ensure_initialized(const std::string& class_name) {
 }
 
 std::vector<Value>& Interpreter::statics_of(const std::string& class_name) {
+    if (statics_gen_ != pool_->generation()) reconcile_statics();
     auto it = statics_.find(class_name);
-    if (it != statics_.end()) return it->second;
+    if (it != statics_.end()) return it->second.values;
     const model::Layout& layout = pool_->static_layout_of(class_name);
-    std::vector<Value> slots;
-    slots.reserve(static_cast<std::size_t>(layout.size()));
-    for (const model::FieldSlot& s : layout.slots) slots.push_back(default_value(s.type));
-    return statics_.emplace(class_name, std::move(slots)).first->second;
+    StaticSlots slots;
+    slots.names.reserve(static_cast<std::size_t>(layout.size()));
+    slots.values.reserve(static_cast<std::size_t>(layout.size()));
+    for (const model::FieldSlot& s : layout.slots) {
+        slots.names.push_back(s.name);
+        slots.values.push_back(default_value(s.type));
+    }
+    return statics_.emplace(class_name, std::move(slots)).first->second.values;
+}
+
+void Interpreter::reconcile_statics() {
+    statics_gen_ = pool_->generation();
+    for (auto it = statics_.begin(); it != statics_.end();) {
+        if (!pool_->contains(it->first)) {
+            it = statics_.erase(it);
+            continue;
+        }
+        const model::Layout& layout = pool_->static_layout_of(it->first);
+        StaticSlots& storage = it->second;
+        StaticSlots fresh;
+        fresh.names.reserve(static_cast<std::size_t>(layout.size()));
+        fresh.values.reserve(static_cast<std::size_t>(layout.size()));
+        for (const model::FieldSlot& s : layout.slots) {
+            Value v = default_value(s.type);
+            for (std::size_t k = 0; k < storage.names.size(); ++k) {
+                if (storage.names[k] == s.name) {
+                    v = std::move(storage.values[k]);
+                    break;
+                }
+            }
+            fresh.names.push_back(s.name);
+            fresh.values.push_back(std::move(v));
+        }
+        // Swap the contents, not the map entry: stale SiteCaches hold the
+        // address of `values` (they re-validate via the generation before
+        // dereferencing, but entry addresses staying put keeps the
+        // refreshed caches cheap to refill).
+        storage.names = std::move(fresh.names);
+        storage.values = std::move(fresh.values);
+        ++it;
+    }
 }
 
 std::pair<int, bool> Interpreter::sig_info(const std::string& desc) {
@@ -246,6 +297,10 @@ std::pair<int, bool> Interpreter::sig_info(const std::string& desc) {
 const Method& Interpreter::resolve_virtual_cached(const std::string& dynamic,
                                                   const std::string& name,
                                                   const std::string& desc) {
+    if (vcache_gen_ != pool_->generation()) {
+        vcache_.clear();
+        vcache_gen_ = pool_->generation();
+    }
     std::string key = dynamic;
     key += '#';
     key += name;
@@ -258,6 +313,15 @@ const Method& Interpreter::resolve_virtual_cached(const std::string& dynamic,
     return *m;
 }
 
+Interpreter::SiteCache* Interpreter::caches_for(const Method& m) {
+    std::vector<SiteCache>& sites = site_caches_[&m];
+    // Sized lazily (and re-sized if a mutable-pool rewrite changed the
+    // body, or a recycled Method address collides with a dead entry).
+    if (sites.size() != m.code.instrs.size())
+        sites.assign(m.code.instrs.size(), SiteCache{});
+    return sites.data();
+}
+
 Value Interpreter::invoke_native(const ClassFile& cls, const Method& m,
                                  const Value& receiver, std::vector<Value> args) {
     ++counters_.native_calls;
@@ -268,29 +332,59 @@ Value Interpreter::invoke_native(const ClassFile& cls, const Method& m,
     throw VmError("unbound native method " + cls.name + "." + m.name + m.descriptor());
 }
 
+[[gnu::noinline]] Value Interpreter::invoke_native_entry(
+    const ClassFile& cls, const Method& m, std::vector<Value> locals_with_receiver) {
+    Value receiver = m.is_static ? Value::null() : locals_with_receiver.front();
+    std::vector<Value> args(locals_with_receiver.begin() + (m.is_static ? 0 : 1),
+                            locals_with_receiver.end());
+    // The declaring class may differ from `cls` for inherited natives;
+    // resolve against the class that actually declares the method.
+    const ClassFile* declaring = &cls;
+    for (const ClassFile* cur = &cls; cur;
+         cur = cur->super_name.empty() ? nullptr : pool_->find(cur->super_name)) {
+        if (cur->find_method(m.name, m.descriptor()) == &m) {
+            declaring = cur;
+            break;
+        }
+    }
+    return invoke_native(*declaring, m, receiver, std::move(args));
+}
+
+[[gnu::noinline]] bool Interpreter::native_stack_exhausted() {
+    static const std::size_t budget = [] {
+        std::size_t limit = std::size_t{8} << 20;  // conservative default
+#ifdef __unix__
+        struct rlimit rl;
+        if (getrlimit(RLIMIT_STACK, &rl) == 0 && rl.rlim_cur != RLIM_INFINITY &&
+            rl.rlim_cur < (std::size_t{1} << 32))
+            limit = static_cast<std::size_t>(rl.rlim_cur);
+#endif
+        // Leave room to unwind and to run guest handlers after the throw.
+        const std::size_t reserve = std::size_t{1} << 20;
+        return limit > 2 * reserve ? limit - reserve : limit / 2;
+    }();
+    const char probe = 0;
+    if (call_depth_ <= 1) {
+        stack_base_ = &probe;
+        return false;
+    }
+    return stack_base_ > &probe &&
+           static_cast<std::size_t>(stack_base_ - &probe) > budget;
+}
+
+[[gnu::noinline]] void Interpreter::throw_stack_overflow(const ClassFile& cls,
+                                                         const Method& m) {
+    throw VmError("guest call stack overflow in " + cls.name + "." + m.name);
+}
+
 Value Interpreter::invoke(const ClassFile& cls, const Method& m,
                           std::vector<Value> locals_with_receiver) {
-    if (m.is_native) {
-        Value receiver = m.is_static ? Value::null() : locals_with_receiver.front();
-        std::vector<Value> args(locals_with_receiver.begin() + (m.is_static ? 0 : 1),
-                                locals_with_receiver.end());
-        // The declaring class may differ from `cls` for inherited natives;
-        // resolve against the class that actually declares the method.
-        const ClassFile* declaring = &cls;
-        for (const ClassFile* cur = &cls; cur;
-             cur = cur->super_name.empty() ? nullptr : pool_->find(cur->super_name)) {
-            if (cur->find_method(m.name, m.descriptor()) == &m) {
-                declaring = cur;
-                break;
-            }
-        }
-        return invoke_native(*declaring, m, receiver, std::move(args));
-    }
+    if (m.is_native) return invoke_native_entry(cls, m, std::move(locals_with_receiver));
     if (m.is_abstract)
         throw VmError("invoke of abstract method " + cls.name + "." + m.name);
-    if (++call_depth_ > kMaxCallDepth) {
+    if (++call_depth_ > kMaxCallDepth || native_stack_exhausted()) {
         --call_depth_;
-        throw VmError("guest call stack overflow in " + cls.name + "." + m.name);
+        throw_stack_overflow(cls, m);
     }
     locals_with_receiver.resize(static_cast<std::size_t>(m.code.max_locals));
     const std::uint64_t instr_before = profile_methods_ ? counters_.instructions : 0;
@@ -393,9 +487,260 @@ Value Interpreter::compare(Op op, const Value& a, const Value& b) {
     return Value::of_bool(result);
 }
 
+// The out-of-line opcode bodies below are [[gnu::noinline]] so they stay
+// out of execute()'s frame even when the optimizer would merge them back.
+
+[[gnu::noinline]] void Interpreter::op_misc(const Instruction& i,
+                                            std::vector<Value>& stack) {
+    auto pop = [&] {
+        Value v = std::move(stack.back());
+        stack.pop_back();
+        return v;
+    };
+    switch (i.op) {
+        case Op::Mul:
+        case Op::Div:
+        case Op::Rem: {
+            Value b = pop(), a = pop();
+            stack.push_back(arith(i.op, a, b));
+            break;
+        }
+        case Op::Neg: {
+            Value a = pop();
+            if (a.is_int()) stack.push_back(Value::of_int(-a.as_int()));
+            else if (a.is_long()) stack.push_back(Value::of_long(-a.as_long()));
+            else stack.push_back(Value::of_double(-a.as_double()));
+            break;
+        }
+        case Op::And: {
+            Value b = pop(), a = pop();
+            stack.push_back(Value::of_bool(a.as_bool() && b.as_bool()));
+            break;
+        }
+        case Op::Or: {
+            Value b = pop(), a = pop();
+            stack.push_back(Value::of_bool(a.as_bool() || b.as_bool()));
+            break;
+        }
+        case Op::Not: {
+            Value a = pop();
+            stack.push_back(Value::of_bool(!a.as_bool()));
+            break;
+        }
+        case Op::Conv: {
+            Value a = pop();
+            switch (static_cast<Kind>(i.a)) {
+                case Kind::Int:
+                    stack.push_back(
+                        Value::of_int(static_cast<std::int32_t>(a.widen_double())));
+                    break;
+                case Kind::Long:
+                    stack.push_back(
+                        Value::of_long(static_cast<std::int64_t>(a.widen_double())));
+                    break;
+                case Kind::Double:
+                    stack.push_back(Value::of_double(a.widen_double()));
+                    break;
+                default:
+                    throw VmError("bad conv target");
+            }
+            break;
+        }
+        default: {  // Op::Concat
+            Value b = pop(), a = pop();
+            push_concat(a, b, stack);
+            break;
+        }
+    }
+}
+
+[[gnu::noinline]] void Interpreter::op_array(const Instruction& i,
+                                             std::vector<Value>& stack) {
+    auto pop = [&] {
+        Value v = std::move(stack.back());
+        stack.pop_back();
+        return v;
+    };
+    switch (i.op) {
+        case Op::NewArray: {
+            std::int32_t len = pop().as_int();
+            if (len < 0) throw VmError("negative array length");
+            ++counters_.allocations;
+            stack.push_back(Value::of_ref(heap_.alloc_array(
+                model::TypeDesc::parse(i.desc), static_cast<std::size_t>(len))));
+            break;
+        }
+        case Op::ALoad: {
+            std::int32_t idx = pop().as_int();
+            Object& arr = heap_.get(pop().as_ref());
+            if (!arr.is_array) throw VmError("aload on non-array");
+            if (idx < 0 || static_cast<std::size_t>(idx) >= arr.fields.size())
+                throw VmError("array index out of bounds: " + std::to_string(idx));
+            ++counters_.field_reads;
+            stack.push_back(arr.fields[static_cast<std::size_t>(idx)]);
+            break;
+        }
+        case Op::AStore: {
+            Value v = pop();
+            std::int32_t idx = pop().as_int();
+            Object& arr = heap_.get(pop().as_ref());
+            if (!arr.is_array) throw VmError("astore on non-array");
+            if (idx < 0 || static_cast<std::size_t>(idx) >= arr.fields.size())
+                throw VmError("array index out of bounds: " + std::to_string(idx));
+            ++counters_.field_writes;
+            arr.fields[static_cast<std::size_t>(idx)] = std::move(v);
+            break;
+        }
+        default: {  // Op::ALen
+            Object& arr = heap_.get(pop().as_ref());
+            if (!arr.is_array) throw VmError("alen on non-array");
+            stack.push_back(Value::of_int(static_cast<std::int32_t>(arr.fields.size())));
+            break;
+        }
+    }
+}
+
+// The invoke bodies are out of line too, but unlike the cold helpers they
+// sit ON the recursion path: one of them is live per guest frame.  That is
+// still a win — execute() used to hold the argument vectors and temporaries
+// of all three shapes at once, in every frame.
+
+[[gnu::noinline]] void Interpreter::op_invoke_virtual(const Instruction& i,
+                                                      SiteCache& sc,
+                                                      std::vector<Value>& stack) {
+    const std::uint64_t gen = pool_->generation();
+    int nargs_i;
+    bool ret_void;
+    if (sc.gen == gen) {
+        nargs_i = sc.nargs;
+        ret_void = sc.ret_void;
+    } else {
+        std::tie(nargs_i, ret_void) = sig_info(i.desc);
+    }
+    std::size_t nargs = static_cast<std::size_t>(nargs_i);
+    std::vector<Value> locals2(nargs + 1);
+    for (std::size_t k = nargs + 1; k >= 1; --k) {
+        locals2[k - 1] = std::move(stack.back());
+        stack.pop_back();
+    }
+    Object& recv = heap_.get(locals2[0].as_ref());
+    const ClassFile* dyn;
+    const Method* target;
+    if (sc.gen == gen && sc.cls == recv.cls) {
+        ++counters_.ic_invoke_hits;
+        dyn = sc.cls;
+        target = sc.target;
+    } else {
+        ++counters_.ic_invoke_misses;
+        if (recv.is_array) throw VmError("class_of on an array");
+        dyn = recv.cls;
+        target = &resolve_virtual_cached(dyn->name, i.member, i.desc);
+        sc.cls = dyn;
+        sc.target = target;
+        sc.nargs = nargs_i;
+        sc.ret_void = ret_void;
+        sc.gen = gen;
+    }
+    if (i.op == Op::InvokeVirtual) ++counters_.invokes_virtual;
+    else ++counters_.invokes_interface;
+    Value r = invoke(*dyn, *target, std::move(locals2));
+    if (!ret_void) stack.push_back(std::move(r));
+}
+
+[[gnu::noinline]] void Interpreter::op_invoke_static(const Instruction& i,
+                                                     SiteCache& sc,
+                                                     std::vector<Value>& stack) {
+    if (sc.gen != pool_->generation()) {
+        ++counters_.ic_invoke_misses;
+        auto [nargs_i, ret_void] = sig_info(i.desc);
+        ensure_initialized(i.owner);
+        const Method* target = pool_->resolve_static(i.owner, i.member, i.desc);
+        if (!target) throw VmError("unresolved static " + i.owner + "." + i.member);
+        sc.cls = &pool_->get(i.owner);
+        sc.target = target;
+        sc.nargs = nargs_i;
+        sc.ret_void = ret_void;
+        sc.gen = pool_->generation();
+    } else {
+        ++counters_.ic_invoke_hits;
+    }
+    std::size_t nargs = static_cast<std::size_t>(sc.nargs);
+    std::vector<Value> locals2(nargs);
+    for (std::size_t k = nargs; k >= 1; --k) {
+        locals2[k - 1] = std::move(stack.back());
+        stack.pop_back();
+    }
+    ++counters_.invokes_static;
+    Value r = invoke(*sc.cls, *sc.target, std::move(locals2));
+    if (!sc.ret_void) stack.push_back(std::move(r));
+}
+
+[[gnu::noinline]] void Interpreter::op_invoke_special(const Instruction& i,
+                                                      SiteCache& sc,
+                                                      std::vector<Value>& stack) {
+    if (sc.gen != pool_->generation()) {
+        ++counters_.ic_invoke_misses;
+        auto [nargs_i, ret_void] = sig_info(i.desc);
+        (void)ret_void;
+        const ClassFile& owner = pool_->get(i.owner);
+        const Method* ctor = owner.find_method(i.member, i.desc);
+        if (!ctor) throw VmError("unresolved ctor " + i.owner + i.desc);
+        sc.cls = &owner;
+        sc.target = ctor;
+        sc.nargs = nargs_i;
+        sc.ret_void = true;
+        sc.gen = pool_->generation();
+    } else {
+        ++counters_.ic_invoke_hits;
+    }
+    std::size_t nargs = static_cast<std::size_t>(sc.nargs);
+    std::vector<Value> locals2(nargs + 1);
+    for (std::size_t k = nargs + 1; k >= 1; --k) {
+        locals2[k - 1] = std::move(stack.back());
+        stack.pop_back();
+    }
+    ++counters_.invokes_special;
+    invoke(*sc.cls, *sc.target, std::move(locals2));
+}
+
+[[gnu::noinline]] void Interpreter::push_concat(const Value& a, const Value& b,
+                                                std::vector<Value>& stack) {
+    stack.push_back(Value::of_str(a.display() + b.display()));
+}
+
+[[gnu::noinline]] void Interpreter::op_throw(std::vector<Value>& stack) {
+    Value thrown = std::move(stack.back());
+    stack.pop_back();
+    if (!thrown.is_ref()) throw VmError("throw of non-reference");
+    throw GuestThrow{std::move(thrown)};
+}
+
+[[gnu::noinline]] bool Interpreter::dispatch_guest_throw(GuestThrow& gt,
+                                                         const Method& m, int& pc,
+                                                         std::vector<Value>& stack) {
+    // Search this frame's handlers; the caller re-throws to unwind otherwise.
+    const ClassFile& thrown_cls = class_of(gt.thrown.as_ref());
+    for (const model::Handler& h : m.code.handlers) {
+        if (pc >= h.start && pc < h.end &&
+            pool_->is_subtype(thrown_cls.name, h.class_name)) {
+            stack.clear();
+            stack.push_back(std::move(gt.thrown));
+            pc = h.target;
+            return true;
+        }
+    }
+    return false;
+}
+
+[[gnu::noinline]] void Interpreter::throw_pc_range(const ClassFile& cls,
+                                                   const Method& m) {
+    throw VmError("pc out of range in " + cls.name + "." + m.name);
+}
+
 Value Interpreter::execute(const ClassFile& cls, const Method& m,
                            std::vector<Value> locals) {
     const std::vector<Instruction>& code = m.code.instrs;
+    SiteCache* const sites = caches_for(m);
     std::vector<Value> stack;
     stack.reserve(8);
     int pc = 0;
@@ -407,8 +752,8 @@ Value Interpreter::execute(const ClassFile& cls, const Method& m,
     };
 
     while (true) {
-        if (pc < 0 || pc >= static_cast<int>(code.size()))
-            throw VmError("pc out of range in " + cls.name + "." + m.name);
+        if (static_cast<std::size_t>(pc) >= code.size())  // negative wraps huge
+            throw_pc_range(cls, m);
         const Instruction& i = code[pc];
         ++counters_.instructions;
         try {
@@ -416,17 +761,61 @@ Value Interpreter::execute(const ClassFile& cls, const Method& m,
                 case Op::Nop:
                     break;
                 case Op::Const: {
-                    if (std::holds_alternative<model::Null>(i.k)) stack.push_back(Value::null());
-                    else if (const bool* b = std::get_if<bool>(&i.k))
-                        stack.push_back(Value::of_bool(*b));
-                    else if (const std::int32_t* v32 = std::get_if<std::int32_t>(&i.k))
-                        stack.push_back(Value::of_int(*v32));
-                    else if (const std::int64_t* v64 = std::get_if<std::int64_t>(&i.k))
-                        stack.push_back(Value::of_long(*v64));
-                    else if (const double* d = std::get_if<double>(&i.k))
-                        stack.push_back(Value::of_double(*d));
-                    else
-                        stack.push_back(Value::of_str(std::get<std::string>(i.k)));
+                    switch (i.k.index()) {  // alternative order fixed in model::Instr
+                        case 0: stack.push_back(Value::null()); break;
+                        case 1: stack.push_back(Value::of_bool(std::get<bool>(i.k))); break;
+                        case 2: {
+                            // Constant-increment fusion (`const n; add/sub`
+                            // over a same-width top of stack): apply the
+                            // arithmetic in place instead of a push/pop
+                            // round trip.  Wraparound matches arith(); a
+                            // jump into the Add/Sub still takes its case.
+                            const std::int32_t v = std::get<std::int32_t>(i.k);
+                            if (static_cast<std::size_t>(pc) + 1 < code.size() &&
+                                !stack.empty()) {
+                                const Instruction& nx = code[pc + 1];
+                                if ((nx.op == Op::Add || nx.op == Op::Sub) &&
+                                    stack.back().is_int()) {
+                                    const std::uint32_t x =
+                                        static_cast<std::uint32_t>(stack.back().as_int());
+                                    const std::uint32_t y = static_cast<std::uint32_t>(v);
+                                    stack.back() = Value::of_int(static_cast<std::int32_t>(
+                                        nx.op == Op::Add ? x + y : x - y));
+                                    ++counters_.instructions;  // absorbed arith
+                                    pc += 2;
+                                    continue;
+                                }
+                            }
+                            stack.push_back(Value::of_int(v));
+                            break;
+                        }
+                        case 3: {
+                            const std::int64_t v = std::get<std::int64_t>(i.k);
+                            if (static_cast<std::size_t>(pc) + 1 < code.size() &&
+                                !stack.empty()) {
+                                const Instruction& nx = code[pc + 1];
+                                if ((nx.op == Op::Add || nx.op == Op::Sub) &&
+                                    stack.back().is_long()) {
+                                    const std::uint64_t x =
+                                        static_cast<std::uint64_t>(stack.back().as_long());
+                                    const std::uint64_t y = static_cast<std::uint64_t>(v);
+                                    stack.back() = Value::of_long(static_cast<std::int64_t>(
+                                        nx.op == Op::Add ? x + y : x - y));
+                                    ++counters_.instructions;  // absorbed arith
+                                    pc += 2;
+                                    continue;
+                                }
+                            }
+                            stack.push_back(Value::of_long(v));
+                            break;
+                        }
+                        case 4:
+                            stack.push_back(Value::of_double(std::get<double>(i.k)));
+                            break;
+                        default:
+                            stack.push_back(Value::of_str(std::get<std::string>(i.k)));
+                            break;
+                    }
                     break;
                 }
                 case Op::Load:
@@ -445,25 +834,34 @@ Value Interpreter::execute(const ClassFile& cls, const Method& m,
                     std::swap(stack[stack.size() - 1], stack[stack.size() - 2]);
                     break;
                 case Op::Add:
-                case Op::Sub:
+                case Op::Sub: {
+                    Value b = pop(), a = pop();
+                    // Same-width add/sub inline (wraparound matches arith());
+                    // strings concatenate, mirroring Java's +; everything
+                    // else (mixed widths, doubles) takes the general path.
+                    if (a.is_long() && b.is_long()) {
+                        const std::uint64_t ux = static_cast<std::uint64_t>(a.as_long());
+                        const std::uint64_t uy = static_cast<std::uint64_t>(b.as_long());
+                        stack.push_back(Value::of_long(static_cast<std::int64_t>(
+                            i.op == Op::Add ? ux + uy : ux - uy)));
+                    } else if (a.is_int() && b.is_int()) {
+                        const std::uint32_t ux = static_cast<std::uint32_t>(a.as_int());
+                        const std::uint32_t uy = static_cast<std::uint32_t>(b.as_int());
+                        stack.push_back(Value::of_int(static_cast<std::int32_t>(
+                            i.op == Op::Add ? ux + uy : ux - uy)));
+                    } else if (i.op == Op::Add && (a.is_str() || b.is_str())) {
+                        push_concat(a, b, stack);
+                    } else {
+                        stack.push_back(arith(i.op, a, b));
+                    }
+                    break;
+                }
                 case Op::Mul:
                 case Op::Div:
-                case Op::Rem: {
-                    Value b = pop(), a = pop();
-                    // String + string concatenates, mirroring Java's +.
-                    if (i.op == Op::Add && (a.is_str() || b.is_str()))
-                        stack.push_back(Value::of_str(a.display() + b.display()));
-                    else
-                        stack.push_back(arith(i.op, a, b));
+                case Op::Rem:
+                case Op::Neg:
+                    op_misc(i, stack);
                     break;
-                }
-                case Op::Neg: {
-                    Value a = pop();
-                    if (a.is_int()) stack.push_back(Value::of_int(-a.as_int()));
-                    else if (a.is_long()) stack.push_back(Value::of_long(-a.as_long()));
-                    else stack.push_back(Value::of_double(-a.as_double()));
-                    break;
-                }
                 case Op::CmpEq:
                 case Op::CmpNe:
                 case Op::CmpLt:
@@ -471,200 +869,183 @@ Value Interpreter::execute(const ClassFile& cls, const Method& m,
                 case Op::CmpGt:
                 case Op::CmpGe: {
                     Value b = pop(), a = pop();
-                    stack.push_back(compare(i.op, a, b));
-                    break;
-                }
-                case Op::And: {
-                    Value b = pop(), a = pop();
-                    stack.push_back(Value::of_bool(a.as_bool() && b.as_bool()));
-                    break;
-                }
-                case Op::Or: {
-                    Value b = pop(), a = pop();
-                    stack.push_back(Value::of_bool(a.as_bool() || b.as_bool()));
-                    break;
-                }
-                case Op::Not: {
-                    Value a = pop();
-                    stack.push_back(Value::of_bool(!a.as_bool()));
-                    break;
-                }
-                case Op::Conv: {
-                    Value a = pop();
-                    switch (static_cast<Kind>(i.a)) {
-                        case Kind::Int:
-                            stack.push_back(
-                                Value::of_int(static_cast<std::int32_t>(a.widen_double())));
-                            break;
-                        case Kind::Long:
-                            stack.push_back(
-                                Value::of_long(static_cast<std::int64_t>(a.widen_double())));
-                            break;
-                        case Kind::Double:
-                            stack.push_back(Value::of_double(a.widen_double()));
-                            break;
-                        default:
-                            throw VmError("bad conv target");
+                    // int/int dominates loop headers; compare() widens
+                    // through double, which is exact for 32-bit ints, so
+                    // the inline path is equivalent.
+                    bool res;
+                    if (a.is_int() && b.is_int()) {
+                        const std::int32_t x = a.as_int(), y = b.as_int();
+                        switch (i.op) {
+                            case Op::CmpEq: res = x == y; break;
+                            case Op::CmpNe: res = x != y; break;
+                            case Op::CmpLt: res = x < y; break;
+                            case Op::CmpLe: res = x <= y; break;
+                            case Op::CmpGt: res = x > y; break;
+                            default: res = x >= y; break;
+                        }
+                    } else {
+                        res = compare(i.op, a, b).as_bool();
                     }
+                    // Compare-and-branch fusion: when the next instruction
+                    // is the conditional jump (the shape every loop header
+                    // compiles to), branch directly instead of pushing and
+                    // re-popping the boolean.  Jumps *into* the IfTrue/
+                    // IfFalse from elsewhere still take its own case.
+                    if (static_cast<std::size_t>(pc) + 1 < code.size()) {
+                        const Instruction& nx = code[pc + 1];
+                        if (nx.op == Op::IfTrue || nx.op == Op::IfFalse) {
+                            ++counters_.instructions;  // the absorbed branch
+                            if (res == (nx.op == Op::IfTrue))
+                                pc = nx.a;
+                            else
+                                pc += 2;
+                            continue;
+                        }
+                    }
+                    stack.push_back(Value::of_bool(res));
                     break;
                 }
-                case Op::Concat: {
-                    Value b = pop(), a = pop();
-                    stack.push_back(Value::of_str(a.display() + b.display()));
+                case Op::And:
+                case Op::Or:
+                case Op::Not:
+                case Op::Conv:
+                case Op::Concat:
+                    op_misc(i, stack);
                     break;
-                }
                 case Op::Goto:
                     pc = i.a;
                     continue;
                 case Op::IfTrue: {
-                    if (pop().as_bool()) {
+                    const bool t = stack.back().as_bool();
+                    stack.pop_back();
+                    if (t) {
                         pc = i.a;
                         continue;
                     }
                     break;
                 }
                 case Op::IfFalse: {
-                    if (!pop().as_bool()) {
+                    const bool t = stack.back().as_bool();
+                    stack.pop_back();
+                    if (!t) {
                         pc = i.a;
                         continue;
                     }
                     break;
                 }
                 case Op::New: {
-                    ensure_initialized(i.owner);
-                    stack.push_back(Value::of_ref(allocate(i.owner)));
+                    SiteCache& sc = sites[pc];
+                    if (sc.gen == pool_->generation()) {
+                        stack.push_back(Value::of_ref(allocate_with(*sc.cls, *sc.layout)));
+                    } else {
+                        ensure_initialized(i.owner);
+                        stack.push_back(Value::of_ref(allocate(i.owner)));
+                        sc.cls = &pool_->get(i.owner);
+                        sc.layout = &pool_->layout_of(i.owner);
+                        sc.gen = pool_->generation();
+                    }
                     break;
                 }
                 case Op::GetField: {
-                    Value recv = pop();
-                    Object& o = heap_.get(recv.as_ref());
-                    const model::Layout& layout = pool_->layout_of(o.cls->name);
+                    const ObjId recv = stack.back().as_ref();
+                    stack.pop_back();
+                    Object& o = heap_.get(recv);
+                    SiteCache& sc = sites[pc];
+                    if (sc.cls == o.cls && sc.gen == pool_->generation()) {
+                        ++counters_.ic_field_hits;
+                    } else {
+                        sc.slot = pool_->layout_of(o.cls->name).index_of(i.member);
+                        sc.cls = o.cls;
+                        sc.gen = pool_->generation();
+                        ++counters_.ic_field_misses;
+                    }
                     ++counters_.field_reads;
-                    stack.push_back(
-                        o.fields[static_cast<std::size_t>(layout.index_of(i.member))]);
+                    stack.push_back(o.fields[static_cast<std::size_t>(sc.slot)]);
                     break;
                 }
                 case Op::PutField: {
                     Value v = pop();
-                    Value recv = pop();
-                    Object& o = heap_.get(recv.as_ref());
-                    const model::Layout& layout = pool_->layout_of(o.cls->name);
+                    const ObjId recv = stack.back().as_ref();
+                    stack.pop_back();
+                    Object& o = heap_.get(recv);
+                    SiteCache& sc = sites[pc];
+                    if (sc.cls == o.cls && sc.gen == pool_->generation()) {
+                        ++counters_.ic_field_hits;
+                    } else {
+                        sc.slot = pool_->layout_of(o.cls->name).index_of(i.member);
+                        sc.cls = o.cls;
+                        sc.gen = pool_->generation();
+                        ++counters_.ic_field_misses;
+                    }
                     ++counters_.field_writes;
-                    o.fields[static_cast<std::size_t>(layout.index_of(i.member))] =
-                        std::move(v);
+                    o.fields[static_cast<std::size_t>(sc.slot)] = std::move(v);
                     break;
                 }
-                case Op::GetStatic:
-                    stack.push_back(get_static_field(i.owner, i.member));
+                case Op::GetStatic: {
+                    SiteCache& sc = sites[pc];
+                    if (sc.gen == pool_->generation()) {
+                        ++counters_.ic_static_hits;
+                        ++counters_.static_reads;
+                        stack.push_back((*sc.statics)[static_cast<std::size_t>(sc.slot)]);
+                    } else {
+                        ++counters_.ic_static_misses;
+                        // The slow path runs <clinit> if needed and
+                        // reconciles storage; fill the cache afterwards.
+                        stack.push_back(get_static_field(i.owner, i.member));
+                        const ClassFile* declaring =
+                            pool_->resolve_static_field(i.owner, i.member);
+                        sc.statics = &statics_of(declaring->name);
+                        sc.slot =
+                            pool_->static_layout_of(declaring->name).index_of(i.member);
+                        sc.cls = declaring;
+                        sc.gen = pool_->generation();
+                    }
                     break;
-                case Op::PutStatic:
-                    set_static_field(i.owner, i.member, pop());
+                }
+                case Op::PutStatic: {
+                    SiteCache& sc = sites[pc];
+                    if (sc.gen == pool_->generation()) {
+                        ++counters_.ic_static_hits;
+                        ++counters_.static_writes;
+                        (*sc.statics)[static_cast<std::size_t>(sc.slot)] = pop();
+                    } else {
+                        ++counters_.ic_static_misses;
+                        set_static_field(i.owner, i.member, pop());
+                        const ClassFile* declaring =
+                            pool_->resolve_static_field(i.owner, i.member);
+                        sc.statics = &statics_of(declaring->name);
+                        sc.slot =
+                            pool_->static_layout_of(declaring->name).index_of(i.member);
+                        sc.cls = declaring;
+                        sc.gen = pool_->generation();
+                    }
                     break;
+                }
                 case Op::InvokeVirtual:
-                case Op::InvokeInterface: {
-                    auto [nargs_i, ret_void] = sig_info(i.desc);
-                    std::size_t nargs = static_cast<std::size_t>(nargs_i);
-                    std::vector<Value> locals2(nargs + 1);
-                    for (std::size_t k = nargs; k >= 1; --k) locals2[k] = pop();
-                    locals2[0] = pop();
-                    const ClassFile& dyn = class_of(locals2[0].as_ref());
-                    const Method& target = resolve_virtual_cached(dyn.name, i.member, i.desc);
-                    if (i.op == Op::InvokeVirtual) ++counters_.invokes_virtual;
-                    else ++counters_.invokes_interface;
-                    Value r = invoke(dyn, target, std::move(locals2));
-                    if (!ret_void) stack.push_back(std::move(r));
+                case Op::InvokeInterface:
+                    op_invoke_virtual(i, sites[pc], stack);
                     break;
-                }
-                case Op::InvokeStatic: {
-                    auto [nargs_i, ret_void] = sig_info(i.desc);
-                    std::size_t nargs = static_cast<std::size_t>(nargs_i);
-                    std::vector<Value> locals2(nargs);
-                    for (std::size_t k = nargs; k >= 1; --k) locals2[k - 1] = pop();
-                    ensure_initialized(i.owner);
-                    const Method* target = pool_->resolve_static(i.owner, i.member, i.desc);
-                    if (!target)
-                        throw VmError("unresolved static " + i.owner + "." + i.member);
-                    ++counters_.invokes_static;
-                    Value r = invoke(pool_->get(i.owner), *target, std::move(locals2));
-                    if (!ret_void) stack.push_back(std::move(r));
+                case Op::InvokeStatic:
+                    op_invoke_static(i, sites[pc], stack);
                     break;
-                }
-                case Op::InvokeSpecial: {
-                    auto [nargs_i, ret_void2] = sig_info(i.desc);
-                    (void)ret_void2;
-                    std::size_t nargs = static_cast<std::size_t>(nargs_i);
-                    std::vector<Value> locals2(nargs + 1);
-                    for (std::size_t k = nargs; k >= 1; --k) locals2[k] = pop();
-                    locals2[0] = pop();
-                    const ClassFile& owner = pool_->get(i.owner);
-                    const Method* ctor = owner.find_method(i.member, i.desc);
-                    if (!ctor) throw VmError("unresolved ctor " + i.owner + i.desc);
-                    ++counters_.invokes_special;
-                    invoke(owner, *ctor, std::move(locals2));
+                case Op::InvokeSpecial:
+                    op_invoke_special(i, sites[pc], stack);
                     break;
-                }
                 case Op::Return:
                     return Value::null();
                 case Op::ReturnValue:
                     return pop();
-                case Op::Throw: {
-                    Value thrown = pop();
-                    if (!thrown.is_ref()) throw VmError("throw of non-reference");
-                    throw GuestThrow{std::move(thrown)};
-                }
-                case Op::NewArray: {
-                    std::int32_t len = pop().as_int();
-                    if (len < 0) throw VmError("negative array length");
-                    ++counters_.allocations;
-                    stack.push_back(Value::of_ref(heap_.alloc_array(
-                        model::TypeDesc::parse(i.desc),
-                        static_cast<std::size_t>(len))));
+                case Op::Throw:
+                    op_throw(stack);  // [[noreturn]]
+                case Op::NewArray:
+                case Op::ALoad:
+                case Op::AStore:
+                case Op::ALen:
+                    op_array(i, stack);
                     break;
-                }
-                case Op::ALoad: {
-                    std::int32_t idx = pop().as_int();
-                    Object& arr = heap_.get(pop().as_ref());
-                    if (!arr.is_array) throw VmError("aload on non-array");
-                    if (idx < 0 || static_cast<std::size_t>(idx) >= arr.fields.size())
-                        throw VmError("array index out of bounds: " + std::to_string(idx));
-                    ++counters_.field_reads;
-                    stack.push_back(arr.fields[static_cast<std::size_t>(idx)]);
-                    break;
-                }
-                case Op::AStore: {
-                    Value v = pop();
-                    std::int32_t idx = pop().as_int();
-                    Object& arr = heap_.get(pop().as_ref());
-                    if (!arr.is_array) throw VmError("astore on non-array");
-                    if (idx < 0 || static_cast<std::size_t>(idx) >= arr.fields.size())
-                        throw VmError("array index out of bounds: " + std::to_string(idx));
-                    ++counters_.field_writes;
-                    arr.fields[static_cast<std::size_t>(idx)] = std::move(v);
-                    break;
-                }
-                case Op::ALen: {
-                    Object& arr = heap_.get(pop().as_ref());
-                    if (!arr.is_array) throw VmError("alen on non-array");
-                    stack.push_back(
-                        Value::of_int(static_cast<std::int32_t>(arr.fields.size())));
-                    break;
-                }
             }
         } catch (GuestThrow& gt) {
-            // Search this frame's handlers; re-throw to unwind otherwise.
-            const ClassFile& thrown_cls = class_of(gt.thrown.as_ref());
-            bool handled = false;
-            for (const model::Handler& h : m.code.handlers) {
-                if (pc >= h.start && pc < h.end &&
-                    pool_->is_subtype(thrown_cls.name, h.class_name)) {
-                    stack.clear();
-                    stack.push_back(std::move(gt.thrown));
-                    pc = h.target;
-                    handled = true;
-                    break;
-                }
-            }
-            if (handled) continue;
+            if (dispatch_guest_throw(gt, m, pc, stack)) continue;
             throw;  // unwind to the caller's frame (or the API boundary)
         }
         ++pc;

@@ -1,58 +1,13 @@
 #include "vm/value.hpp"
 
-#include <sstream>
+#include <charconv>
 
 #include "support/error.hpp"
 
 namespace rafda::vm {
 
-namespace {
-[[noreturn]] void bad_tag(const char* want, const Value& v) {
-    throw VmError(std::string("value is not ") + want + " (got " + v.display() + ")");
-}
-}  // namespace
-
-bool Value::as_bool() const {
-    if (const bool* b = std::get_if<bool>(&v_)) return *b;
-    bad_tag("bool", *this);
-}
-
-std::int32_t Value::as_int() const {
-    if (const std::int32_t* i = std::get_if<std::int32_t>(&v_)) return *i;
-    bad_tag("int", *this);
-}
-
-std::int64_t Value::as_long() const {
-    if (const std::int64_t* j = std::get_if<std::int64_t>(&v_)) return *j;
-    bad_tag("long", *this);
-}
-
-double Value::as_double() const {
-    if (const double* d = std::get_if<double>(&v_)) return *d;
-    bad_tag("double", *this);
-}
-
-const std::string& Value::as_str() const {
-    if (const std::string* s = std::get_if<std::string>(&v_)) return *s;
-    bad_tag("string", *this);
-}
-
-ObjId Value::as_ref() const {
-    if (const Ref* r = std::get_if<Ref>(&v_)) return r->id;
-    bad_tag("reference", *this);
-}
-
-std::int64_t Value::widen_integral() const {
-    if (is_int()) return as_int();
-    if (is_long()) return as_long();
-    bad_tag("integral", *this);
-}
-
-double Value::widen_double() const {
-    if (is_int()) return as_int();
-    if (is_long()) return static_cast<double>(as_long());
-    if (is_double()) return as_double();
-    bad_tag("numeric", *this);
+void Value::throw_bad_tag(const char* want) const {
+    throw VmError(std::string("value is not ") + want + " (got " + display() + ")");
 }
 
 model::Kind Value::kind() const {
@@ -65,15 +20,23 @@ model::Kind Value::kind() const {
 }
 
 std::string Value::display() const {
-    std::ostringstream os;
-    if (is_null()) os << "null";
-    else if (is_bool()) os << (as_bool() ? "true" : "false");
-    else if (is_int()) os << as_int();
-    else if (is_long()) os << as_long();
-    else if (is_double()) os << as_double();
-    else if (is_str()) os << as_str();
-    else os << "@" << as_ref();
-    return os.str();
+    if (is_null()) return "null";
+    if (is_bool()) return as_bool() ? "true" : "false";
+    if (is_int()) return std::to_string(as_int());
+    if (is_long()) return std::to_string(as_long());
+    if (is_double()) {
+        // Shortest round-trip rendering (to_chars without a precision).
+        // Streaming at the default 6 significant digits made guest string
+        // concatenation lossy, so an original and its transformed twin
+        // could print different output after a marshalling round trip
+        // (SOAPX encodes at max_digits10) — breaking semantic equivalence.
+        char buf[32];
+        auto [end, ec] = std::to_chars(buf, buf + sizeof buf, as_double());
+        if (ec != std::errc{}) return "?double?";  // 32 bytes always suffice
+        return std::string(buf, end);
+    }
+    if (is_str()) return as_str();
+    return "@" + std::to_string(as_ref());
 }
 
 Value default_value(const model::TypeDesc& t) {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "corpus/program_gen.hpp"
+#include "model/assembler.hpp"
 #include "model/verifier.hpp"
 #include "runtime/system.hpp"
 #include "transform/local_binder.hpp"
@@ -74,6 +75,91 @@ TEST_P(DifferentialSweep, AllExecutionModesAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSweep,
                          ::testing::Range<std::uint64_t>(1, 26));
+
+TEST(Differential, DoubleStringificationAgreesEverywhere) {
+    // Regression: Value::display() used ostream's default 6-significant-
+    // digit precision while the SOAP codec marshals doubles at 17 digits,
+    // so a double concatenated into a string printed the same everywhere
+    // only by losing precision.  Shortest round-trip formatting keeps the
+    // full value and every execution mode must still agree byte-for-byte.
+    constexpr const char* kDoubleApp = R"(
+class GenD {
+  field a D
+  field b D
+  ctor (DD)V {
+    load 0
+    load 1
+    putfield GenD.a D
+    load 0
+    load 2
+    putfield GenD.b D
+    return
+  }
+  method sum ()D {
+    load 0
+    getfield GenD.a D
+    load 0
+    getfield GenD.b D
+    add
+    returnvalue
+  }
+  method ratio ()D {
+    load 0
+    getfield GenD.a D
+    load 0
+    getfield GenD.b D
+    div
+    returnvalue
+  }
+}
+class Main {
+  static method main ()V {
+    locals 2
+    new GenD
+    dup
+    const 0.1
+    const 0.2
+    invokespecial GenD.<init> (DD)V
+    store 0
+    new GenD
+    dup
+    const 1.0
+    const 3.0
+    invokespecial GenD.<init> (DD)V
+    store 1
+    const "sum="
+    load 0
+    invokevirtual GenD.sum ()D
+    concat
+    invokestatic Sys.println (S)V
+    const "ratio="
+    load 0
+    invokevirtual GenD.ratio ()D
+    concat
+    invokestatic Sys.println (S)V
+    const "third="
+    load 1
+    invokevirtual GenD.ratio ()D
+    concat
+    invokestatic Sys.println (S)V
+    return
+  }
+}
+)";
+    model::ClassPool pool;
+    vm::install_prelude(pool);
+    model::assemble_into(pool, kDoubleApp);
+    model::verify_pool(pool);
+
+    std::string expected = run_original(pool);
+    EXPECT_NE(expected.find("sum=0.30000000000000004"), std::string::npos) << expected;
+    EXPECT_NE(expected.find("ratio=0.5"), std::string::npos) << expected;
+    EXPECT_NE(expected.find("third=0.3333333333333333"), std::string::npos) << expected;
+    EXPECT_EQ(run_transformed_local(pool), expected);
+    EXPECT_EQ(run_wrapped(pool), expected);
+    EXPECT_EQ(run_distributed(pool, "RMI"), expected);
+    EXPECT_EQ(run_distributed(pool, "SOAP"), expected);
+}
 
 TEST(Differential, NoStaticsNoStringsVariantAgrees) {
     for (std::uint64_t seed : {101u, 102u, 103u, 104u, 105u}) {

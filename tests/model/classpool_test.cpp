@@ -143,6 +143,53 @@ TEST(ClassPool, CachesInvalidatedOnMutation) {
     EXPECT_EQ(pool.layout_of("Dog").size(), 3);
 }
 
+TEST(ClassPool, MutableAccessAloneInvalidatesMemoizedLayouts) {
+    // Regression: find_mutable/get_mutable used to hand out a mutable
+    // ClassFile* without invalidating, so a layout memoized before an
+    // in-place rewrite stayed stale.
+    ClassPool pool = make_pool();
+    EXPECT_EQ(pool.layout_of("Dog").size(), 2);        // memoize
+    EXPECT_EQ(pool.static_layout_of("Dog").size(), 1);  // memoize statics too
+    ClassFile* dog = pool.find_mutable("Dog");
+    ASSERT_NE(dog, nullptr);
+    dog->fields.push_back(
+        Field{"collar", TypeDesc::str(), Visibility::Public, false, false});
+    dog->fields.push_back(
+        Field{"licenses", TypeDesc::int_(), Visibility::Public, true, false});
+    // No explicit invalidate_caches() call — the mutable handout did it.
+    EXPECT_EQ(pool.layout_of("Dog").size(), 3);
+    EXPECT_EQ(pool.layout_of("Puppy").size(), 4);  // subclasses see it too
+    EXPECT_EQ(pool.static_layout_of("Dog").size(), 2);
+}
+
+TEST(ClassPool, GenerationBumpsOnEveryMutationPath) {
+    ClassPool pool = make_pool();
+    const std::uint64_t g0 = pool.generation();
+    EXPECT_GT(g0, 0u);  // 0 is reserved for "never validated" consumers
+
+    pool.layout_of("Dog");
+    EXPECT_EQ(pool.generation(), g0);  // const queries do not bump
+
+    pool.get_mutable("Dog");
+    const std::uint64_t g1 = pool.generation();
+    EXPECT_GT(g1, g0);
+
+    pool.find_mutable("Dog");
+    const std::uint64_t g2 = pool.generation();
+    EXPECT_GT(g2, g1);
+    EXPECT_EQ(pool.find_mutable("NoSuchClass"), nullptr);
+    EXPECT_EQ(pool.generation(), g2);  // failed lookup hands out nothing
+
+    ClassFile fresh;
+    fresh.name = "Cat";
+    pool.add(std::move(fresh));
+    const std::uint64_t g3 = pool.generation();
+    EXPECT_GT(g3, g2);
+
+    pool.remove("Cat");
+    EXPECT_GT(pool.generation(), g3);
+}
+
 TEST(ClassPool, ReferencedClasses) {
     ClassPool pool = make_pool();
     std::vector<std::string> refs = pool.get("Dog").referenced_classes();

@@ -77,6 +77,18 @@ TEST(SimNetwork, DropRateApproximatesProbability) {
     EXPECT_GT(net.stats(0, 1).drops, 0u);
 }
 
+TEST(SimNetwork, DroppedTransferChargesLatency) {
+    // A lost message still occupied the link: the sender's timeout clock
+    // ran for at least the propagation delay.  Drops used to be free in
+    // virtual time, which made lossy links *faster* than reliable ones.
+    SimNetwork net;
+    net.set_default_link(LinkParams{50, 0.0, 1.0});
+    EXPECT_FALSE(net.transfer(0, 1, 1000).has_value());
+    EXPECT_EQ(net.now_us(), 50u);
+    EXPECT_FALSE(net.transfer(0, 1, 1000).has_value());
+    EXPECT_EQ(net.now_us(), 100u);
+}
+
 TEST(SimNetwork, NoDropsAtZeroProbability) {
     SimNetwork net;
     net.set_default_link(LinkParams{1, 0.0, 0.0});

@@ -152,6 +152,39 @@ TEST_F(FaultsFixture, LostReplyStillExecutedTheCall) {
     EXPECT_EQ(system->node(0).interp().call_virtual(svc, "calls", "()I").as_int(), 1);
 }
 
+TEST_F(FaultsFixture, DroppedDistinguishesRequestLossFromReplyLoss) {
+    // The C++-level Dropped marker carries `executed_remotely` so callers
+    // can reason about side effects: a lost request never ran, a lost
+    // reply means the remote side ran the call and only the result
+    // vanished (DESIGN.md §12).  A Create whose reply is lost has leaked
+    // an instance on the remote node; a Create whose request is lost has
+    // not.
+    system->network().set_link(0, 1, net::LinkParams{100, 0.0, 1.0});  // requests lost
+    net::CallRequest lost_request;
+    lost_request.kind = net::RequestKind::Create;
+    lost_request.cls = "Service";
+    lost_request.src_node = 0;
+    try {
+        system->rpc(0, 1, "RMI", lost_request);
+        FAIL() << "expected Dropped";
+    } catch (const System::Dropped& d) {
+        EXPECT_FALSE(d.executed_remotely);
+    }
+
+    system->network().set_link(0, 1, net::LinkParams{100, 0.0, 0.0});
+    system->network().set_link(1, 0, net::LinkParams{100, 0.0, 1.0});  // replies lost
+    net::CallRequest lost_reply;
+    lost_reply.kind = net::RequestKind::Create;
+    lost_reply.cls = "Service";
+    lost_reply.src_node = 0;
+    try {
+        system->rpc(0, 1, "RMI", lost_reply);
+        FAIL() << "expected Dropped";
+    } catch (const System::Dropped& d) {
+        EXPECT_TRUE(d.executed_remotely);
+    }
+}
+
 TEST_F(FaultsFixture, PartialDropRateEventuallySucceeds) {
     Value svc = system->construct(0, "Service", "()V");
     system->network().set_link(0, 1, net::LinkParams{100, 0.0, 0.5});

@@ -386,6 +386,34 @@ class A {
     EXPECT_EQ(f.interp->call_static("A", "s", "()S").as_str(), "v=7");
 }
 
+TEST(Interp, DoubleDisplayIsShortestRoundTrip) {
+    // Doubles stringify with round-trip (shortest lossless) formatting,
+    // not a fixed 6-significant-digit truncation: "d=" + 1.0/3 must not
+    // come out as "d=0.333333".
+    Fixture f(R"(
+class A {
+  static method third ()S {
+    const "d="
+    const 1.0
+    const 3.0
+    div
+    concat
+    returnvalue
+  }
+  static method tenth ()S {
+    const "d="
+    const 0.1
+    concat
+    returnvalue
+  }
+}
+)");
+    EXPECT_EQ(f.interp->call_static("A", "third", "()S").as_str(),
+              "d=0.3333333333333333");
+    // Short decimals keep their short spelling (no 0.1000000000000000055...).
+    EXPECT_EQ(f.interp->call_static("A", "tenth", "()S").as_str(), "d=0.1");
+}
+
 TEST(Interp, ComparisonsAndBooleans) {
     Fixture f(R"(
 class A {
