@@ -53,6 +53,14 @@ struct CallRequest {
     // Zero means "not traced"; codecs always carry both.
     std::uint64_t trace_id = 0;
     std::uint64_t parent_span = 0;
+    // Event-sequencing metadata (simulation bookkeeping, NOT wire data):
+    // the sender's virtual clock when the request was handed to the link
+    // and the arrival time the network computed for it.  System::rpc
+    // threads these through the request so server-side dispatch and codec
+    // work are charged on the destination node's clock; codecs ignore
+    // both, so wire sizes are unaffected.
+    std::uint64_t sim_send_us = 0;
+    std::uint64_t sim_arrival_us = 0;
     std::int32_t src_node = 0;
     std::uint64_t target_oid = 0;  // Invoke only
     std::string cls;               // Create/Discover: original class name

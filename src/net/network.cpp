@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
@@ -27,6 +28,8 @@ SimNetwork::LinkMetrics& SimNetwork::link_metrics(NodeId src, NodeId dst) {
         m.messages = &registry_->counter(prefix + "messages");
         m.bytes = &registry_->counter(prefix + "bytes");
         m.drops = &registry_->counter(prefix + "drops");
+        m.busy_us = &registry_->counter(prefix + "busy_us");
+        m.utilization_ppm = &registry_->gauge(prefix + "utilization_ppm");
         it = link_metrics_.emplace(std::make_pair(src, dst), m).first;
     }
     return it->second;
@@ -37,37 +40,70 @@ void SimNetwork::attach_metrics(obs::Registry* registry) {
     link_metrics_.clear();
 }
 
-std::optional<std::uint64_t> SimNetwork::transfer(NodeId src, NodeId dst,
-                                                  std::size_t size) {
+Delivery SimNetwork::transfer_at(NodeId src, NodeId dst, std::size_t size,
+                                 std::uint64_t send_us) {
     const LinkParams& params = link(src, dst);
     LinkStats& stats = stats_[{src, dst}];
     LinkMetrics* metrics = registry_ ? &link_metrics(src, dst) : nullptr;
+    std::uint64_t& busy_until = busy_until_[{src, dst}];
+    // The channel carries one message at a time: a transfer sent while the
+    // link is occupied queues behind the in-flight one.
+    const std::uint64_t depart = std::max(send_us, busy_until);
     if (rng_.chance(params.drop_probability)) {
         ++stats.drops;
-        if (metrics) metrics->drops->add();
         // A lost message still occupied the link before it died: charge
         // the propagation delay so loss is not free in virtual time (a
         // free drop would bias adaptation experiments toward lossy links).
-        clock_us_ += params.latency_us;
-        return std::nullopt;
+        const std::uint64_t fail_at = depart + params.latency_us;
+        stats.busy_us += fail_at - depart;
+        busy_until = fail_at;
+        observe(fail_at);
+        if (metrics) {
+            metrics->drops->add();
+            metrics->busy_us->add(params.latency_us);
+            metrics->utilization_ppm->set(static_cast<std::int64_t>(
+                stats.busy_us * 1'000'000 / std::max<std::uint64_t>(1, clock_us_)));
+        }
+        return Delivery{false, fail_at};
     }
     ++stats.messages;
     stats.bytes += size;
-    if (metrics) {
-        metrics->messages->add();
-        metrics->bytes->add(size);
-    }
     double serialization =
         params.bandwidth_bytes_per_us > 0
             ? static_cast<double>(size) / params.bandwidth_bytes_per_us
             : 0.0;
-    std::uint64_t delay =
-        params.latency_us + static_cast<std::uint64_t>(std::llround(serialization));
-    clock_us_ += delay;
-    return delay;
+    const std::uint64_t arrival =
+        depart + params.latency_us +
+        static_cast<std::uint64_t>(std::llround(serialization));
+    stats.busy_us += arrival - depart;
+    busy_until = arrival;
+    observe(arrival);
+    if (metrics) {
+        metrics->messages->add();
+        metrics->bytes->add(size);
+        metrics->busy_us->add(arrival - depart);
+        metrics->utilization_ppm->set(static_cast<std::int64_t>(
+            stats.busy_us * 1'000'000 / std::max<std::uint64_t>(1, clock_us_)));
+    }
+    return Delivery{true, arrival};
+}
+
+std::optional<std::uint64_t> SimNetwork::transfer(NodeId src, NodeId dst,
+                                                  std::size_t size) {
+    const std::uint64_t send = clock_us_;
+    Delivery d = transfer_at(src, dst, size, send);
+    // transfer_at already advanced the watermark to the event time, which
+    // for a send at the watermark is exactly the old global-clock advance.
+    if (!d.delivered) return std::nullopt;
+    return d.at_us - send;
 }
 
 void SimNetwork::charge_compute(std::uint64_t us) { clock_us_ += us; }
+
+std::uint64_t SimNetwork::link_busy_until(NodeId src, NodeId dst) const {
+    auto it = busy_until_.find({src, dst});
+    return it == busy_until_.end() ? 0 : it->second;
+}
 
 const LinkStats& SimNetwork::stats(NodeId src, NodeId dst) const {
     return stats_[{src, dst}];
@@ -79,10 +115,28 @@ LinkStats SimNetwork::total_stats() const {
         total.messages += s.messages;
         total.bytes += s.bytes;
         total.drops += s.drops;
+        total.busy_us += s.busy_us;
     }
     return total;
 }
 
-void SimNetwork::reset_stats() { stats_.clear(); }
+void SimNetwork::visit_links(
+    const std::function<void(NodeId, NodeId, const LinkStats&)>& fn) const {
+    for (const auto& [key, s] : stats_) fn(key.first, key.second, s);
+}
+
+void SimNetwork::reset_stats() {
+    stats_.clear();
+    // Keep the registry mirrors in step: they are cumulative shadows of
+    // stats_, so clearing one but not the other would make `rafdac stats`
+    // diverge from total_stats() after a reset.
+    for (auto& [_, m] : link_metrics_) {
+        m.messages->reset();
+        m.bytes->reset();
+        m.drops->reset();
+        m.busy_us->reset();
+        m.utilization_ppm->reset();
+    }
+}
 
 }  // namespace rafda::net

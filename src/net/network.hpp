@@ -1,14 +1,25 @@
 // SimNetwork — a deterministic in-process network between address spaces.
 //
 // The middleware runs all nodes in one OS process (each with its own VM and
-// heap), so the "network" models cost and failure rather than moving bytes:
-// each transfer advances a virtual clock by latency + size/bandwidth and is
-// accounted per link; fault injection drops messages deterministically from
-// a seeded PRNG.  Experiments read the virtual clock so results are exactly
-// reproducible.
+// heap), so the "network" models cost and failure rather than moving bytes.
+// Time is *event-sequenced*: a transfer is an event with an explicit send
+// time (the sender's virtual clock) and a computed arrival time
+//
+//   depart  = max(send_time, link busy_until)
+//   arrival = depart + latency + size/bandwidth
+//
+// Each directed link is a channel that can carry one message at a time, so
+// contending transfers queue behind `busy_until` instead of being free —
+// this is what makes a multi-client workload exhibit real contention
+// (DESIGN.md §13).  `now_us()` is the global watermark: the latest event
+// completion observed anywhere, which for a single sequential caller
+// reduces exactly to the old single-global-clock behaviour.  Fault
+// injection drops messages deterministically from a seeded PRNG, so
+// experiments are exactly reproducible.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 
@@ -33,6 +44,17 @@ struct LinkStats {
     std::uint64_t messages = 0;
     std::uint64_t bytes = 0;
     std::uint64_t drops = 0;
+    /// Total virtual time the link spent occupied (sum of depart→arrival
+    /// windows, drops included up to the loss point).
+    std::uint64_t busy_us = 0;
+};
+
+/// Outcome of one sequenced transfer.  `at_us` is the arrival time when
+/// delivered, or the time the loss becomes observable (depart + latency)
+/// when dropped — the link was occupied either way.
+struct Delivery {
+    bool delivered = false;
+    std::uint64_t at_us = 0;
 };
 
 class SimNetwork {
@@ -45,25 +67,50 @@ public:
     void set_link(NodeId src, NodeId dst, LinkParams params);
     const LinkParams& link(NodeId src, NodeId dst) const;
 
-    /// Accounts one transfer of `size` bytes; returns the transfer delay in
-    /// microseconds and advances the virtual clock by it, or nullopt when
-    /// the message was dropped (fault injection).  A drop still advances
-    /// the clock by the link's latency — losing a message costs the
-    /// propagation delay before the sender can observe the failure.
+    /// Sequences one transfer of `size` bytes sent at `send_us` on the
+    /// sender's clock: the message departs when the link frees up, the
+    /// link stays busy until the arrival time, and the global watermark
+    /// advances to the returned event time.  Drops (fault injection) still
+    /// occupy the link for the propagation delay.
+    Delivery transfer_at(NodeId src, NodeId dst, std::size_t size,
+                         std::uint64_t send_us);
+
+    /// Legacy synchronous transfer: sends at the global watermark and
+    /// returns the delay, or nullopt when the message was dropped (the
+    /// watermark still advances by the link's latency — losing a message
+    /// costs the propagation delay before the sender can observe it).
+    /// Equivalent to `transfer_at(src, dst, size, now_us())`.
     std::optional<std::uint64_t> transfer(NodeId src, NodeId dst, std::size_t size);
 
-    /// Advances the virtual clock by a compute cost (e.g. codec CPU time).
+    /// Advances the global watermark by a compute cost charged to no
+    /// particular node (legacy; per-node work belongs on Node clocks).
     void charge_compute(std::uint64_t us);
 
+    /// Pulls the global watermark up to `t` (no-op when already past):
+    /// how per-node clock advances become visible to `now_us()`.
+    void observe(std::uint64_t t) noexcept {
+        if (t > clock_us_) clock_us_ = t;
+    }
+
+    /// Global virtual-time watermark: the latest event completion observed
+    /// anywhere in the system.
     std::uint64_t now_us() const noexcept { return clock_us_; }
+
+    /// Time until which the directed link is occupied (0 = never used).
+    std::uint64_t link_busy_until(NodeId src, NodeId dst) const;
 
     const LinkStats& stats(NodeId src, NodeId dst) const;
     LinkStats total_stats() const;
+    /// Per-link traversal in (src, dst) order, for tables and exports.
+    void visit_links(
+        const std::function<void(NodeId, NodeId, const LinkStats&)>& fn) const;
     void reset_stats();
 
     /// Mirrors per-link accounting into `registry` as counters named
-    /// net.link.<src>.<dst>.{messages,bytes,drops}.  Pass nullptr to
-    /// detach.  The registry must outlive the network (or be detached).
+    /// net.link.<src>.<dst>.{messages,bytes,drops,busy_us} plus a
+    /// net.link.<src>.<dst>.utilization_ppm gauge (busy time as parts per
+    /// million of elapsed virtual time).  Pass nullptr to detach.  The
+    /// registry must outlive the network (or be detached).
     void attach_metrics(obs::Registry* registry);
 
 private:
@@ -71,12 +118,15 @@ private:
         obs::Counter* messages = nullptr;
         obs::Counter* bytes = nullptr;
         obs::Counter* drops = nullptr;
+        obs::Counter* busy_us = nullptr;
+        obs::Gauge* utilization_ppm = nullptr;
     };
     LinkMetrics& link_metrics(NodeId src, NodeId dst);
 
     LinkParams default_link_;
     std::map<std::pair<NodeId, NodeId>, LinkParams> links_;
     mutable std::map<std::pair<NodeId, NodeId>, LinkStats> stats_;
+    std::map<std::pair<NodeId, NodeId>, std::uint64_t> busy_until_;
     obs::Registry* registry_ = nullptr;
     std::map<std::pair<NodeId, NodeId>, LinkMetrics> link_metrics_;
     std::uint64_t clock_us_ = 0;

@@ -1,0 +1,84 @@
+#include "runtime/driver.hpp"
+
+#include <algorithm>
+
+#include "runtime/system.hpp"
+#include "support/log.hpp"
+#include "vm/interp.hpp"
+
+namespace rafda::runtime {
+
+void WorkloadDriver::add_client(net::NodeId node, std::vector<Task> tasks) {
+    for (Client& c : clients_) {
+        if (c.node != node) continue;
+        c.tasks.insert(c.tasks.end(), std::make_move_iterator(tasks.begin()),
+                       std::make_move_iterator(tasks.end()));
+        return;
+    }
+    clients_.push_back(Client{node, std::move(tasks), 0, 0});
+}
+
+void WorkloadDriver::add_client(net::NodeId node, std::size_t count, Task task) {
+    std::vector<Task> tasks;
+    tasks.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) tasks.push_back(task);
+    add_client(node, std::move(tasks));
+}
+
+WorkloadDriver::Report WorkloadDriver::run() {
+    Report report;
+    if (clients_.empty()) return report;
+
+    report.clients.reserve(clients_.size());
+    for (Client& c : clients_) {
+        ClientReport cr;
+        cr.node = c.node;
+        cr.start_us = system_->node(c.node).clock_us();
+        report.clients.push_back(cr);
+    }
+    report.start_us = report.clients.front().start_us;
+    for (const ClientReport& cr : report.clients)
+        report.start_us = std::min(report.start_us, cr.start_us);
+
+    // Round-robin: one invocation per client per round.  The execution
+    // order is fixed, so the event sequence — and with it every clock,
+    // link-occupancy window and drop decision — is deterministic.
+    bool ran = true;
+    while (ran) {
+        ran = false;
+        for (std::size_t i = 0; i < clients_.size(); ++i) {
+            Client& c = clients_[i];
+            if (c.next >= c.tasks.size()) continue;
+            ran = true;
+            try {
+                c.tasks[c.next](*system_, c.node);
+            } catch (const vm::GuestException& e) {
+                ++c.faults;
+                log_debug("driver", "client ", c.node, " task ", c.next,
+                          " raised ", e.class_name(), ": ", e.message());
+            }
+            ++c.next;
+        }
+    }
+
+    report.end_us = report.start_us;
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+        Client& c = clients_[i];
+        ClientReport& cr = report.clients[i];
+        cr.end_us = system_->node(c.node).clock_us();
+        cr.tasks = c.next;
+        cr.faults = c.faults;
+        report.tasks_run += c.next;
+        report.faults += c.faults;
+        report.end_us = std::max(report.end_us, cr.end_us);
+        // Consumed queues reset so a subsequent add_client + run() starts
+        // a fresh window for this client.
+        c.tasks.clear();
+        c.next = 0;
+        c.faults = 0;
+    }
+    report.makespan_us = report.end_us - report.start_us;
+    return report;
+}
+
+}  // namespace rafda::runtime

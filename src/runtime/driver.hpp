@@ -1,0 +1,80 @@
+// WorkloadDriver — a concurrent multi-client workload generator.
+//
+// The RAFDA follow-up papers frame the runtime as a *server* mediating
+// many concurrent clients; this driver makes that workload expressible in
+// the simulator.  Each client is a node with its own interpreter and heap,
+// so a top-level guest invocation runs to completion as ordinary nested
+// C++ (no coroutines needed) — concurrency exists purely in *virtual
+// time*: per-node clocks advance independently, and contention appears
+// exactly where the event-sequenced model says it must — on shared links
+// (channel occupancy queues contending transfers) and on the server
+// node's clock (requests arriving while it is busy wait their turn).
+//
+// The driver interleaves the clients' invocation queues round-robin, one
+// invocation per client per round, which fixes the event order and makes
+// runs bit-for-bit reproducible from the network seed.  The resulting
+// makespan is the span between the earliest client start clock and the
+// latest client completion clock; with N clients against one server it
+// must beat N× the single-client time, because only the server-side work
+// serializes (measured by bench_concurrency / E9, DESIGN.md §13).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace rafda::runtime {
+
+class System;
+
+class WorkloadDriver {
+public:
+    /// One top-level guest invocation issued by `node` (e.g. a proxy call
+    /// through its interpreter).  Guest exceptions escaping the task (a
+    /// RemoteFault from an injected drop, say) are absorbed and counted —
+    /// one client's fault must not kill the whole workload.
+    using Task = std::function<void(System&, net::NodeId)>;
+
+    explicit WorkloadDriver(System& system) : system_(&system) {}
+
+    /// Appends a client with an ordered queue of invocations.
+    void add_client(net::NodeId node, std::vector<Task> tasks);
+    /// Convenience: `count` repetitions of the same invocation.
+    void add_client(net::NodeId node, std::size_t count, Task task);
+
+    struct ClientReport {
+        net::NodeId node = 0;
+        std::uint64_t start_us = 0;  // node clock when run() began
+        std::uint64_t end_us = 0;    // node clock when its queue drained
+        std::size_t tasks = 0;
+        std::size_t faults = 0;
+    };
+    struct Report {
+        std::uint64_t start_us = 0;     // min client clock at run() entry
+        std::uint64_t end_us = 0;       // max client clock at drain
+        std::uint64_t makespan_us = 0;  // end_us - start_us
+        std::size_t tasks_run = 0;
+        std::size_t faults = 0;
+        std::vector<ClientReport> clients;
+    };
+
+    /// Runs every queue to exhaustion, one invocation per client per
+    /// round.  Can be called again after queueing more work; clocks carry
+    /// over (virtual time never rewinds).
+    Report run();
+
+private:
+    struct Client {
+        net::NodeId node = 0;
+        std::vector<Task> tasks;
+        std::size_t next = 0;
+        std::size_t faults = 0;
+    };
+
+    System* system_;
+    std::vector<Client> clients_;
+};
+
+}  // namespace rafda::runtime

@@ -18,6 +18,29 @@ Node::Node(System& system, net::NodeId id, const model::ClassPool& pool)
     vm::bind_prelude_natives(interp_);
 }
 
+void Node::advance_clock(std::uint64_t us) {
+    if (!us) return;
+    clock_us_ += us;
+    clock_changed();
+}
+
+void Node::reconcile_clock(std::uint64_t t) {
+    if (t <= clock_us_) return;
+    clock_us_ = t;
+    clock_changed();
+}
+
+void Node::clock_changed() {
+    if (clock_gauge_) clock_gauge_->set(static_cast<std::int64_t>(clock_us_));
+    system_->network().observe(clock_us_);
+}
+
+void Node::sync_guest_time() {
+    const std::int64_t now = static_cast<std::int64_t>(clock_us_);
+    if (interp_.logical_time() < now)
+        interp_.advance_time(now - interp_.logical_time());
+}
+
 net::MarshalledValue Node::export_value(const Value& v) {
     using net::MarshalledValue;
     if (v.is_null()) return MarshalledValue::null();

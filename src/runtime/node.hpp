@@ -34,6 +34,20 @@ public:
     vm::Interpreter& interp() noexcept { return interp_; }
     const vm::Interpreter& interp() const noexcept { return interp_; }
 
+    /// This node's virtual clock (µs): the earliest instant it can start
+    /// new work.  Local work (codec CPU, dispatch) advances it; message
+    /// arrivals reconcile it at the RPC join points, so concurrent clients
+    /// overlap in virtual time while one sequential caller reduces to the
+    /// old global clock (DESIGN.md §13).
+    std::uint64_t clock_us() const noexcept { return clock_us_; }
+    /// Charges `us` of local work on this node's clock.
+    void advance_clock(std::uint64_t us);
+    /// Clock reconciliation: pulls the clock up to event time `t` (a
+    /// message arrival); never moves it backwards.
+    void reconcile_clock(std::uint64_t t);
+    /// Pulls the guest-visible logical time (Sys.time) up to the clock.
+    void sync_guest_time();
+
     /// Services one decoded request arriving over `protocol`.
     net::CallReply handle_request(const net::CallRequest& req, const std::string& protocol);
 
@@ -65,9 +79,15 @@ public:
 private:
     friend class System;
 
+    /// Publishes a clock change: mirrors the runtime.node<N>.clock_us
+    /// gauge and advances the network's global watermark.
+    void clock_changed();
+
     System* system_;
     net::NodeId id_;
     vm::Interpreter interp_;
+    std::uint64_t clock_us_ = 0;
+    obs::Gauge* clock_gauge_ = nullptr;  // set when System wires the node
     /// (origin node, origin oid, interface, protocol) -> local proxy object.
     std::map<std::tuple<net::NodeId, std::uint64_t, std::string, std::string>, vm::ObjId>
         imported_;

@@ -102,20 +102,18 @@ Node& System::add_node() {
     nodes_.push_back(std::move(owned));
     node.interp().attach_metrics(&metrics_, "vm.node" + std::to_string(node.id()));
     node.interp().set_method_profiling(method_profiling_);
+    node.clock_gauge_ =
+        &metrics_.gauge("runtime.node" + std::to_string(node.id()) + ".clock_us");
     wire_node(node);
     return node;
-}
-
-void System::sync_time(Node& n) {
-    std::int64_t now = static_cast<std::int64_t>(network_.now_us());
-    if (n.interp().logical_time() < now)
-        n.interp().advance_time(now - n.interp().logical_time());
 }
 
 net::CallReply System::rpc(net::NodeId src, net::NodeId dst, const std::string& protocol,
                            net::CallRequest& req) {
     net::Codec& c = codec(protocol);
     ProtoMetrics& pm = proto_metrics(protocol);
+    Node& caller = node(src);
+    Node& callee = node(dst);
     switch (req.kind) {
         case net::RequestKind::Invoke: pm.calls->add(); break;
         case net::RequestKind::Create: pm.creates->add(); break;
@@ -127,10 +125,15 @@ net::CallReply System::rpc(net::NodeId src, net::NodeId dst, const std::string& 
     req.trace_id = tracer_.current_trace();
     req.parent_span = tracer_.current_span();
 
-    auto charge_cpu = [&](std::size_t size) {
-        network_.charge_compute(static_cast<std::uint64_t>(
+    // Codec CPU for a payload, split so the node that serialises pays the
+    // encode half and the node that parses pays the decode half.  The two
+    // halves sum to the exact legacy combined charge, so one sequential
+    // client reduces to the old global-clock arithmetic to the microsecond.
+    auto codec_cost = [&](std::size_t size) {
+        const std::uint64_t total = static_cast<std::uint64_t>(
             std::llround(2.0 * c.cpu_cost_ns_per_byte() * static_cast<double>(size) /
-                         1000.0)));  // encode + decode
+                         1000.0));  // encode + decode
+        return std::pair<std::uint64_t, std::uint64_t>{total / 2, total - total / 2};
     };
 
     Bytes request_bytes;
@@ -141,8 +144,10 @@ net::CallReply System::rpc(net::NodeId src, net::NodeId dst, const std::string& 
         request_bytes = c.encode_request(req);
         pm.request_bytes->add(request_bytes.size());
         pm.request_size->record(request_bytes.size());
-        charge_cpu(request_bytes.size());
+        caller.advance_clock(codec_cost(request_bytes.size()).first);
     }
+    req.sim_send_us = caller.clock_us();
+    net::Delivery inbound;
     {
         obs::ScopedSpan span;
         if (traced) {
@@ -152,20 +157,33 @@ net::CallReply System::rpc(net::NodeId src, net::NodeId dst, const std::string& 
                                    src);
             tracer_.note("bytes", std::to_string(request_bytes.size()));
         }
-        if (!network_.transfer(src, dst, request_bytes.size())) {
+        inbound = network_.transfer_at(src, dst, request_bytes.size(), req.sim_send_us);
+        if (!inbound.delivered) {
             pm.drops->add();
             if (traced) tracer_.note("dropped", "request");
+            // The sender observes the failure once the propagation window
+            // has passed; the decode half of the codec budget is never
+            // spent — the request never reached a parser.
+            caller.reconcile_clock(inbound.at_us);
+            caller.sync_guest_time();
             throw Dropped{"request lost on link " + std::to_string(src) + "->" +
                               std::to_string(dst),
                           /*executed_remotely=*/false};
         }
     }
+    req.sim_arrival_us = inbound.at_us;
+    // The server cannot see the request before both its own prior work and
+    // the wire delivery are done: clock reconciliation, join point one.
+    callee.reconcile_clock(inbound.at_us);
     net::CallRequest decoded;
     {
         obs::ScopedSpan span;
         if (traced)
             span = obs::ScopedSpan(tracer_, "codec.decode_request " + protocol, dst);
         decoded = c.decode_request(request_bytes);
+        decoded.sim_send_us = req.sim_send_us;
+        decoded.sim_arrival_us = req.sim_arrival_us;
+        callee.advance_clock(codec_cost(request_bytes.size()).second);
     }
     net::CallReply reply;
     {
@@ -177,7 +195,10 @@ net::CallReply System::rpc(net::NodeId src, net::NodeId dst, const std::string& 
                 tracer_, tracer_.begin_remote("rpc.dispatch " + what, dst,
                                               decoded.trace_id, decoded.parent_span));
         }
-        reply = node(dst).handle_request(decoded, protocol);
+        // Dispatch is charged on the destination node's clock; its guest
+        // code observes the server's own time, not the caller's.
+        callee.sync_guest_time();
+        reply = callee.handle_request(decoded, protocol);
     }
 
     Bytes reply_bytes;
@@ -188,8 +209,9 @@ net::CallReply System::rpc(net::NodeId src, net::NodeId dst, const std::string& 
         reply_bytes = c.encode_reply(reply);
         pm.reply_bytes->add(reply_bytes.size());
         pm.reply_size->record(reply_bytes.size());
-        charge_cpu(reply_bytes.size());
+        callee.advance_clock(codec_cost(reply_bytes.size()).first);
     }
+    net::Delivery outbound;
     {
         obs::ScopedSpan span;
         if (traced) {
@@ -199,9 +221,13 @@ net::CallReply System::rpc(net::NodeId src, net::NodeId dst, const std::string& 
                                    dst);
             tracer_.note("bytes", std::to_string(reply_bytes.size()));
         }
-        if (!network_.transfer(dst, src, reply_bytes.size())) {
+        outbound = network_.transfer_at(dst, src, reply_bytes.size(), callee.clock_us());
+        if (!outbound.delivered) {
             pm.drops->add();
             if (traced) tracer_.note("dropped", "reply");
+            caller.reconcile_clock(outbound.at_us);
+            caller.sync_guest_time();
+            callee.sync_guest_time();
             // The dispatch above already ran: this is the "executed but
             // reply lost" arm of at-most-once (DESIGN.md §12).
             throw Dropped{"reply lost on link " + std::to_string(dst) + "->" +
@@ -209,16 +235,22 @@ net::CallReply System::rpc(net::NodeId src, net::NodeId dst, const std::string& 
                           /*executed_remotely=*/true};
         }
     }
+    // Join point two: the caller resumes no earlier than the reply arrival.
+    // The server is NOT pulled forward by the reply's flight time — it is
+    // free to serve the next client the moment it finished encoding, which
+    // is exactly where multi-client overlap comes from.
+    caller.reconcile_clock(outbound.at_us);
     net::CallReply decoded_reply;
     {
         obs::ScopedSpan span;
         if (traced)
             span = obs::ScopedSpan(tracer_, "codec.decode_reply " + protocol, src);
         decoded_reply = c.decode_reply(reply_bytes);
+        caller.advance_clock(codec_cost(reply_bytes.size()).second);
     }
     if (decoded_reply.is_fault) pm.faults->add();
-    sync_time(node(src));
-    sync_time(node(dst));
+    caller.sync_guest_time();
+    callee.sync_guest_time();
     return decoded_reply;
 }
 
@@ -398,10 +430,16 @@ vm::ObjId System::migrate_instance(net::NodeId from, vm::ObjId oid, net::NodeId 
         transfer_msg.args.push_back(f.export_value(f.interp().get_field(oid, slot.name)));
 
     // Migration uses a reliable control channel: account the transfer cost
-    // but do not inject loss.
+    // (an injected "drop" still draws from the PRNG and occupies the link,
+    // but the move proceeds regardless).  It is a stop-the-world control
+    // operation — the vacated slot and the policy tables are global state —
+    // so *every* node reconciles to the landing time (a synchronization
+    // barrier, DESIGN.md §13), which is exactly the old global-clock
+    // behaviour.
     net::Codec& c = codec(proto);
     Bytes payload = c.encode_request(transfer_msg);
-    network_.transfer(from, to, payload.size());
+    net::Delivery landed = network_.transfer_at(from, to, payload.size(), f.clock_us());
+    for (const auto& n : nodes_) n->reconcile_clock(landed.at_us);
 
     // Materialise on the target node.
     vm::ObjId new_oid = t.interp().allocate(cls_name);
@@ -419,8 +457,8 @@ vm::ObjId System::migrate_instance(net::NodeId from, vm::ObjId oid, net::NodeId 
 
     migrations_counter_->add();
     migration_bytes_counter_->add(payload.size());
-    sync_time(f);
-    sync_time(t);
+    f.sync_guest_time();
+    t.sync_guest_time();
     log_info("runtime", "migrated ", cls_name, " (", from, ",", oid, ") -> (", to, ",",
              new_oid, ")");
     return new_oid;

@@ -190,7 +190,6 @@ private:
 
     void wire_node(Node& node);
     std::uint64_t next_request_id() { return ++request_counter_; }
-    void sync_time(Node& n);
 
     // The registry and tracer are declared first so they outlive the nodes
     // (interpreter destructors deregister their probes) and the network

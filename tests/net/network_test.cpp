@@ -139,5 +139,97 @@ TEST(SimNetwork, TransfersBeforeAttachAreNotBackfilled) {
     EXPECT_EQ(reg.snapshot().counter_value("net.link.0.1.bytes"), 5u);
 }
 
+TEST(SimNetwork, ContendingTransfersQueueOnTheLink) {
+    // Two transfers sent at the same instant share one directed channel:
+    // the second departs only when the first has fully drained.
+    SimNetwork net;
+    net.set_default_link(LinkParams{100, 1000.0, 0.0});  // 100us + size/1000
+    Delivery first = net.transfer_at(0, 1, 5000, 0);     // departs 0, arrives 105
+    Delivery second = net.transfer_at(0, 1, 5000, 0);    // queued until 105
+    ASSERT_TRUE(first.delivered);
+    ASSERT_TRUE(second.delivered);
+    EXPECT_EQ(first.at_us, 105u);
+    EXPECT_EQ(second.at_us, 210u);
+    EXPECT_EQ(net.link_busy_until(0, 1), 210u);
+    // The reverse direction is an independent channel: no queueing.
+    EXPECT_EQ(net.transfer_at(1, 0, 5000, 0).at_us, 105u);
+}
+
+TEST(SimNetwork, SendAfterBusyWindowDoesNotQueue) {
+    SimNetwork net;
+    net.set_default_link(LinkParams{10, 0.0, 0.0});
+    EXPECT_EQ(net.transfer_at(0, 1, 1, 0).at_us, 10u);
+    // Sending once the channel is idle again pays only its own latency.
+    EXPECT_EQ(net.transfer_at(0, 1, 1, 50).at_us, 60u);
+    EXPECT_EQ(net.link_busy_until(0, 1), 60u);
+}
+
+TEST(SimNetwork, BusyTimeIsAccountedPerLink) {
+    SimNetwork net;
+    net.set_default_link(LinkParams{100, 1000.0, 0.0});
+    net.transfer_at(0, 1, 5000, 0);
+    net.transfer_at(0, 1, 5000, 0);
+    EXPECT_EQ(net.stats(0, 1).busy_us, 210u);
+    EXPECT_EQ(net.total_stats().busy_us, 210u);
+    std::size_t links = 0;
+    net.visit_links([&links](NodeId src, NodeId dst, const LinkStats& s) {
+        ++links;
+        EXPECT_EQ(src, 0u);
+        EXPECT_EQ(dst, 1u);
+        EXPECT_EQ(s.busy_us, 210u);
+    });
+    EXPECT_EQ(links, 1u);
+}
+
+TEST(SimNetwork, LegacyTransferSendsAtTheWatermark) {
+    // transfer() is transfer_at(now): with one message in flight at a time
+    // the channel is always idle at send, so the old arithmetic holds.
+    SimNetwork net;
+    net.set_default_link(LinkParams{100, 1000.0, 0.0});
+    EXPECT_EQ(*net.transfer(0, 1, 5000), 105u);
+    EXPECT_EQ(*net.transfer(0, 1, 5000), 105u);
+    EXPECT_EQ(net.now_us(), 210u);
+}
+
+TEST(SimNetwork, ResetStatsAlsoResetsMirroredRegistryCounters) {
+    // Regression: reset_stats() used to clear only the internal tables,
+    // leaving the net.link.* registry counters stale so post-reset deltas
+    // double-counted the pre-reset traffic.
+    obs::Registry reg;
+    SimNetwork net;
+    net.set_default_link(LinkParams{1, 1000.0, 0.0});
+    net.attach_metrics(&reg);
+    net.transfer(0, 1, 2000);
+    net.transfer(1, 0, 4000);
+    ASSERT_EQ(reg.snapshot().counter_value("net.link.0.1.bytes"), 2000u);
+
+    net.reset_stats();
+    obs::Snapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counter_value("net.link.0.1.messages"), 0u);
+    EXPECT_EQ(snap.counter_value("net.link.0.1.bytes"), 0u);
+    EXPECT_EQ(snap.counter_value("net.link.0.1.busy_us"), 0u);
+    EXPECT_EQ(snap.counter_value("net.link.1.0.bytes"), 0u);
+    const obs::Sample* util = snap.find("net.link.0.1.utilization_ppm");
+    ASSERT_NE(util, nullptr);
+    EXPECT_EQ(util->gauge, 0);
+
+    // And the mirror keeps tracking from zero afterwards.
+    net.transfer(0, 1, 3000);
+    EXPECT_EQ(reg.snapshot().counter_value("net.link.0.1.bytes"), 3000u);
+    EXPECT_EQ(net.stats(0, 1).bytes, 3000u);
+}
+
+TEST(SimNetwork, DropStillOccupiesTheChannel) {
+    // A dropped message occupied the channel for its propagation delay;
+    // the next sender queues behind that window.
+    SimNetwork net;
+    net.set_default_link(LinkParams{50, 0.0, 1.0});
+    Delivery d = net.transfer_at(0, 1, 1000, 0);
+    EXPECT_FALSE(d.delivered);
+    EXPECT_EQ(d.at_us, 50u);
+    EXPECT_EQ(net.stats(0, 1).busy_us, 50u);
+    EXPECT_EQ(net.link_busy_until(0, 1), 50u);
+}
+
 }  // namespace
 }  // namespace rafda::net

@@ -91,6 +91,49 @@ TEST_F(MarshalFixture, ProxyReExportsItsTarget) {
     EXPECT_EQ(m.ref_class, "Widget_O_Int");
 }
 
+TEST_F(MarshalFixture, ImportRefDeduplicatesPerKey) {
+    // The dedup key is the full (node, oid, iface, protocol) tuple:
+    // repeating any key gives the same proxy, varying any component of it
+    // gives a fresh one.
+    Node& n1 = system->node(1);
+    Value a = n1.import_ref(0, 41, "Widget_O_Int", "RMI");
+    Value a_again = n1.import_ref(0, 41, "Widget_O_Int", "RMI");
+    EXPECT_EQ(a.as_ref(), a_again.as_ref());
+
+    Value other_oid = n1.import_ref(0, 42, "Widget_O_Int", "RMI");
+    EXPECT_NE(other_oid.as_ref(), a.as_ref());
+
+    Value other_node = n1.import_ref(2, 41, "Widget_O_Int", "RMI");
+    EXPECT_NE(other_node.as_ref(), a.as_ref());
+
+    Value other_protocol = n1.import_ref(0, 41, "Widget_O_Int", "SOAP");
+    EXPECT_NE(other_protocol.as_ref(), a.as_ref());
+    EXPECT_EQ(n1.interp().class_of(other_protocol.as_ref()).name,
+              "Widget_O_Proxy_SOAP");
+}
+
+TEST_F(MarshalFixture, TransitiveReferenceKeepsTheOriginalTarget) {
+    // widget lives on node 0; node 1 holds a proxy; handing that proxy to
+    // node 2 must produce a proxy at node 2 that targets node 0 directly —
+    // and it dedups against a reference node 2 received straight from the
+    // owner, so reference identity survives any forwarding path.
+    system->add_node();
+    Node& n0 = system->node(0);
+    Node& n1 = system->node(1);
+    Node& n2 = system->node(2);
+    Value w = system->construct(0, "Widget", "()V");
+
+    Value proxy_on_1 = n1.import_value(n0.export_value(w), "RMI");
+    Value via_1 = n2.import_value(n1.export_value(proxy_on_1), "RMI");
+    Value direct = n2.import_value(n0.export_value(w), "RMI");
+    EXPECT_EQ(via_1.as_ref(), direct.as_ref());
+
+    // And the forwarded proxy still names the owner when node 2 exports it.
+    MarshalledValue m = n2.export_value(via_1);
+    EXPECT_EQ(m.ref_node, 0);
+    EXPECT_EQ(m.ref_oid, w.as_ref());
+}
+
 TEST_F(MarshalFixture, NonSubstitutableObjectRefuses) {
     Node& n0 = system->node(0);
     Value t = n0.interp().construct("Throwable", "(S)V", {Value::of_str("x")});

@@ -251,6 +251,28 @@ TEST_F(RafdacCli, TraceJsonRoundTripsThroughParser) {
     EXPECT_NE(r.output.find("\"name\":\"rpc.dispatch greet\""), std::string::npos);
 }
 
+TEST_F(RafdacCli, NetPrintsPerLinkOccupancyTable) {
+    RunResult r = run_cli("net " + app_ + " " + cfg_ + " Main 2");
+    EXPECT_EQ(r.status, 0);
+    EXPECT_NE(r.output.find("virtual time:"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("busy_us"), std::string::npos);
+    EXPECT_NE(r.output.find("util%"), std::string::npos);
+    EXPECT_NE(r.output.find("node 0 clock"), std::string::npos);
+    EXPECT_NE(r.output.find("node 1 clock"), std::string::npos);
+    // Application output stays on stderr.
+    EXPECT_EQ(r.output.find("hello, cli"), std::string::npos);
+}
+
+TEST_F(RafdacCli, NetJsonRoundTripsThroughParser) {
+    RunResult r = run_cli("net " + app_ + " " + cfg_ + " Main 2 --json");
+    EXPECT_EQ(r.status, 0);
+    ASSERT_FALSE(r.output.empty());
+    EXPECT_EQ(r.output.find('\n'), r.output.size() - 1);
+    EXPECT_TRUE(json_parses(r.output)) << r.output;
+    EXPECT_NE(r.output.find("\"busy_us\":"), std::string::npos);
+    EXPECT_NE(r.output.find("\"clock_us\":"), std::string::npos);
+}
+
 TEST_F(RafdacCli, UsageAndErrors) {
     EXPECT_EQ(run_cli("").status, 1);
     EXPECT_EQ(run_cli("frobnicate x").status, 1);

@@ -22,14 +22,15 @@ for preset in $presets; do
     ctest --preset "$preset" -j "$jobs"
 done
 
-# Non-gating perf smoke: the two benches most sensitive to interpreter
-# hot-path regressions (inline caches, DESIGN.md §11).  Run from the repo
-# root so the BENCH_<id>.json sidecars land here (gitignored).  Failures
-# warn instead of failing the gate — perf numbers are reviewed, not
-# asserted.
+# Non-gating perf smoke: the benches most sensitive to regressions in the
+# interpreter hot path (inline caches, DESIGN.md §11) and the virtual-time
+# model (per-node clocks + link occupancy, DESIGN.md §13).  Run from the
+# repo root so the BENCH_<id>.json sidecars land here (gitignored).
+# Failures warn instead of failing the gate — perf numbers are reviewed,
+# not asserted.
 case " $presets " in
 *" default "*)
-    for bench in bench_property_access bench_dispatch_matrix; do
+    for bench in bench_property_access bench_dispatch_matrix bench_concurrency; do
         echo "== perf smoke: $bench =="
         "build/bench/$bench" --benchmark_min_time=0.05s ||
             echo "WARN: $bench failed (non-gating)"

@@ -15,6 +15,11 @@
 //   rafdac trace     app.rir policy.cfg Main [nodes] [--json]
 //                                         deploy, run with span tracing on,
 //                                         then print the RPC span trees
+//   rafdac net       app.rir policy.cfg Main [nodes] [--json]
+//                                         deploy, run, then print the
+//                                         per-link occupancy table (busy
+//                                         time, utilization) and per-node
+//                                         virtual clocks
 //
 // stats/trace print the application's own output on stderr so stdout
 // stays machine-readable.
@@ -22,6 +27,7 @@
 // Exit status: 0 on success, 1 on usage errors, 2 on processing errors.
 #include <algorithm>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 
@@ -161,6 +167,67 @@ int cmd_observe(const std::string& input, const std::string& config_path,
     return 0;
 }
 
+/// Per-link occupancy/utilization table (or JSON) plus per-node clocks —
+/// the contention story of a run without spelunking the raw registry.
+int cmd_net(const std::string& input, const std::string& config_path,
+            const std::string& main_cls, int nodes, bool json) {
+    model::ClassPool pool = load_input(input);
+    runtime::System system(pool);
+    for (int k = 0; k < nodes; ++k) system.add_node();
+    runtime::apply_policy_config(read_file(config_path), system.policy(),
+                                 &system.network());
+    system.call_static(0, main_cls, "main", "()V");
+    std::cerr << system.node(0).interp().output();
+
+    const net::SimNetwork& network = system.network();
+    const std::uint64_t horizon = std::max<std::uint64_t>(1, network.now_us());
+    auto utilization_pct = [horizon](std::uint64_t busy) {
+        return 100.0 * static_cast<double>(busy) / static_cast<double>(horizon);
+    };
+    if (json) {
+        std::ostringstream os;
+        os << "{\"virtual_time_us\":" << network.now_us() << ",\"links\":[";
+        bool first = true;
+        network.visit_links([&](net::NodeId src, net::NodeId dst,
+                                const net::LinkStats& s) {
+            if (!first) os << ",";
+            first = false;
+            os << "{\"src\":" << src << ",\"dst\":" << dst
+               << ",\"messages\":" << s.messages << ",\"bytes\":" << s.bytes
+               << ",\"drops\":" << s.drops << ",\"busy_us\":" << s.busy_us
+               << ",\"utilization_pct\":" << utilization_pct(s.busy_us) << "}";
+        });
+        os << "],\"nodes\":[";
+        for (int k = 0; k < nodes; ++k)
+            os << (k ? "," : "") << "{\"node\":" << k
+               << ",\"clock_us\":" << system.node(static_cast<net::NodeId>(k)).clock_us()
+               << "}";
+        os << "]}";
+        std::cout << os.str() << "\n";
+        return 0;
+    }
+    std::cout << "virtual time: " << network.now_us() << "us\n"
+              << std::left << std::setw(6) << "src" << std::setw(6) << "dst"
+              << std::right << std::setw(10) << "messages" << std::setw(12) << "bytes"
+              << std::setw(8) << "drops" << std::setw(12) << "busy_us"
+              << std::setw(8) << "util%" << "\n";
+    network.visit_links([&](net::NodeId src, net::NodeId dst, const net::LinkStats& s) {
+        std::cout << std::left << std::setw(6) << src << std::setw(6) << dst
+                  << std::right << std::setw(10) << s.messages << std::setw(12)
+                  << s.bytes << std::setw(8) << s.drops << std::setw(12) << s.busy_us
+                  << std::setw(8) << std::fixed << std::setprecision(1)
+                  << utilization_pct(s.busy_us) << "\n";
+    });
+    const net::LinkStats total = network.total_stats();
+    std::cout << std::left << std::setw(12) << "total" << std::right << std::setw(10)
+              << total.messages << std::setw(12) << total.bytes << std::setw(8)
+              << total.drops << std::setw(12) << total.busy_us << "\n";
+    for (int k = 0; k < nodes; ++k)
+        std::cout << "node " << k << " clock "
+                  << system.node(static_cast<net::NodeId>(k)).clock_us() << "us\n";
+    return 0;
+}
+
 int usage() {
     std::cerr << "usage:\n"
               << "  rafdac analyze   <app.rir[b]>\n"
@@ -169,7 +236,8 @@ int usage() {
               << "  rafdac run       <app.rir> <MainClass>\n"
               << "  rafdac deploy    <app.rir> <policy.cfg> <MainClass> [nodes=2]\n"
               << "  rafdac stats     <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n"
-              << "  rafdac trace     <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n";
+              << "  rafdac trace     <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n"
+              << "  rafdac net       <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n";
     return 1;
 }
 
@@ -196,6 +264,9 @@ int main(int argc, char** argv) {
             return cmd_observe(args[1], args[2], args[3],
                                args.size() == 5 ? std::atoi(args[4].c_str()) : 2,
                                args[0] == "trace", json);
+        if ((args.size() == 4 || args.size() == 5) && args[0] == "net")
+            return cmd_net(args[1], args[2], args[3],
+                           args.size() == 5 ? std::atoi(args[4].c_str()) : 2, json);
         return usage();
     } catch (const std::exception& e) {
         std::cerr << "rafdac: " << e.what() << "\n";
