@@ -33,23 +33,36 @@ void print_expansion_table() {
         6 + 2 * result.report.protocols().size());
 }
 
+// Args: {program classes, worker threads}.  The thread axis pins the
+// determinism contract's cost: the output is byte-identical at any count,
+// so the only difference worth measuring is wall time.
 void BM_Pipeline(benchmark::State& state) {
     corpus::ProgramParams params;
     params.classes = static_cast<std::size_t>(state.range(0));
     params.seed = 5;
     model::ClassPool pool = corpus::generate_program(params);
+    transform::PipelineOptions options;
+    options.threads = static_cast<std::size_t>(state.range(1));
     std::size_t out_classes = 0;
     for (auto _ : state) {
-        transform::PipelineResult result = transform::run_pipeline(pool);
+        transform::PipelineResult result = transform::run_pipeline(pool, options);
         out_classes = result.pool.size();
         benchmark::DoNotOptimize(out_classes);
     }
     state.counters["in_classes"] = static_cast<double>(pool.size());
     state.counters["out_classes"] = static_cast<double>(out_classes);
+    state.counters["threads"] =
+        static_cast<double>(transform::resolve_transform_threads(options.threads));
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                             static_cast<std::int64_t>(pool.size()));
 }
-BENCHMARK(BM_Pipeline)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_Pipeline)
+    ->Args({4, 1})
+    ->Args({16, 1})
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({64, 4})
+    ->Args({64, 8});
 
 void BM_PipelineNoVerify(benchmark::State& state) {
     corpus::ProgramParams params;
@@ -58,6 +71,7 @@ void BM_PipelineNoVerify(benchmark::State& state) {
     model::ClassPool pool = corpus::generate_program(params);
     transform::PipelineOptions options;
     options.verify_output = false;
+    options.threads = 1;  // isolates the serial generate cost
     for (auto _ : state) {
         transform::PipelineResult result = transform::run_pipeline(pool, options);
         benchmark::DoNotOptimize(result.pool.size());

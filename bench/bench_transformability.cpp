@@ -8,11 +8,14 @@
 // benchmark measures the analysis itself (closure over 8,200 types).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "corpus/jdk_corpus.hpp"
+#include "support/thread_pool.hpp"
 #include "transform/analysis.hpp"
+#include "transform/pipeline.hpp"
 
 namespace {
 
@@ -89,12 +92,31 @@ BENCHMARK(BM_GenerateJdkCorpus)->Arg(8200);
 void emit_summary() {
     corpus::JdkCorpusParams params;
     model::ClassPool pool = corpus::generate_jdk_corpus(params);
+
+    auto time_analyze = [&](support::ThreadPool* workers) {
+        auto t0 = std::chrono::steady_clock::now();
+        transform::Analysis a = transform::analyze(pool, workers);
+        auto t1 = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(a.non_transformable_count());
+        return std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count();
+    };
+    // Warm once (fills the per-class reference caches), then time the
+    // serial and pooled walks over the same corpus.
+    (void)time_analyze(nullptr);
+    std::int64_t serial_us = time_analyze(nullptr);
+    const std::size_t nthreads = transform::resolve_transform_threads(0);
+    support::ThreadPool workers(nthreads);
+    std::int64_t pooled_us = time_analyze(&workers);
+
     transform::Analysis analysis = transform::analyze(pool);
     bench::JsonSummary("E3")
         .add("types", static_cast<std::uint64_t>(analysis.total()))
         .add("non_transformable",
              static_cast<std::uint64_t>(analysis.non_transformable_count()))
         .add("non_transformable_fraction", analysis.non_transformable_fraction())
+        .add("analyze_us_serial", static_cast<std::uint64_t>(serial_us))
+        .add("analyze_us_pooled", static_cast<std::uint64_t>(pooled_us))
+        .add("analyze_threads", static_cast<std::uint64_t>(nthreads))
         .emit();
 }
 

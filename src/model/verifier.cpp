@@ -1,10 +1,12 @@
 #include "model/verifier.hpp"
 
+#include <iterator>
 #include <optional>
 #include <set>
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 
 namespace rafda::model {
 
@@ -16,6 +18,13 @@ public:
 
     std::vector<std::string> run() {
         for (const ClassFile* cf : pool_.all()) check_class(*cf);
+        return std::move(problems_);
+    }
+
+    /// Checks a single class; used by the parallel mode, which verifies
+    /// every class with its own Verifier and merges the problem lists.
+    std::vector<std::string> run_one(const ClassFile& cf) {
+        check_class(cf);
         return std::move(problems_);
     }
 
@@ -391,12 +400,26 @@ private:
 
 }  // namespace
 
-std::vector<std::string> verify_pool_collect(const ClassPool& pool) {
-    return Verifier(pool).run();
+std::vector<std::string> verify_pool_collect(const ClassPool& pool,
+                                             support::ThreadPool* threads) {
+    if (!threads || threads->thread_count() == 1) return Verifier(pool).run();
+    // Per-class checks only read the pool (const resolution walks, no lazy
+    // caches), so classes fan out freely; merging the per-class lists in
+    // name order reproduces the serial report exactly.
+    const std::vector<const ClassFile*> classes = pool.all();
+    std::vector<std::vector<std::string>> per_class(classes.size());
+    threads->for_each_index(classes.size(), [&](std::size_t i) {
+        per_class[i] = Verifier(pool).run_one(*classes[i]);
+    });
+    std::vector<std::string> problems;
+    for (std::vector<std::string>& p : per_class)
+        problems.insert(problems.end(), std::make_move_iterator(p.begin()),
+                        std::make_move_iterator(p.end()));
+    return problems;
 }
 
-void verify_pool(const ClassPool& pool) {
-    std::vector<std::string> problems = verify_pool_collect(pool);
+void verify_pool(const ClassPool& pool, support::ThreadPool* threads) {
+    std::vector<std::string> problems = verify_pool_collect(pool, threads);
     if (!problems.empty()) {
         std::ostringstream os;
         os << problems.size() << " problem(s); first: " << problems.front();

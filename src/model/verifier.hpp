@@ -23,12 +23,21 @@
 
 #include "model/classpool.hpp"
 
+namespace rafda::support {
+class ThreadPool;
+}
+
 namespace rafda::model {
 
 /// Verifies the whole pool; throws VerifyError naming the first problem.
-void verify_pool(const ClassPool& pool);
+/// With a thread pool, classes are checked concurrently (every check is a
+/// pure read of the pool) and the problem list is merged in class name
+/// order, so the reported problems — including which one the thrown
+/// VerifyError names — are identical to the serial run.
+void verify_pool(const ClassPool& pool, support::ThreadPool* threads = nullptr);
 
 /// Like verify_pool but collects all problems instead of throwing.
-std::vector<std::string> verify_pool_collect(const ClassPool& pool);
+std::vector<std::string> verify_pool_collect(const ClassPool& pool,
+                                             support::ThreadPool* threads = nullptr);
 
 }  // namespace rafda::model

@@ -42,7 +42,14 @@ model::ClassPool prepare_pool(const model::ClassPool& original) {
 System::System(const model::ClassPool& original, SystemOptions options)
     : original_(&original),
       prepared_(prepare_pool(original)),
-      result_(transform::run_pipeline(prepared_, options.pipeline)),
+      // metrics_ is declared before result_, so the pipeline can record
+      // its phase timings (transform.*) into the system registry.
+      result_(transform::run_pipeline(
+          prepared_, [&] {
+              transform::PipelineOptions po = options.pipeline;
+              if (!po.metrics) po.metrics = &metrics_;
+              return po;
+          }())),
       network_(options.network_seed) {
     network_.set_default_link(options.default_link);
     network_.attach_metrics(&metrics_);

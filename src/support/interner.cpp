@@ -1,0 +1,28 @@
+#include "support/interner.hpp"
+
+#include <stdexcept>
+
+namespace rafda::support {
+
+Interner::Id Interner::intern(std::string_view s) {
+    auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+    storage_.emplace_back(s);
+    const Id id = static_cast<Id>(by_id_.size());
+    std::string_view stable = storage_.back();
+    by_id_.push_back(stable);
+    ids_.emplace(stable, id);
+    return id;
+}
+
+Interner::Id Interner::find(std::string_view s) const {
+    auto it = ids_.find(s);
+    return it == ids_.end() ? kNoId : it->second;
+}
+
+std::string_view Interner::name(Id id) const {
+    if (id >= by_id_.size()) throw std::out_of_range("Interner::name: bad id");
+    return by_id_[id];
+}
+
+}  // namespace rafda::support

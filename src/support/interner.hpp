@@ -1,0 +1,60 @@
+// String interner — dense u32 ids for class names.
+//
+// The transformation side of the system is dominated by string-keyed maps
+// (class names appear in every edge of the reference graph).  The interner
+// assigns each distinct string a dense `Id` once, so graph algorithms can
+// run over `std::vector` adjacency indexed by id instead of re-hashing
+// strings per edge.  Ids are assigned in intern() call order: interning a
+// sorted sequence yields ids whose numeric order equals name order, which
+// the analysis uses to keep its worklist deterministic.
+//
+// Thread-safety: intern() mutates and must be externally serialised;
+// find()/name()/size() are const and safe to call concurrently once the
+// mutating phase is over.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rafda::support {
+
+class Interner {
+public:
+    using Id = std::uint32_t;
+    /// Returned by find() for strings never interned.
+    static constexpr Id kNoId = 0xffffffffu;
+
+    Interner() = default;
+    Interner(const Interner&) = delete;
+    Interner& operator=(const Interner&) = delete;
+    // Moving is safe: deque element addresses survive a container move, so
+    // the string_view keys/values keep pointing at live storage.
+    Interner(Interner&&) = default;
+    Interner& operator=(Interner&&) = default;
+
+    /// Resolve-or-create.  The id of a string is stable for the interner's
+    /// lifetime.
+    Id intern(std::string_view s);
+
+    /// Id of `s`, or kNoId when it was never interned.  Const lookup only.
+    Id find(std::string_view s) const;
+
+    bool contains(std::string_view s) const { return find(s) != kNoId; }
+
+    /// The string behind `id`.  The view is stable for the interner's
+    /// lifetime; throws std::out_of_range on a bad id.
+    std::string_view name(Id id) const;
+
+    std::size_t size() const noexcept { return by_id_.size(); }
+
+private:
+    std::deque<std::string> storage_;  // stable addresses for the views
+    std::unordered_map<std::string_view, Id> ids_;
+    std::vector<std::string_view> by_id_;
+};
+
+}  // namespace rafda::support

@@ -1,10 +1,15 @@
 #include "transform/pipeline.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <optional>
 
 #include "model/verifier.hpp"
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
+#include "support/thread_pool.hpp"
 #include "transform/naming.hpp"
 #include "transform/rewriter.hpp"
 
@@ -28,41 +33,108 @@ std::string TransformReport::map_method_desc(const model::ClassPool& original_po
     return map_sig(subst, model::MethodSig::parse(desc)).descriptor();
 }
 
+std::size_t resolve_transform_threads(std::size_t requested) {
+    if (requested != 0) return requested;
+    if (const char* env = std::getenv("RAFDA_TRANSFORM_THREADS")) {
+        char* end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1) return static_cast<std::size_t>(v);
+    }
+    return support::ThreadPool::hardware_threads();
+}
+
+namespace {
+
+/// Microseconds elapsed since `since` on the wall clock (the transform
+/// side runs outside the simulation, so real time is the honest metric).
+std::uint64_t us_since(std::chrono::steady_clock::time_point since) {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                          std::chrono::steady_clock::now() - since)
+                                          .count());
+}
+
+}  // namespace
+
 PipelineResult run_pipeline(const model::ClassPool& original,
                             const PipelineOptions& options) {
-    Analysis analysis = analyze(original);
+    const std::size_t nthreads = resolve_transform_threads(options.threads);
+    // A one-thread "pool" would only add scheduling bookkeeping; serial
+    // runs skip it entirely so thread count 1 is the plain serial program.
+    std::optional<support::ThreadPool> pool_storage;
+    support::ThreadPool* workers = nullptr;
+    if (nthreads > 1) workers = &pool_storage.emplace(nthreads);
+
+    auto phase_start = std::chrono::steady_clock::now();
+    Analysis analysis = analyze(original, workers);
+    const std::uint64_t analyze_us = us_since(phase_start);
+
     Substitutables subst =
         options.substitutable
             ? Substitutables(original, analysis, *options.substitutable)
             : Substitutables(original, analysis);
 
-    model::ClassPool out;
-    std::vector<std::string> substituted;
-
-    for (const model::ClassFile* cf : original.all()) {
-        if (!analysis.transformable(cf->name)) {
-            out.add(*cf);  // non-transformable: keep the original form
-            continue;
-        }
-        if (cf->is_interface) {
-            out.add(rewrite_interface(subst, *cf));
-            continue;
-        }
-        if (!subst.contains(cf->name)) {
+    // Fan the per-class artefact production out across the pool.  Each
+    // slot is written by exactly one worker; the merge below is the only
+    // consumer and runs after the barrier.
+    phase_start = std::chrono::steady_clock::now();
+    const std::vector<const model::ClassFile*> inputs = original.all();
+    struct PerClass {
+        std::vector<model::ClassFile> artefacts;
+        bool substituted = false;
+    };
+    std::vector<PerClass> produced(inputs.size());
+    auto produce = [&](std::size_t i) {
+        const model::ClassFile& cf = *inputs[i];
+        PerClass& slot = produced[i];
+        if (!analysis.transformable(cf.name)) {
+            slot.artefacts.push_back(cf);  // non-transformable: original form
+        } else if (cf.is_interface) {
+            slot.artefacts.push_back(rewrite_interface(subst, cf));
+        } else if (!subst.contains(cf.name)) {
             // Transformable but, by policy, not substitutable: keep the
             // class, redirect its references at the substituted families.
-            out.add(rewrite_in_place(subst, *cf));
-            continue;
+            slot.artefacts.push_back(rewrite_in_place(subst, cf));
+        } else {
+            slot.substituted = true;
+            slot.artefacts = generate_family(subst, cf, options.generator);
         }
-        substituted.push_back(cf->name);
-        for (model::ClassFile& gen : generate_family(subst, *cf, options.generator))
-            out.add(std::move(gen));
+    };
+    if (workers) {
+        workers->for_each_index(inputs.size(), produce);
+    } else {
+        for (std::size_t i = 0; i < inputs.size(); ++i) produce(i);
     }
 
-    log_info("transform", "substituted ", substituted.size(), " of ", original.size(),
-             " classes (", analysis.non_transformable_count(), " non-transformable)");
+    // Deterministic merge: input name order, artefacts in generation
+    // order — the exact add sequence of the serial loop.
+    model::ClassPool out;
+    std::vector<std::string> substituted;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        if (produced[i].substituted) substituted.push_back(inputs[i]->name);
+        for (model::ClassFile& gen : produced[i].artefacts) out.add(std::move(gen));
+    }
+    const std::uint64_t generate_us = us_since(phase_start);
 
-    if (options.verify_output) model::verify_pool(out);
+    log_info("transform", "substituted ", substituted.size(), " of ", original.size(),
+             " classes (", analysis.non_transformable_count(), " non-transformable, ",
+             nthreads, " threads)");
+
+    phase_start = std::chrono::steady_clock::now();
+    if (options.verify_output) model::verify_pool(out, workers);
+    const std::uint64_t verify_us = us_since(phase_start);
+
+    if (options.metrics) {
+        obs::Registry& reg = *options.metrics;
+        reg.counter("transform.runs").add(1);
+        reg.counter("transform.analyze_us").add(analyze_us);
+        reg.counter("transform.generate_us").add(generate_us);
+        reg.counter("transform.verify_us").add(verify_us);
+        reg.gauge("transform.pool.threads").set(static_cast<std::int64_t>(nthreads));
+        if (workers) {
+            reg.counter("transform.pool.tasks").add(workers->items_executed());
+            reg.counter("transform.pool.steals").add(workers->steals());
+        }
+    }
 
     return PipelineResult{std::move(out),
                           TransformReport(std::move(analysis), std::move(substituted),

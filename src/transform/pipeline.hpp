@@ -6,6 +6,13 @@
 // the output.  The result plus the returned report is everything a runtime
 // needs to execute the program locally (transform::bind_local_factories)
 // or distributed (runtime::Node).
+//
+// The per-class work (family generation, in-place rewrites, verification)
+// fans out over a work-stealing thread pool; results are merged into the
+// output pool in input name order, so the produced ClassPool — and its
+// RIRB serialisation — is byte-identical at every thread count, including
+// the fully serial RAFDA_TRANSFORM_THREADS=1.  Scheduling never decides
+// output; it only decides wall time.
 #pragma once
 
 #include <map>
@@ -16,6 +23,10 @@
 #include "model/classpool.hpp"
 #include "transform/analysis.hpp"
 #include "transform/generator.hpp"
+
+namespace rafda::obs {
+class Registry;
+}
 
 namespace rafda::transform {
 
@@ -29,7 +40,23 @@ struct PipelineOptions {
     /// selected keep their identity but are rewritten in place so both
     /// worlds compose.
     std::optional<std::vector<std::string>> substitutable;
+    /// Worker threads for analysis graph construction, artefact generation
+    /// and output verification.  0 = the RAFDA_TRANSFORM_THREADS
+    /// environment variable when set, otherwise all hardware threads;
+    /// 1 = fully serial (no pool is created).  The output is identical at
+    /// any value.
+    std::size_t threads = 0;
+    /// Optional measurement sink: per-phase wall times
+    /// (transform.analyze_us / generate_us / verify_us counters) and pool
+    /// occupancy (transform.pool.threads gauge, transform.pool.tasks and
+    /// transform.pool.steals counters) are recorded here per run.
+    obs::Registry* metrics = nullptr;
 };
+
+/// Thread count `run_pipeline` actually uses for a requested value:
+/// `requested` when non-zero, else RAFDA_TRANSFORM_THREADS when set to a
+/// positive integer, else the hardware thread count.
+std::size_t resolve_transform_threads(std::size_t requested);
 
 /// What the pipeline did; consumed by binders, the distributed runtime and
 /// the experiment harnesses.

@@ -129,5 +129,84 @@ class A {
     EXPECT_FALSE(clean.has_native_method());
 }
 
+TEST(ClassFile, ReferencedClassesCachedMatchesUncached) {
+    ClassPool pool;
+    assemble_into(pool, R"(
+class Dep {
+}
+class Other {
+}
+class Subject extends Dep {
+  field o LOther;
+}
+)");
+    const ClassFile& subject = *pool.find("Subject");
+    const std::vector<std::string>& cached =
+        subject.referenced_classes_cached(pool.generation());
+    EXPECT_EQ(cached, subject.referenced_classes());
+    // Same generation: the memoized vector itself is returned.
+    const std::vector<std::string>& again =
+        subject.referenced_classes_cached(pool.generation());
+    EXPECT_EQ(&again, &cached);
+}
+
+TEST(ClassFile, ReferencedClassesCacheInvalidatesOnGenerationBump) {
+    ClassPool pool;
+    assemble_into(pool, R"(
+class Dep {
+}
+class NewSuper {
+}
+class Subject extends Dep {
+}
+)");
+    const ClassFile* subject = pool.find("Subject");
+    std::vector<std::string> before =
+        subject->referenced_classes_cached(pool.generation());
+    EXPECT_EQ(before, (std::vector<std::string>{"Dep"}));
+
+    // get_mutable bumps the pool generation; the next cached call with the
+    // new stamp must recompute and see the rewritten hierarchy.
+    pool.get_mutable("Subject").super_name = "NewSuper";
+    std::vector<std::string> after =
+        subject->referenced_classes_cached(pool.generation());
+    EXPECT_EQ(after, (std::vector<std::string>{"NewSuper"}));
+}
+
+TEST(ClassFile, ReferencedClassesCacheResetsOnCopyAndMove) {
+    ClassPool pool;
+    assemble_into(pool, R"(
+class Dep {
+}
+class Subject extends Dep {
+}
+)");
+    const ClassFile& subject = *pool.find("Subject");
+    (void)subject.referenced_classes_cached(pool.generation());  // warm cache
+
+    // A copy (or move) dropped into another pool must not reuse the old
+    // stamp: the other pool's counter could coincide while its contents
+    // differ.  Passing the warmed stamp to the copy must still recompute —
+    // observable because the copy's hierarchy is edited pre-call.
+    ClassFile copy = subject;
+    copy.super_name = "Elsewhere";
+    std::vector<std::string> refs = copy.referenced_classes_cached(pool.generation());
+    EXPECT_EQ(refs, (std::vector<std::string>{"Elsewhere"}));
+
+    ClassFile moved = std::move(copy);
+    moved.super_name = "Dep";
+    EXPECT_EQ(moved.referenced_classes_cached(pool.generation()),
+              (std::vector<std::string>{"Dep"}));
+}
+
+TEST(ClassFile, ReferencedClassesCachedNeverTrustsGenerationZero) {
+    // Generation 0 marks "never filled"; a caller passing 0 (no pool) must
+    // always get a fresh computation, not a stale hit.
+    ClassFile cf = parse_one("class A extends B {\n}\n");
+    EXPECT_EQ(cf.referenced_classes_cached(0), (std::vector<std::string>{"B"}));
+    cf.super_name = "C";
+    EXPECT_EQ(cf.referenced_classes_cached(0), (std::vector<std::string>{"C"}));
+}
+
 }  // namespace
 }  // namespace rafda::model

@@ -4,6 +4,7 @@
 
 #include "model/assembler.hpp"
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 
 namespace rafda::model {
 namespace {
@@ -307,6 +308,85 @@ class A {
 }
 )");
     EXPECT_TRUE(has_problem(pool, "stack underflow"));
+}
+
+TEST(Verifier, ParallelCollectMatchesSerial) {
+    // Several independent problems spread across classes: the parallel run
+    // must report the same problems in the same (class-name) order.
+    ClassPool pool = pool_of(R"(
+class AUnderflow {
+  method f ()V {
+    pop
+    return
+  }
+}
+class BMissingSuper extends Nowhere {
+}
+class COk {
+  method g ()I {
+    const 7
+    returnvalue
+  }
+}
+class DBadRef {
+  method h ()V {
+    load 0
+    getfield DBadRef.absent I
+    pop
+    return
+  }
+}
+)");
+    std::vector<std::string> serial = verify_pool_collect(pool);
+    ASSERT_FALSE(serial.empty());
+    for (std::size_t threads : {2u, 8u}) {
+        support::ThreadPool workers(threads);
+        EXPECT_EQ(verify_pool_collect(pool, &workers), serial)
+            << "at " << threads << " threads";
+    }
+}
+
+TEST(Verifier, ParallelThrowNamesSameFirstProblem) {
+    ClassPool pool = pool_of(R"(
+class Bad extends Nowhere {
+}
+class Worse {
+  method f ()V {
+    pop
+    return
+  }
+}
+)");
+    std::string serial_what;
+    try {
+        verify_pool(pool);
+        FAIL() << "expected VerifyError";
+    } catch (const VerifyError& e) {
+        serial_what = e.what();
+    }
+    support::ThreadPool workers(4);
+    try {
+        verify_pool(pool, &workers);
+        FAIL() << "expected VerifyError";
+    } catch (const VerifyError& e) {
+        EXPECT_EQ(std::string(e.what()), serial_what);
+    }
+}
+
+TEST(Verifier, ParallelAcceptsWellFormedPool) {
+    ClassPool pool = pool_of(R"(
+class A {
+  method f ()I {
+    const 1
+    returnvalue
+  }
+}
+class B extends A {
+}
+)");
+    support::ThreadPool workers(8);
+    EXPECT_NO_THROW(verify_pool(pool, &workers));
+    EXPECT_TRUE(verify_pool_collect(pool, &workers).empty());
 }
 
 }  // namespace

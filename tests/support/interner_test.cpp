@@ -1,0 +1,91 @@
+#include "support/interner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rafda::support {
+namespace {
+
+TEST(Interner, AssignsDenseIdsInCallOrder) {
+    Interner in;
+    EXPECT_EQ(in.size(), 0u);
+    EXPECT_EQ(in.intern("alpha"), 0u);
+    EXPECT_EQ(in.intern("beta"), 1u);
+    EXPECT_EQ(in.intern("gamma"), 2u);
+    EXPECT_EQ(in.size(), 3u);
+    EXPECT_EQ(in.name(0), "alpha");
+    EXPECT_EQ(in.name(1), "beta");
+    EXPECT_EQ(in.name(2), "gamma");
+}
+
+TEST(Interner, InternIsIdempotent) {
+    Interner in;
+    Interner::Id a = in.intern("x");
+    EXPECT_EQ(in.intern("x"), a);
+    EXPECT_EQ(in.intern("x"), a);
+    EXPECT_EQ(in.size(), 1u);
+}
+
+TEST(Interner, FindDoesNotCreate) {
+    Interner in;
+    in.intern("present");
+    EXPECT_EQ(in.find("present"), 0u);
+    EXPECT_EQ(in.find("absent"), Interner::kNoId);
+    EXPECT_TRUE(in.contains("present"));
+    EXPECT_FALSE(in.contains("absent"));
+    EXPECT_EQ(in.size(), 1u);  // find() must not intern
+}
+
+TEST(Interner, NameThrowsOnBadId) {
+    Interner in;
+    in.intern("only");
+    EXPECT_THROW(in.name(1), std::out_of_range);
+    EXPECT_THROW(in.name(Interner::kNoId), std::out_of_range);
+}
+
+TEST(Interner, IdsDoNotAliasAfterOwningStringDies) {
+    // intern() must copy: the caller's buffer may be temporary.
+    Interner in;
+    Interner::Id id;
+    {
+        std::string temp = "ephemeral";
+        id = in.intern(temp);
+        temp.assign(200, 'x');  // clobber the old buffer
+    }
+    EXPECT_EQ(in.name(id), "ephemeral");
+    EXPECT_EQ(in.find("ephemeral"), id);
+}
+
+TEST(Interner, SurvivesRehashAndMove) {
+    // Views handed out must stay valid across internal growth and across a
+    // move of the interner itself (deque storage keeps element addresses).
+    Interner in;
+    std::vector<std::pair<std::string, Interner::Id>> expected;
+    for (int i = 0; i < 1000; ++i) {
+        std::string s = "class/Name" + std::to_string(i);
+        expected.emplace_back(s, in.intern(s));
+    }
+    Interner moved = std::move(in);
+    for (const auto& [s, id] : expected) {
+        EXPECT_EQ(moved.find(s), id);
+        EXPECT_EQ(moved.name(id), s);
+    }
+    EXPECT_EQ(moved.size(), 1000u);
+}
+
+TEST(Interner, SortedInputYieldsSortedIds) {
+    // The analysis relies on this: interning a name-sorted sequence gives
+    // ids whose numeric order equals lexicographic name order.
+    Interner in;
+    std::vector<std::string> names = {"A", "B/inner", "Base", "zz"};
+    for (const auto& n : names) in.intern(n);
+    for (std::size_t i = 0; i + 1 < names.size(); ++i)
+        EXPECT_LT(in.find(names[i]), in.find(names[i + 1]));
+}
+
+}  // namespace
+}  // namespace rafda::support

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "corpus/jdk_corpus.hpp"
 #include "model/assembler.hpp"
+#include "support/thread_pool.hpp"
 #include "vm/prelude.hpp"
 
 namespace rafda::transform {
@@ -209,6 +211,85 @@ class Ok2 {
     EXPECT_EQ(hist[Reason::SpecialClass], 1u);
     EXPECT_EQ(hist[Reason::ReferencedByNonTransformable], 1u);
     EXPECT_EQ(a.transformable_classes(), (std::vector<std::string>{"Ok", "Ok2"}));
+}
+
+TEST(Analysis, InheritanceCycleTerminates) {
+    // Regression: inherits-special used to recurse along the super chain
+    // with no visited set, so a hierarchy cycle (which the assembler does
+    // not reject — only verify_pool does) recursed forever.  The memoized
+    // walk must treat the back-edge as "not special" and terminate.
+    model::ClassPool pool = pool_of(R"(
+class A extends B {
+}
+class B extends A {
+}
+class Lone {
+}
+)");
+    Analysis a = analyze(pool);
+    // Neither cycle member has a native method or special ancestry; the
+    // cycle alone is a verification problem, not a transformability one.
+    EXPECT_TRUE(a.transformable("A"));
+    EXPECT_TRUE(a.transformable("B"));
+    EXPECT_TRUE(a.transformable("Lone"));
+}
+
+TEST(Analysis, InheritanceCycleThroughSpecialClass) {
+    // A cycle where one member is special: both inherit specialness (each
+    // reaches S through its super chain) and the walk still terminates.
+    model::ClassPool pool = pool_of(R"(
+special class S {
+}
+class C extends D {
+}
+class D extends C {
+  field s LS;
+}
+class E extends S {
+}
+)");
+    // D's field reference to S is allowed (reference *to* special is fine);
+    // E inherits specialness from S directly.
+    Analysis a = analyze(pool);
+    EXPECT_EQ(a.status_of("E").reason, Reason::SpecialClass);
+    EXPECT_TRUE(a.transformable("C"));
+    EXPECT_TRUE(a.transformable("D"));
+
+    model::ClassPool cyc = pool_of(R"(
+special class S {
+}
+class C extends S {
+}
+class D extends C {
+}
+)");
+    Analysis b = analyze(cyc);
+    EXPECT_EQ(b.status_of("C").reason, Reason::SpecialClass);
+    EXPECT_EQ(b.status_of("D").reason, Reason::SpecialClass);
+}
+
+TEST(Analysis, ParallelAnalyzeMatchesSerial) {
+    // The thread pool only parallelises graph construction; verdicts,
+    // reasons and blame must be bit-for-bit those of the serial run.
+    corpus::JdkCorpusParams params;
+    params.total_types = 600;
+    model::ClassPool pool = corpus::generate_jdk_corpus(params);
+
+    Analysis serial = analyze(pool);
+    for (std::size_t threads : {2u, 8u}) {
+        support::ThreadPool workers(threads);
+        Analysis par = analyze(pool, &workers);
+        ASSERT_EQ(par.total(), serial.total());
+        ASSERT_EQ(par.non_transformable_count(), serial.non_transformable_count());
+        EXPECT_EQ(par.reason_histogram(), serial.reason_histogram());
+        for (const auto& name : pool.all_names()) {
+            const ClassStatus& a = serial.status_of(name);
+            const ClassStatus& b = par.status_of(name);
+            ASSERT_EQ(a.verdict, b.verdict) << name;
+            ASSERT_EQ(a.reason, b.reason) << name;
+            ASSERT_EQ(a.blamed_on, b.blamed_on) << name;
+        }
+    }
 }
 
 TEST(Analysis, ThrowableReferencesDoNotBlockThrower) {

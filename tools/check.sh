@@ -23,14 +23,18 @@ for preset in $presets; do
 done
 
 # Non-gating perf smoke: the benches most sensitive to regressions in the
-# interpreter hot path (inline caches, DESIGN.md §11) and the virtual-time
-# model (per-node clocks + link occupancy, DESIGN.md §13).  Run from the
+# interpreter hot path (inline caches, DESIGN.md §11), the virtual-time
+# model (per-node clocks + link occupancy, DESIGN.md §13) and the parallel
+# transformation pipeline (graph-indexed closure + thread pool, DESIGN.md
+# §14 — bench_pipeline's BM_Pipeline/64 thread axis and BENCH_E3.json's
+# analyze_us_serial/analyze_us_pooled record the scaling).  Run from the
 # repo root so the BENCH_<id>.json sidecars land here (gitignored).
 # Failures warn instead of failing the gate — perf numbers are reviewed,
 # not asserted.
 case " $presets " in
 *" default "*)
-    for bench in bench_property_access bench_dispatch_matrix bench_concurrency; do
+    for bench in bench_property_access bench_dispatch_matrix bench_concurrency \
+                 bench_pipeline bench_transformability; do
         echo "== perf smoke: $bench =="
         "build/bench/$bench" --benchmark_min_time=0.05s ||
             echo "WARN: $bench failed (non-gating)"

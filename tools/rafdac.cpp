@@ -237,7 +237,12 @@ int usage() {
               << "  rafdac deploy    <app.rir> <policy.cfg> <MainClass> [nodes=2]\n"
               << "  rafdac stats     <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n"
               << "  rafdac trace     <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n"
-              << "  rafdac net       <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n";
+              << "  rafdac net       <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n"
+              << "\n"
+              << "environment:\n"
+              << "  RAFDA_TRANSFORM_THREADS  worker threads for transform/deploy\n"
+              << "                           (default: all cores; output is\n"
+              << "                           identical at any value)\n";
     return 1;
 }
 
