@@ -11,6 +11,11 @@ constexpr std::uint8_t kVersionMajor = 1;
 constexpr std::uint8_t kVersionMinor = 0;
 constexpr std::uint8_t kTypeRequest = 0;
 constexpr std::uint8_t kTypeReply = 1;
+// Header flags bit: the reliability extension (attempt + deadline) follows
+// the header. Only set when either field is nonzero, so base-protocol
+// traffic — and the fault-free wire sizes in EXPERIMENTS.md E5 — is
+// byte-identical to the original framing.
+constexpr std::uint8_t kFlagReliable = 0x01;
 
 /// CDR-style writer: pads to 4-byte alignment before multi-byte values.
 class CdrWriter {
@@ -127,23 +132,24 @@ MarshalledValue read_value(CdrReader& r) {
     return v;
 }
 
-void write_header(CdrWriter& w, std::uint8_t type) {
+void write_header(CdrWriter& w, std::uint8_t type, std::uint8_t flags = 0) {
     for (char c : kMagic) w.u8(static_cast<std::uint8_t>(c));
     w.u8(kVersionMajor);
     w.u8(kVersionMinor);
     w.u8(type);
-    w.u8(0);  // flags
+    w.u8(flags);
     w.u32(0);  // body length (filled conceptually; unused by the simulator)
 }
 
-void read_header(CdrReader& r, std::uint8_t expected_type) {
+std::uint8_t read_header(CdrReader& r, std::uint8_t expected_type) {
     for (char c : kMagic)
         if (r.u8() != static_cast<std::uint8_t>(c)) throw CodecError("corbx: bad magic");
     if (r.u8() != kVersionMajor || r.u8() != kVersionMinor)
         throw CodecError("corbx: unsupported version");
     if (r.u8() != expected_type) throw CodecError("corbx: unexpected message type");
-    r.u8();   // flags
+    std::uint8_t flags = r.u8();
     r.u32();  // body length
+    return flags;
 }
 
 }  // namespace
@@ -155,7 +161,12 @@ const std::string& CorbxCodec::protocol() const {
 
 Bytes CorbxCodec::encode_request(const CallRequest& req) const {
     CdrWriter w;
-    write_header(w, kTypeRequest);
+    const bool reliable = req.attempt != 0 || req.deadline_us != 0;
+    write_header(w, kTypeRequest, reliable ? kFlagReliable : 0);
+    if (reliable) {
+        w.u32(req.attempt);
+        w.u64(req.deadline_us);
+    }
     w.u8(static_cast<std::uint8_t>(req.kind));
     w.u64(req.request_id);
     w.u64(req.trace_id);
@@ -172,8 +183,12 @@ Bytes CorbxCodec::encode_request(const CallRequest& req) const {
 
 CallRequest CorbxCodec::decode_request(const Bytes& data) const {
     CdrReader r(data);
-    read_header(r, kTypeRequest);
+    const std::uint8_t flags = read_header(r, kTypeRequest);
     CallRequest req;
+    if (flags & kFlagReliable) {
+        req.attempt = r.u32();
+        req.deadline_us = r.u64();
+    }
     std::uint8_t kind = r.u8();
     if (kind > static_cast<std::uint8_t>(RequestKind::Discover))
         throw CodecError("corbx: bad request kind");

@@ -61,6 +61,14 @@ struct CallRequest {
     // both, so wire sizes are unaffected.
     std::uint64_t sim_send_us = 0;
     std::uint64_t sim_arrival_us = 0;
+    // Reliability extension (DESIGN.md §15), carried on the wire only when
+    // nonzero so fault-free encodings stay byte-identical to the base
+    // protocol: `attempt` is 0 for the first try and N for the Nth retry
+    // (the callee's dedup cache and trace spans use it); `deadline_us` is
+    // the absolute virtual time after which the callee must not execute
+    // the call (0 = no deadline).
+    std::uint32_t attempt = 0;
+    std::uint64_t deadline_us = 0;
     std::int32_t src_node = 0;
     std::uint64_t target_oid = 0;  // Invoke only
     std::string cls;               // Create/Discover: original class name

@@ -6,7 +6,19 @@
 
 namespace rafda::net {
 
-SimNetwork::SimNetwork(std::uint64_t seed) : rng_(seed) {}
+SimNetwork::SimNetwork(std::uint64_t seed) : seed_(seed) {}
+
+Rng& SimNetwork::link_rng(NodeId src, NodeId dst) {
+    auto it = link_rng_.find({src, dst});
+    if (it == link_rng_.end()) {
+        const std::uint64_t salt =
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+            static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst));
+        it = link_rng_.emplace(std::make_pair(src, dst), Rng(Rng::mix(seed_, salt)))
+                 .first;
+    }
+    return it->second;
+}
 
 void SimNetwork::set_default_link(LinkParams params) { default_link_ = params; }
 
@@ -49,7 +61,18 @@ Delivery SimNetwork::transfer_at(NodeId src, NodeId dst, std::size_t size,
     // The channel carries one message at a time: a transfer sent while the
     // link is occupied queues behind the in-flight one.
     const std::uint64_t depart = std::max(send_us, busy_until);
-    if (rng_.chance(params.drop_probability)) {
+    // Scheduled faults are evaluated at the departure time. A down/flapped
+    // link loses the message without consuming a PRNG draw (pure function
+    // of virtual time); a drop-rate override substitutes its probability
+    // into the same per-link stream the configured rate uses. Rng::chance
+    // never draws for p <= 0, so a fault-free link's stream is untouched.
+    bool lost = fault_plan_.link_down(src, dst, depart);
+    if (!lost) {
+        const double p = fault_plan_.drop_override(src, dst, depart)
+                             .value_or(params.drop_probability);
+        lost = link_rng(src, dst).chance(p);
+    }
+    if (lost) {
         ++stats.drops;
         // A lost message still occupied the link before it died: charge
         // the propagation delay so loss is not free in virtual time (a
@@ -62,7 +85,8 @@ Delivery SimNetwork::transfer_at(NodeId src, NodeId dst, std::size_t size,
             metrics->drops->add();
             metrics->busy_us->add(params.latency_us);
             metrics->utilization_ppm->set(static_cast<std::int64_t>(
-                stats.busy_us * 1'000'000 / std::max<std::uint64_t>(1, clock_us_)));
+                stats.busy_us * 1'000'000 /
+                std::max<std::uint64_t>(1, clock_us_ - stats_epoch_us_)));
         }
         return Delivery{false, fail_at};
     }
@@ -83,7 +107,8 @@ Delivery SimNetwork::transfer_at(NodeId src, NodeId dst, std::size_t size,
         metrics->bytes->add(size);
         metrics->busy_us->add(arrival - depart);
         metrics->utilization_ppm->set(static_cast<std::int64_t>(
-            stats.busy_us * 1'000'000 / std::max<std::uint64_t>(1, clock_us_)));
+            stats.busy_us * 1'000'000 /
+            std::max<std::uint64_t>(1, clock_us_ - stats_epoch_us_)));
     }
     return Delivery{true, arrival};
 }
@@ -127,6 +152,12 @@ void SimNetwork::visit_links(
 
 void SimNetwork::reset_stats() {
     stats_.clear();
+    // Utilization after a reset measures busy time over virtual time
+    // elapsed *since the reset* — without this epoch the denominator keeps
+    // growing from t=0 and post-reset utilization is biased toward zero.
+    // busy_until_ is left alone: channel occupancy is physical link state,
+    // so a message in flight still blocks the link across a reset.
+    stats_epoch_us_ = clock_us_;
     // Keep the registry mirrors in step: they are cumulative shadows of
     // stats_, so clearing one but not the other would make `rafdac stats`
     // diverge from total_stats() after a reset.

@@ -23,13 +23,12 @@
 #include <map>
 #include <optional>
 
+#include "net/faults.hpp"
 #include "obs/metrics.hpp"
 #include "support/bytes.hpp"
 #include "support/rng.hpp"
 
 namespace rafda::net {
-
-using NodeId = std::int32_t;
 
 struct LinkParams {
     /// One-way propagation delay in microseconds.
@@ -104,7 +103,20 @@ public:
     /// Per-link traversal in (src, dst) order, for tables and exports.
     void visit_links(
         const std::function<void(NodeId, NodeId, const LinkStats&)>& fn) const;
+    /// Clears per-link stats and marks the current watermark as the new
+    /// epoch for utilization_ppm, so post-reset utilization is busy time
+    /// over time *since the reset* rather than since t=0.  Channel
+    /// occupancy (`busy_until_`) deliberately survives: it is physical
+    /// link state, not accounting — an in-flight message does not vanish
+    /// because an observer zeroed its dashboards.
     void reset_stats();
+
+    /// Scheduled failures (link down/flap, drop overrides, node crashes)
+    /// evaluated against each transfer's departure time.  Deterministic
+    /// windows never draw from the PRNG; drop overrides draw from the
+    /// same per-link stream as the link's configured drop probability.
+    FaultPlan& fault_plan() noexcept { return fault_plan_; }
+    const FaultPlan& fault_plan() const noexcept { return fault_plan_; }
 
     /// Mirrors per-link accounting into `registry` as counters named
     /// net.link.<src>.<dst>.{messages,bytes,drops,busy_us} plus a
@@ -122,6 +134,7 @@ private:
         obs::Gauge* utilization_ppm = nullptr;
     };
     LinkMetrics& link_metrics(NodeId src, NodeId dst);
+    Rng& link_rng(NodeId src, NodeId dst);
 
     LinkParams default_link_;
     std::map<std::pair<NodeId, NodeId>, LinkParams> links_;
@@ -130,7 +143,15 @@ private:
     obs::Registry* registry_ = nullptr;
     std::map<std::pair<NodeId, NodeId>, LinkMetrics> link_metrics_;
     std::uint64_t clock_us_ = 0;
-    Rng rng_;
+    /// Watermark value at the last reset_stats(); utilization_ppm
+    /// denominators measure elapsed time from here.
+    std::uint64_t stats_epoch_us_ = 0;
+    /// Each directed link draws drop decisions from its own stream
+    /// (seeded from `seed_` and the link endpoints), so lossy traffic on
+    /// one link can never perturb the sequence another link sees.
+    std::uint64_t seed_;
+    std::map<std::pair<NodeId, NodeId>, Rng> link_rng_;
+    FaultPlan fault_plan_;
 };
 
 }  // namespace rafda::net

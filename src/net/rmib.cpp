@@ -8,6 +8,11 @@ namespace {
 
 constexpr std::uint8_t kMagicRequest = 0xA1;
 constexpr std::uint8_t kMagicReply = 0xA2;
+// Request carrying the reliability extension (attempt + deadline): used
+// only when either field is nonzero, so base-protocol traffic — and the
+// fault-free wire sizes in EXPERIMENTS.md E5 — is byte-identical to the
+// original framing.
+constexpr std::uint8_t kMagicRequestReliable = 0xA3;
 
 void write_value(ByteWriter& w, const MarshalledValue& v) {
     w.u8(static_cast<std::uint8_t>(v.tag));
@@ -57,7 +62,12 @@ const std::string& RmibCodec::protocol() const {
 
 Bytes RmibCodec::encode_request(const CallRequest& req) const {
     ByteWriter w;
-    w.u8(kMagicRequest);
+    const bool reliable = req.attempt != 0 || req.deadline_us != 0;
+    w.u8(reliable ? kMagicRequestReliable : kMagicRequest);
+    if (reliable) {
+        w.u32(req.attempt);
+        w.u64(req.deadline_us);
+    }
     w.u8(static_cast<std::uint8_t>(req.kind));
     w.u64(req.request_id);
     w.u64(req.trace_id);
@@ -74,8 +84,14 @@ Bytes RmibCodec::encode_request(const CallRequest& req) const {
 
 CallRequest RmibCodec::decode_request(const Bytes& data) const {
     ByteReader r(data);
-    if (r.u8() != kMagicRequest) throw CodecError("rmib: bad request magic");
+    const std::uint8_t magic = r.u8();
+    if (magic != kMagicRequest && magic != kMagicRequestReliable)
+        throw CodecError("rmib: bad request magic");
     CallRequest req;
+    if (magic == kMagicRequestReliable) {
+        req.attempt = r.u32();
+        req.deadline_us = r.u64();
+    }
     std::uint8_t kind = r.u8();
     if (kind > static_cast<std::uint8_t>(RequestKind::Discover))
         throw CodecError("rmib: bad request kind");

@@ -98,6 +98,14 @@ struct Element {
         if (it == attrs.end()) throw CodecError("soapx: missing attribute " + key);
         return it->second;
     }
+
+    /// Optional attribute: `fallback` when absent (reliability extension
+    /// attributes are only emitted when nonzero).
+    const std::string& attr_or(const std::string& key,
+                               const std::string& fallback) const {
+        auto it = attrs.find(key);
+        return it == attrs.end() ? fallback : it->second;
+    }
 };
 
 class Scanner {
@@ -236,7 +244,12 @@ Bytes SoapxCodec::encode_request(const CallRequest& req) const {
        << req.request_id << "\" trace=\"" << req.trace_id << "\" span=\""
        << req.parent_span << "\" src=\"" << req.src_node << "\" target=\""
        << req.target_oid << "\" class=\"" << xml_escape(req.cls) << "\" method=\""
-       << xml_escape(req.method) << "\" desc=\"" << xml_escape(req.desc) << "\">";
+       << xml_escape(req.method) << "\" desc=\"" << xml_escape(req.desc) << "\"";
+    // Reliability attributes only appear when set, so base-protocol
+    // traffic keeps its original byte size (EXPERIMENTS.md E5).
+    if (req.attempt != 0) os << " attempt=\"" << req.attempt << "\"";
+    if (req.deadline_us != 0) os << " deadline=\"" << req.deadline_us << "\"";
+    os << ">";
     for (const MarshalledValue& a : req.args) encode_value(os, "arg", a);
     os << "</Request></Body></Envelope>";
     return to_bytes(os.str());
@@ -258,6 +271,11 @@ CallRequest SoapxCodec::decode_request(const Bytes& data) const {
     req.cls = request.attr("class");
     req.method = request.attr("method");
     req.desc = request.attr("desc");
+    static const std::string kZero = "0";
+    req.attempt = static_cast<std::uint32_t>(
+        std::strtoul(request.attr_or("attempt", kZero).c_str(), nullptr, 10));
+    req.deadline_us =
+        std::strtoull(request.attr_or("deadline", kZero).c_str(), nullptr, 10);
     for (const Element& child : request.children) {
         if (child.name != "arg") throw CodecError("soapx: unexpected <" + child.name + ">");
         req.args.push_back(decode_value(child));

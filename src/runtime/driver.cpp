@@ -15,7 +15,7 @@ void WorkloadDriver::add_client(net::NodeId node, std::vector<Task> tasks) {
                        std::make_move_iterator(tasks.end()));
         return;
     }
-    clients_.push_back(Client{node, std::move(tasks), 0, 0});
+    clients_.push_back(Client{node, std::move(tasks), 0, 0, 0});
 }
 
 void WorkloadDriver::add_client(net::NodeId node, std::size_t count, Task task) {
@@ -43,6 +43,11 @@ WorkloadDriver::Report WorkloadDriver::run() {
     // Round-robin: one invocation per client per round.  The execution
     // order is fixed, so the event sequence — and with it every clock,
     // link-occupancy window and drop decision — is deterministic.
+    // Tasks that needed retries but still completed are "recovered":
+    // detected by diffing the system-wide rpc.retries counter around each
+    // invocation (the round-robin is sequential, so the delta belongs to
+    // this task alone).
+    obs::Counter& retries = system_->metrics().counter("rpc.retries");
     bool ran = true;
     while (ran) {
         ran = false;
@@ -50,8 +55,10 @@ WorkloadDriver::Report WorkloadDriver::run() {
             Client& c = clients_[i];
             if (c.next >= c.tasks.size()) continue;
             ran = true;
+            const std::uint64_t retries_before = retries.value();
             try {
                 c.tasks[c.next](*system_, c.node);
+                if (retries.value() != retries_before) ++c.recovered;
             } catch (const vm::GuestException& e) {
                 ++c.faults;
                 log_debug("driver", "client ", c.node, " task ", c.next,
@@ -68,14 +75,17 @@ WorkloadDriver::Report WorkloadDriver::run() {
         cr.end_us = system_->node(c.node).clock_us();
         cr.tasks = c.next;
         cr.faults = c.faults;
+        cr.recovered = c.recovered;
         report.tasks_run += c.next;
         report.faults += c.faults;
+        report.recovered += c.recovered;
         report.end_us = std::max(report.end_us, cr.end_us);
         // Consumed queues reset so a subsequent add_client + run() starts
         // a fresh window for this client.
         c.tasks.clear();
         c.next = 0;
         c.faults = 0;
+        c.recovered = 0;
     }
     report.makespan_us = report.end_us - report.start_us;
     return report;

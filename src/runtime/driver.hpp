@@ -49,14 +49,19 @@ public:
         std::uint64_t start_us = 0;  // node clock when run() began
         std::uint64_t end_us = 0;    // node clock when its queue drained
         std::size_t tasks = 0;
-        std::size_t faults = 0;
+        std::size_t faults = 0;     // tasks that surfaced a guest exception
+        std::size_t recovered = 0;  // tasks that completed but needed retries
     };
     struct Report {
         std::uint64_t start_us = 0;     // min client clock at run() entry
         std::uint64_t end_us = 0;       // max client clock at drain
         std::uint64_t makespan_us = 0;  // end_us - start_us
         std::size_t tasks_run = 0;
+        /// Injected faults split by outcome: `recovered` tasks hit at
+        /// least one transport failure but the retry policy absorbed it;
+        /// `faults` tasks surfaced a guest exception to the client.
         std::size_t faults = 0;
+        std::size_t recovered = 0;
         std::vector<ClientReport> clients;
     };
 
@@ -71,6 +76,7 @@ private:
         std::vector<Task> tasks;
         std::size_t next = 0;
         std::size_t faults = 0;
+        std::size_t recovered = 0;
     };
 
     System* system_;

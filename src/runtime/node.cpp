@@ -132,10 +132,44 @@ void Node::rethrow_fault(const net::CallReply& reply) {
     throw RuntimeError("unreachable");
 }
 
+void Node::apply_restarts(std::uint64_t restarts) {
+    if (restarts <= restarts_seen_) return;
+    restarts_seen_ = restarts;
+    if (!reply_cache_.empty())
+        log_info("node", "node ", id_, " restarted: dropping ", reply_cache_.size(),
+                 " cached replies");
+    reply_cache_.clear();
+    reply_cache_order_.clear();
+}
+
 net::CallReply Node::handle_request(const net::CallRequest& req,
                                     const std::string& protocol) {
+    const RetryPolicy& rp = system_->reliability();
+    const bool dedup = rp.dedup && rp.dedup_capacity > 0;
+    if (dedup) {
+        auto it = reply_cache_.find(req.request_id);
+        if (it != reply_cache_.end()) {
+            // A retry of a request this node already executed: replay the
+            // reply.  This is the arm that turns at-most-once into
+            // exactly-once — the retried Create/Invoke must NOT run again
+            // (it would leak an instance / duplicate a side effect).
+            system_->note_dedup_hit();
+            return it->second;
+        }
+    }
     net::CallReply reply;
     reply.request_id = req.request_id;
+    // An expired request must not execute: the caller has already given
+    // up, and running it anyway would be a side effect nobody awaits.
+    // The rejection is not cached — expiry is stable across retries.
+    if (req.deadline_us && req.sim_arrival_us > req.deadline_us) {
+        system_->note_server_timeout();
+        reply.is_fault = true;
+        reply.fault_class = kRemoteFaultClass;
+        reply.fault_msg = "deadline expired before dispatch on node " +
+                          std::to_string(id_);
+        return reply;
+    }
     try {
         switch (req.kind) {
             case net::RequestKind::Invoke: {
@@ -168,6 +202,14 @@ net::CallReply Node::handle_request(const net::CallRequest& req,
         reply.is_fault = true;
         reply.fault_class = e.class_name();
         reply.fault_msg = e.message();
+    }
+    if (dedup) {
+        while (reply_cache_order_.size() >= rp.dedup_capacity) {
+            reply_cache_.erase(reply_cache_order_.front());
+            reply_cache_order_.pop_front();
+        }
+        reply_cache_.emplace(req.request_id, reply);
+        reply_cache_order_.push_back(req.request_id);
     }
     return reply;
 }

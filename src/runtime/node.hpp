@@ -11,6 +11,7 @@
 //     exceptions into fault replies.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <set>
 #include <string>
@@ -48,8 +49,20 @@ public:
     /// Pulls the guest-visible logical time (Sys.time) up to the clock.
     void sync_guest_time();
 
-    /// Services one decoded request arriving over `protocol`.
+    /// Services one decoded request arriving over `protocol`.  When the
+    /// system's reliability policy enables dedup, the request id is an
+    /// idempotency key: a retry of an already-executed request replays the
+    /// cached reply instead of re-executing (exactly-once, DESIGN.md §15).
+    /// Expired requests (deadline_us in the past at arrival) are refused
+    /// with a RemoteFault reply before any guest code runs.
     net::CallReply handle_request(const net::CallRequest& req, const std::string& protocol);
+
+    /// Crash/restart bookkeeping: `restarts` is the number of NodeCrash
+    /// windows for this node that have ended so far.  A newly observed
+    /// restart sheds the node's soft state — the reply cache — which is
+    /// exactly what makes post-crash dedup a best-effort guarantee (the
+    /// heap and singletons are modelled as durable; see DESIGN.md §15).
+    void apply_restarts(std::uint64_t restarts);
 
     /// Guest value -> wire value.  Throws RuntimeError for references to
     /// objects that have no generated family (non-substitutable classes).
@@ -92,6 +105,11 @@ private:
     std::map<std::tuple<net::NodeId, std::uint64_t, std::string, std::string>, vm::ObjId>
         imported_;
     std::map<std::string, vm::ObjId> singletons_;
+    /// Bounded request-id → reply cache (FIFO eviction at the policy's
+    /// dedup_capacity); populated only while dedup is enabled.
+    std::map<std::uint64_t, net::CallReply> reply_cache_;
+    std::deque<std::uint64_t> reply_cache_order_;
+    std::uint64_t restarts_seen_ = 0;
 };
 
 }  // namespace rafda::runtime

@@ -26,10 +26,46 @@ net::NodeId parse_node(const std::string& tok, int lineno) {
     return static_cast<net::NodeId>(v);
 }
 
+std::uint64_t parse_u64(const std::string& tok, int lineno) {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+    if (!end || *end != '\0' || tok.empty() || tok[0] == '-')
+        throw ParseError("bad number '" + tok + "'", lineno);
+    return static_cast<std::uint64_t>(v);
+}
+
+double parse_prob(const std::string& tok, int lineno) {
+    char* end = nullptr;
+    double v = std::strtod(tok.c_str(), &end);
+    if (!end || *end != '\0' || v < 0.0 || v > 1.0)
+        throw ParseError("bad probability '" + tok + "'", lineno);
+    return v;
+}
+
+/// Parses the trailing `from T until T [period P]` of a fault line into
+/// `w`; `t` indexes the first expected token.
+void parse_fault_window(const std::vector<std::string>& toks, std::size_t t,
+                        bool allow_period, net::FaultWindow& w, int lineno) {
+    if (t + 3 >= toks.size() || toks[t] != "from" || toks[t + 2] != "until")
+        throw ParseError("expected 'from T until T'", lineno);
+    w.from_us = parse_u64(toks[t + 1], lineno);
+    w.until_us = parse_u64(toks[t + 3], lineno);
+    if (w.until_us <= w.from_us)
+        throw ParseError("fault window must end after it starts", lineno);
+    t += 4;
+    if (t < toks.size()) {
+        if (!allow_period || toks[t] != "period" || t + 1 >= toks.size())
+            throw ParseError("unexpected token '" + toks[t] + "'", lineno);
+        w.period_us = parse_u64(toks[t + 1], lineno);
+        t += 2;
+    }
+    if (t != toks.size()) throw ParseError("trailing tokens on fault line", lineno);
+}
+
 }  // namespace
 
 void apply_policy_config(std::string_view text, DistributionPolicy& policy,
-                         net::SimNetwork* network) {
+                         net::SimNetwork* network, RetryPolicy* reliability) {
     int lineno = 0;
     for (const std::string& raw : split(text, '\n')) {
         ++lineno;
@@ -87,6 +123,105 @@ void apply_policy_config(std::string_view text, DistributionPolicy& policy,
             if (!network)
                 throw ParseError("'link' line given but no network to configure", lineno);
             network->set_link(src, dst, params);
+        } else if (head == "retry") {
+            // retry attempts N [base B] [multiplier M] [cap C] [jitter J]
+            //                 [budget N] [deadline D]
+            if (!reliability)
+                throw ParseError("'retry' line given but no reliability policy", lineno);
+            if (toks.size() < 3 || toks.size() % 2 == 0 || toks[1] != "attempts")
+                throw ParseError(
+                    "syntax: retry attempts N [base B] [multiplier M] [cap C] "
+                    "[jitter J] [budget N] [deadline D]",
+                    lineno);
+            const std::uint64_t attempts = parse_u64(toks[2], lineno);
+            if (attempts == 0) throw ParseError("attempts must be >= 1", lineno);
+            reliability->attempts = static_cast<std::uint32_t>(attempts);
+            for (std::size_t t = 3; t + 1 < toks.size(); t += 2) {
+                const std::string& key = toks[t];
+                const std::string& val = toks[t + 1];
+                if (key == "base") reliability->backoff_base_us = parse_u64(val, lineno);
+                else if (key == "multiplier") {
+                    reliability->backoff_multiplier = std::strtod(val.c_str(), nullptr);
+                    if (reliability->backoff_multiplier < 1.0)
+                        throw ParseError("multiplier must be >= 1", lineno);
+                } else if (key == "cap") reliability->backoff_cap_us = parse_u64(val, lineno);
+                else if (key == "jitter") reliability->jitter_us = parse_u64(val, lineno);
+                else if (key == "budget") reliability->retry_budget = parse_u64(val, lineno);
+                else if (key == "deadline") reliability->deadline_us = parse_u64(val, lineno);
+                else throw ParseError("unknown retry attribute '" + key + "'", lineno);
+            }
+        } else if (head == "dedup") {
+            // dedup on|off [capacity N]
+            if (!reliability)
+                throw ParseError("'dedup' line given but no reliability policy", lineno);
+            if (toks.size() != 2 && toks.size() != 4)
+                throw ParseError("syntax: dedup on|off [capacity N]", lineno);
+            if (toks[1] != "on" && toks[1] != "off")
+                throw ParseError("dedup must be 'on' or 'off'", lineno);
+            reliability->dedup = toks[1] == "on";
+            if (toks.size() == 4) {
+                if (toks[2] != "capacity")
+                    throw ParseError("expected 'capacity N'", lineno);
+                reliability->dedup_capacity =
+                    static_cast<std::size_t>(parse_u64(toks[3], lineno));
+            }
+        } else if (head == "breaker") {
+            // breaker threshold N [cooldown C]
+            if (!reliability)
+                throw ParseError("'breaker' line given but no reliability policy", lineno);
+            if ((toks.size() != 3 && toks.size() != 5) || toks[1] != "threshold")
+                throw ParseError("syntax: breaker threshold N [cooldown C]", lineno);
+            reliability->breaker_threshold =
+                static_cast<std::uint32_t>(parse_u64(toks[2], lineno));
+            if (toks.size() == 5) {
+                if (toks[3] != "cooldown")
+                    throw ParseError("expected 'cooldown C'", lineno);
+                reliability->breaker_cooldown_us = parse_u64(toks[4], lineno);
+            }
+        } else if (head == "fault") {
+            // fault link SRC -> DST down|flap from T until T [period P]
+            // fault link SRC -> DST drop P from T until T
+            // fault node N crash from T until T
+            if (!network)
+                throw ParseError("'fault' line given but no network to configure", lineno);
+            if (toks.size() < 2)
+                throw ParseError("syntax: fault link|node ...", lineno);
+            net::FaultWindow w;
+            if (toks[1] == "link") {
+                if (toks.size() < 6 || toks[3] != "->")
+                    throw ParseError(
+                        "syntax: fault link SRC -> DST down|flap|drop ...", lineno);
+                w.src = parse_node(toks[2], lineno);
+                w.dst = parse_node(toks[4], lineno);
+                const std::string& mode = toks[5];
+                if (mode == "down") {
+                    w.kind = net::FaultKind::LinkDown;
+                    parse_fault_window(toks, 6, /*allow_period=*/false, w, lineno);
+                } else if (mode == "flap") {
+                    w.kind = net::FaultKind::LinkFlap;
+                    parse_fault_window(toks, 6, /*allow_period=*/true, w, lineno);
+                    if (w.period_us == 0)
+                        throw ParseError("flap needs 'period P' with P > 0", lineno);
+                } else if (mode == "drop") {
+                    if (toks.size() < 7)
+                        throw ParseError("syntax: fault link SRC -> DST drop P from T until T",
+                                         lineno);
+                    w.kind = net::FaultKind::DropRate;
+                    w.drop_probability = parse_prob(toks[6], lineno);
+                    parse_fault_window(toks, 7, /*allow_period=*/false, w, lineno);
+                } else {
+                    throw ParseError("unknown link fault '" + mode + "'", lineno);
+                }
+            } else if (toks[1] == "node") {
+                if (toks.size() < 4 || toks[3] != "crash")
+                    throw ParseError("syntax: fault node N crash from T until T", lineno);
+                w.kind = net::FaultKind::NodeCrash;
+                w.node = parse_node(toks[2], lineno);
+                parse_fault_window(toks, 4, /*allow_period=*/false, w, lineno);
+            } else {
+                throw ParseError("fault target must be 'link' or 'node'", lineno);
+            }
+            network->fault_plan().add(w);
         } else {
             throw ParseError("unknown directive '" + head + "'", lineno);
         }

@@ -12,19 +12,32 @@
 //   singleton Registry on 0
 //   link 0 -> 1 latency 250 bandwidth 125 drop 0.01   # optional tuning
 //   link 1 -> 0 latency 250
+//
+// Reliability (DESIGN.md §15; all times/durations are virtual µs):
+//
+//   retry attempts 8 base 200 multiplier 2 cap 20000 jitter 50 budget 0 deadline 0
+//   dedup on capacity 1024
+//   breaker threshold 5 cooldown 10000
+//   fault link 0 -> 1 down from 5000 until 9000
+//   fault link 0 -> 1 flap from 5000 until 9000 period 500
+//   fault link 0 -> 1 drop 0.25 from 5000 until 9000
+//   fault node 1 crash from 5000 until 9000
 #pragma once
 
 #include <string_view>
 
 #include "net/network.hpp"
 #include "runtime/policy.hpp"
+#include "runtime/reliable.hpp"
 
 namespace rafda::runtime {
 
-/// Parses `text` and applies it to `policy` (and, for `link` lines, to
-/// `network` when given).  Throws ParseError with a line number on
-/// malformed input, including unknown protocols.
+/// Parses `text` and applies it to `policy` (and, for `link`/`fault`
+/// lines, to `network`; for `retry`/`dedup`/`breaker` lines, to
+/// `reliability` — each when given).  Throws ParseError with a line
+/// number on malformed input, including unknown protocols.
 void apply_policy_config(std::string_view text, DistributionPolicy& policy,
-                         net::SimNetwork* network = nullptr);
+                         net::SimNetwork* network = nullptr,
+                         RetryPolicy* reliability = nullptr);
 
 }  // namespace rafda::runtime

@@ -1,0 +1,14 @@
+#include "runtime/reliable.hpp"
+
+namespace rafda::runtime {
+
+const char* breaker_state_name(CircuitBreaker::State s) {
+    switch (s) {
+        case CircuitBreaker::State::Closed: return "closed";
+        case CircuitBreaker::State::Open: return "open";
+        case CircuitBreaker::State::HalfOpen: return "half-open";
+    }
+    return "?";
+}
+
+}  // namespace rafda::runtime

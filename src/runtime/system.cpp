@@ -50,7 +50,9 @@ System::System(const model::ClassPool& original, SystemOptions options)
               if (!po.metrics) po.metrics = &metrics_;
               return po;
           }())),
-      network_(options.network_seed) {
+      network_(options.network_seed),
+      reliability_(options.reliability),
+      retry_jitter_rng_(Rng::mix(options.network_seed, 0x6a697474ULL)) {
     network_.set_default_link(options.default_link);
     network_.attach_metrics(&metrics_);
     tracer_.set_clock([this] { return network_.now_us(); });
@@ -60,6 +62,11 @@ System::System(const model::ClassPool& original, SystemOptions options)
     migration_bytes_counter_ = &metrics_.counter("runtime.migration_bytes");
     chain_shortenings_counter_ = &metrics_.counter("runtime.chain_shortenings");
     chain_hops_removed_counter_ = &metrics_.counter("runtime.chain_hops_removed");
+    rpc_retries_ = &metrics_.counter("rpc.retries");
+    rpc_retries_reply_loss_ = &metrics_.counter("rpc.retries_reply_loss");
+    rpc_timeouts_ = &metrics_.counter("rpc.timeouts");
+    rpc_dedup_hits_ = &metrics_.counter("rpc.dedup_hits");
+    rpc_breaker_open_ = &metrics_.counter("rpc.breaker_open");
     for (const std::string& proto : result_.report.protocols())
         codecs_[proto] = net::make_codec(proto);
 }
@@ -115,17 +122,121 @@ Node& System::add_node() {
     return node;
 }
 
+CircuitBreaker& System::breaker(net::NodeId dst, const std::string& protocol) {
+    auto it = breakers_.find({dst, protocol});
+    if (it == breakers_.end()) {
+        CircuitBreaker b;
+        b.state_gauge = &metrics_.gauge("rpc.breaker." + std::to_string(dst) + "." +
+                                        protocol + ".state");
+        it = breakers_.emplace(std::make_pair(dst, protocol), b).first;
+    }
+    return it->second;
+}
+
+void System::visit_breakers(
+    const std::function<void(net::NodeId, const std::string&, const CircuitBreaker&)>&
+        fn) const {
+    for (const auto& [key, b] : breakers_) fn(key.first, key.second, b);
+}
+
 net::CallReply System::rpc(net::NodeId src, net::NodeId dst, const std::string& protocol,
                            net::CallRequest& req) {
-    net::Codec& c = codec(protocol);
     ProtoMetrics& pm = proto_metrics(protocol);
     Node& caller = node(src);
-    Node& callee = node(dst);
     switch (req.kind) {
         case net::RequestKind::Invoke: pm.calls->add(); break;
         case net::RequestKind::Create: pm.creates->add(); break;
         case net::RequestKind::Discover: pm.discovers->add(); break;
     }
+    const RetryPolicy& rp = reliability_;
+    if (rp.deadline_us && req.deadline_us == 0)
+        req.deadline_us = caller.clock_us() + rp.deadline_us;
+    const std::uint32_t max_attempts = std::max<std::uint32_t>(1, rp.attempts);
+    CircuitBreaker* br = rp.breaker_threshold ? &breaker(dst, protocol) : nullptr;
+    const net::FaultPlan& plan = network_.fault_plan();
+
+    Dropped last{"", false};
+    for (std::uint32_t attempt = 0;; ++attempt) {
+        // Circuit breaker gate: while open, fail fast with no wire traffic
+        // until the cooldown has elapsed, then let one half-open probe
+        // through.  Fast-fails are not failure evidence (nothing was
+        // learned about the transport), so they don't bump the counter.
+        if (br && br->state == CircuitBreaker::State::Open) {
+            if (caller.clock_us() >= br->opened_at_us + rp.breaker_cooldown_us) {
+                br->set_state(CircuitBreaker::State::HalfOpen);
+            } else {
+                rpc_breaker_open_->add();
+                throw Dropped{"breaker open for node " + std::to_string(dst) + " via " +
+                                  protocol,
+                              last.executed_remotely, /*fast_fail=*/true};
+            }
+        }
+        bool failed = false;
+        // A destination known to be crashed fails fast (the simulation
+        // analogue of connection-refused): no latency is charged and no
+        // PRNG is drawn, but the attempt still counts against the policy.
+        if (plan.node_down(dst, caller.clock_us())) {
+            pm.drops->add();
+            last = Dropped{"node " + std::to_string(dst) + " is down",
+                           /*executed_remotely=*/false, /*fast_fail=*/true};
+            failed = true;
+        } else {
+            req.attempt = attempt;
+            try {
+                obs::ScopedSpan span;
+                if (tracer_.enabled() && attempt > 0) {
+                    span = obs::ScopedSpan(
+                        tracer_, "rpc.attempt " + std::to_string(attempt), src);
+                    tracer_.note("request_id", std::to_string(req.request_id));
+                }
+                net::CallReply reply = rpc_attempt(src, dst, protocol, req, pm);
+                // Any decoded reply — fault or not — proves the transport
+                // round-trip works; guest-level faults never trip the
+                // breaker and are never retried.
+                if (br) br->record_success();
+                return reply;
+            } catch (const Dropped& d) {
+                last = d;
+                failed = true;
+            }
+        }
+        if (failed && br &&
+            br->record_failure(rp.breaker_threshold, caller.clock_us())) {
+            log_info("runtime", "breaker opened for node ", dst, " via ", protocol);
+        }
+        // Retry decision.  Reply-loss means the callee already executed:
+        // without dedup a retry would re-execute (the §12 instance leak),
+        // so the loss surfaces instead.
+        if (last.executed_remotely && !rp.dedup) break;
+        if (attempt + 1 >= max_attempts) break;
+        if (rp.retry_budget && retries_spent_ >= rp.retry_budget) break;
+        std::uint64_t delay = rp.backoff_base_us;
+        for (std::uint32_t k = 0; k < attempt && delay < rp.backoff_cap_us; ++k)
+            delay = static_cast<std::uint64_t>(
+                static_cast<double>(delay) * rp.backoff_multiplier);
+        if (rp.backoff_cap_us) delay = std::min(delay, rp.backoff_cap_us);
+        if (rp.jitter_us) delay += retry_jitter_rng_.below(rp.jitter_us + 1);
+        if (req.deadline_us && caller.clock_us() + delay >= req.deadline_us) {
+            rpc_timeouts_->add();
+            last.what = "deadline exceeded after " + std::to_string(attempt + 1) +
+                        " attempt(s): " + last.what;
+            break;
+        }
+        caller.advance_clock(delay);
+        caller.sync_guest_time();
+        ++retries_spent_;
+        rpc_retries_->add();
+        if (last.executed_remotely) rpc_retries_reply_loss_->add();
+    }
+    throw last;
+}
+
+net::CallReply System::rpc_attempt(net::NodeId src, net::NodeId dst,
+                                   const std::string& protocol, net::CallRequest& req,
+                                   ProtoMetrics& pm) {
+    net::Codec& c = codec(protocol);
+    Node& caller = node(src);
+    Node& callee = node(dst);
     const bool traced = tracer_.enabled();
     // Stamp the caller's trace context into the wire header; the server
     // side parents its dispatch span from these fields, not from the stack.
@@ -179,6 +290,20 @@ net::CallReply System::rpc(net::NodeId src, net::NodeId dst, const std::string& 
         }
     }
     req.sim_arrival_us = inbound.at_us;
+    // A request landing on a crashed node dies there — never executed.
+    // (The caller observes the failure at the arrival time; a restarted
+    // node first sheds its soft state, which is how reply-cache loss
+    // across a crash is modelled.)
+    const net::FaultPlan& plan = network_.fault_plan();
+    callee.apply_restarts(plan.restarts_before(dst, inbound.at_us));
+    if (plan.node_down(dst, inbound.at_us)) {
+        pm.drops->add();
+        if (traced) tracer_.note("dropped", "dest_crashed");
+        caller.reconcile_clock(inbound.at_us);
+        caller.sync_guest_time();
+        throw Dropped{"request reached crashed node " + std::to_string(dst),
+                      /*executed_remotely=*/false};
+    }
     // The server cannot see the request before both its own prior work and
     // the wire delivery are done: clock reconciliation, join point one.
     callee.reconcile_clock(inbound.at_us);
@@ -201,6 +326,8 @@ net::CallReply System::rpc(net::NodeId src, net::NodeId dst, const std::string& 
             span = obs::ScopedSpan::adopt(
                 tracer_, tracer_.begin_remote("rpc.dispatch " + what, dst,
                                               decoded.trace_id, decoded.parent_span));
+            if (decoded.attempt)
+                tracer_.note("attempt", std::to_string(decoded.attempt));
         }
         // Dispatch is charged on the destination node's clock; its guest
         // code observes the server's own time, not the caller's.
@@ -639,6 +766,9 @@ void System::reset_stats() {
     metrics_.reset();
     tracer_.clear();
     network_.reset_stats();
+    // Breaker *state* is semantic, not accounting: re-publish it so the
+    // zeroed gauges don't claim every breaker is closed.
+    for (auto& [key, b] : breakers_) b.set_state(b.state);
 }
 
 }  // namespace rafda::runtime

@@ -22,6 +22,8 @@
 #include "obs/trace.hpp"
 #include "runtime/node.hpp"
 #include "runtime/policy.hpp"
+#include "runtime/reliable.hpp"
+#include "support/rng.hpp"
 #include "transform/pipeline.hpp"
 
 namespace rafda::runtime {
@@ -30,6 +32,9 @@ struct SystemOptions {
     transform::PipelineOptions pipeline;
     net::LinkParams default_link;
     std::uint64_t network_seed = 1;
+    /// Reliability knobs for the RPC path (defaults = legacy
+    /// at-most-once: one attempt, no dedup, no breaker).
+    RetryPolicy reliability;
 };
 
 /// Per-protocol accounting of remote traffic.
@@ -161,14 +166,36 @@ public:
     struct Dropped {
         std::string what;
         bool executed_remotely = false;
+        /// True when no attempt touched the wire: an open circuit breaker
+        /// or a known-crashed destination rejected the call immediately.
+        bool fast_fail = false;
     };
 
-    /// Encodes, transfers, decodes, dispatches and returns the reply.
-    /// Stamps the tracer's current trace/span into `req`'s wire header so
-    /// the remote dispatch span parents correctly.  Throws Dropped on
-    /// injected loss.
+    /// One reliable logical call: encodes, transfers, decodes, dispatches
+    /// and returns the reply, retrying per `reliability()` — deadline in
+    /// virtual time, exponential backoff with seeded jitter, retry budget,
+    /// circuit breaker — with the request id as the idempotency key for
+    /// the callee's reply cache.  Stamps the tracer's current trace/span
+    /// into `req`'s wire header so the remote dispatch span parents
+    /// correctly.  Throws Dropped once the policy gives up (with the
+    /// default policy that is on the first loss, exactly the legacy
+    /// at-most-once behaviour).
     net::CallReply rpc(net::NodeId src, net::NodeId dst, const std::string& protocol,
                        net::CallRequest& req);
+
+    /// The active reliability policy; mutate before driving traffic.
+    RetryPolicy& reliability() noexcept { return reliability_; }
+    const RetryPolicy& reliability() const noexcept { return reliability_; }
+
+    /// Per-(destination node, protocol) breaker traversal in key order,
+    /// for `rafdac faults` and tests.
+    void visit_breakers(const std::function<void(
+                            net::NodeId, const std::string&, const CircuitBreaker&)>& fn) const;
+
+    /// Bumped by Node when its reply cache answers a retried request.
+    void note_dedup_hit() { rpc_dedup_hits_->add(); }
+    /// Bumped by Node when it refuses an expired request.
+    void note_server_timeout() { rpc_timeouts_->add(); }
 
     net::Codec& codec(const std::string& protocol);
 
@@ -190,6 +217,12 @@ private:
 
     void wire_node(Node& node);
     std::uint64_t next_request_id() { return ++request_counter_; }
+
+    /// One wire round-trip (the legacy rpc body): no retries, no breaker.
+    net::CallReply rpc_attempt(net::NodeId src, net::NodeId dst,
+                               const std::string& protocol, net::CallRequest& req,
+                               ProtoMetrics& pm);
+    CircuitBreaker& breaker(net::NodeId dst, const std::string& protocol);
 
     // The registry and tracer are declared first so they outlive the nodes
     // (interpreter destructors deregister their probes) and the network
@@ -214,6 +247,17 @@ private:
     mutable std::map<std::string, ClassTraffic> class_traffic_view_;
     std::uint64_t request_counter_ = 0;
     bool method_profiling_ = false;
+    RetryPolicy reliability_;
+    std::map<std::pair<net::NodeId, std::string>, CircuitBreaker> breakers_;
+    /// Jitter draws come from their own stream (not the network's), so a
+    /// retry schedule can never perturb drop decisions — and vice versa.
+    Rng retry_jitter_rng_;
+    std::uint64_t retries_spent_ = 0;  // against RetryPolicy::retry_budget
+    obs::Counter* rpc_retries_ = nullptr;
+    obs::Counter* rpc_retries_reply_loss_ = nullptr;
+    obs::Counter* rpc_timeouts_ = nullptr;
+    obs::Counter* rpc_dedup_hits_ = nullptr;
+    obs::Counter* rpc_breaker_open_ = nullptr;
 };
 
 }  // namespace rafda::runtime

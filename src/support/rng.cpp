@@ -32,4 +32,11 @@ bool Rng::chance(double p) {
 
 Rng Rng::fork() { return Rng(next() ^ 0xa5a5a5a5deadbeefULL); }
 
+std::uint64_t Rng::mix(std::uint64_t seed, std::uint64_t salt) {
+    std::uint64_t z = seed ^ (salt + 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
 }  // namespace rafda

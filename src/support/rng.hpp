@@ -32,6 +32,12 @@ public:
     /// own deterministic sequence).
     Rng fork();
 
+    /// Mixes `salt` into `seed` (one SplitMix64 finalization round) for
+    /// deriving independent streams from a base seed *without* consuming
+    /// state: e.g. one stream per network link, so drop decisions on one
+    /// link can never perturb the sequence another link sees.
+    static std::uint64_t mix(std::uint64_t seed, std::uint64_t salt);
+
 private:
     std::uint64_t state_;
 };

@@ -85,6 +85,34 @@ TEST_P(BothCodecs, ExtremeNumerics) {
     EXPECT_EQ(codec_->decode_reply(codec_->encode_reply(reply)), reply);
 }
 
+TEST_P(BothCodecs, ReliabilityExtensionRoundTrips) {
+    CallRequest req = sample_request();
+    req.attempt = 3;
+    req.deadline_us = 123'456'789ULL;
+    EXPECT_EQ(codec_->decode_request(codec_->encode_request(req)), req);
+    // Each field alone also carries the extension.
+    req.attempt = 0;
+    EXPECT_EQ(codec_->decode_request(codec_->encode_request(req)), req);
+    req.attempt = 1;
+    req.deadline_us = 0;
+    EXPECT_EQ(codec_->decode_request(codec_->encode_request(req)), req);
+}
+
+TEST_P(BothCodecs, ReliabilityExtensionIsAbsentOnFirstAttempt) {
+    // The extension rides on the wire only when a request is a retry or
+    // carries a deadline, so fault-free experiments (E5 wire sizes) see
+    // exactly the legacy encoding: same size, and for SOAP no attribute
+    // text at all.
+    CallRequest req = sample_request();
+    const Bytes legacy = codec_->encode_request(req);
+    const std::string text(legacy.begin(), legacy.end());
+    EXPECT_EQ(text.find("attempt"), std::string::npos);
+    EXPECT_EQ(text.find("deadline"), std::string::npos);
+    req.attempt = 2;
+    req.deadline_us = 500;
+    EXPECT_GT(codec_->encode_request(req).size(), legacy.size());
+}
+
 INSTANTIATE_TEST_SUITE_P(Protocols, BothCodecs,
                          ::testing::Values("RMI", "SOAP", "CORBA"));
 

@@ -77,6 +77,92 @@ TEST(PolicyConfig, ErrorsCarryLineNumbers) {
     }
 }
 
+TEST(PolicyConfig, ParsesReliabilityDirectives) {
+    DistributionPolicy policy;
+    net::SimNetwork network;
+    RetryPolicy reliability;
+    apply_policy_config(R"(
+retry attempts 8 base 300 multiplier 1.5 cap 20000 jitter 50 budget 100 deadline 50000
+dedup on capacity 64
+breaker threshold 5 cooldown 9000
+fault link 0 -> 1 down from 5000 until 9000
+fault link 1 -> 0 flap from 5000 until 9000 period 500
+fault link 0 -> 1 drop 0.25 from 10000 until 12000
+fault node 1 crash from 20000 until 21000
+)",
+                        policy, &network, &reliability);
+
+    EXPECT_EQ(reliability.attempts, 8u);
+    EXPECT_EQ(reliability.backoff_base_us, 300u);
+    EXPECT_DOUBLE_EQ(reliability.backoff_multiplier, 1.5);
+    EXPECT_EQ(reliability.backoff_cap_us, 20'000u);
+    EXPECT_EQ(reliability.jitter_us, 50u);
+    EXPECT_EQ(reliability.retry_budget, 100u);
+    EXPECT_EQ(reliability.deadline_us, 50'000u);
+    EXPECT_TRUE(reliability.dedup);
+    EXPECT_EQ(reliability.dedup_capacity, 64u);
+    EXPECT_EQ(reliability.breaker_threshold, 5u);
+    EXPECT_EQ(reliability.breaker_cooldown_us, 9000u);
+
+    const net::FaultPlan& plan = network.fault_plan();
+    EXPECT_EQ(plan.size(), 4u);
+    EXPECT_TRUE(plan.link_down(0, 1, 6000));
+    EXPECT_TRUE(plan.link_down(1, 0, 5100));   // flap, first (down) slice
+    EXPECT_FALSE(plan.link_down(1, 0, 5600));  // second (up) slice
+    EXPECT_EQ(plan.drop_override(0, 1, 11'000).value(), 0.25);
+    EXPECT_TRUE(plan.node_down(1, 20'500));
+}
+
+TEST(PolicyConfig, DedupOffIsParsed) {
+    DistributionPolicy policy;
+    RetryPolicy reliability;
+    reliability.dedup = true;
+    apply_policy_config("dedup off", policy, nullptr, &reliability);
+    EXPECT_FALSE(reliability.dedup);
+}
+
+TEST(PolicyConfig, ReliabilityDirectivesNeedTheirTargets) {
+    DistributionPolicy policy;
+    net::SimNetwork network;
+    // No RetryPolicy given: retry/dedup/breaker lines are errors.
+    EXPECT_THROW(apply_policy_config("retry attempts 3", policy, &network), ParseError);
+    EXPECT_THROW(apply_policy_config("dedup on", policy, &network), ParseError);
+    EXPECT_THROW(apply_policy_config("breaker threshold 2", policy, &network),
+                 ParseError);
+    // No network given: fault lines are errors.
+    RetryPolicy reliability;
+    EXPECT_THROW(apply_policy_config("fault node 1 crash from 0 until 5", policy,
+                                     nullptr, &reliability),
+                 ParseError);
+}
+
+TEST(PolicyConfig, RejectsMalformedReliabilityLines) {
+    DistributionPolicy policy;
+    net::SimNetwork network;
+    RetryPolicy rp;
+    auto bad = [&](const char* text) {
+        EXPECT_THROW(apply_policy_config(text, policy, &network, &rp), ParseError)
+            << text;
+    };
+    bad("retry attempts 0");                  // at least one attempt
+    bad("retry attempts 3 base");             // dangling key
+    bad("retry attempts 3 warp 9");           // unknown key
+    bad("retry attempts 3 multiplier 0.5");   // shrinking backoff
+    bad("dedup maybe");
+    bad("dedup on size 9");
+    bad("breaker threshold");
+    bad("breaker threshold 2 warmup 5");
+    bad("fault link 0 -> 1 down from 9 until 5");       // ends before start
+    bad("fault link 0 -> 1 down from 5 until 5");       // empty window
+    bad("fault link 0 -> 1 flap from 5 until 9");       // flap needs period
+    bad("fault link 0 -> 1 down from 5 until 9 period 2");  // period only on flap
+    bad("fault link 0 -> 1 drop 1.5 from 5 until 9");   // probability > 1
+    bad("fault link 0 -> 1 melt from 5 until 9");
+    bad("fault node 1 crash from 5 until 9 period 2");
+    bad("fault node 1 crash until 9");
+    bad("fault disk 1 crash from 5 until 9");
+}
+
 TEST(PolicyConfig, LaterLinesOverrideEarlier) {
     DistributionPolicy policy;
     apply_policy_config(R"(

@@ -273,12 +273,77 @@ TEST_F(RafdacCli, NetJsonRoundTripsThroughParser) {
     EXPECT_NE(r.output.find("\"clock_us\":"), std::string::npos);
 }
 
+class RafdacFaultsCli : public RafdacCli {
+protected:
+    std::string faults_cfg_;
+
+    void SetUp() override {
+        RafdacCli::SetUp();
+        faults_cfg_ = cfg_ + ".faults";
+        std::ofstream cfg(faults_cfg_);
+        cfg << "protocol default SOAP\n"
+               "instance Greeter on 1 via SOAP\n"
+               "retry attempts 5 base 1000\n"
+               "dedup on capacity 64\n"
+               "breaker threshold 5 cooldown 9000\n"
+               "fault link 0 -> 1 down from 100000 until 200000\n"
+               "fault node 1 crash from 300000 until 400000\n";
+    }
+};
+
+TEST_F(RafdacFaultsCli, FaultsPrintsPlanAndBreakerTable) {
+    RunResult r = run_cli("faults " + app_ + " " + faults_cfg_ + " Main 2");
+    EXPECT_EQ(r.status, 0);
+    EXPECT_NE(r.output.find("fault plan (2 windows):"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("down  link 0 -> 1  [100000, 200000)us"),
+              std::string::npos);
+    EXPECT_NE(r.output.find("crash node 1  [300000, 400000)us"), std::string::npos);
+    // The breaker for (node 1, SOAP) exists and never tripped.
+    EXPECT_NE(r.output.find("node 1 via SOAP: closed"), std::string::npos);
+    EXPECT_NE(r.output.find("rpc: retries"), std::string::npos);
+    // Application output stays on stderr.
+    EXPECT_EQ(r.output.find("hello, cli"), std::string::npos);
+}
+
+TEST_F(RafdacFaultsCli, FaultsJsonRoundTripsThroughParser) {
+    RunResult r = run_cli("faults " + app_ + " " + faults_cfg_ + " Main 2 --json");
+    EXPECT_EQ(r.status, 0);
+    ASSERT_FALSE(r.output.empty());
+    EXPECT_EQ(r.output.find('\n'), r.output.size() - 1);
+    EXPECT_TRUE(json_parses(r.output)) << r.output;
+    EXPECT_NE(r.output.find("\"fault_windows\":"), std::string::npos);
+    EXPECT_NE(r.output.find("\"kind\":\"down\""), std::string::npos);
+    EXPECT_NE(r.output.find("\"kind\":\"crash\""), std::string::npos);
+    EXPECT_NE(r.output.find("\"state\":\"closed\""), std::string::npos);
+    EXPECT_NE(r.output.find("\"dedup_hits\":"), std::string::npos);
+}
+
+TEST_F(RafdacFaultsCli, RetryPolicyFromConfigRecoversInjectedLoss) {
+    // A drop-everything window over the deployment's first moments: the
+    // Create request is lost, the configured retry re-sends it, and the
+    // application output is indistinguishable from a fault-free run.
+    std::ofstream(faults_cfg_) << "protocol default SOAP\n"
+                                  "instance Greeter on 1 via SOAP\n"
+                                  "retry attempts 5 base 1000\n"
+                                  "dedup on\n"
+                                  "fault link 0 -> 1 drop 1.0 from 0 until 400\n";
+    RunResult deploy = run_cli("deploy " + app_ + " " + faults_cfg_ + " Main 2");
+    EXPECT_EQ(deploy.status, 0);
+    EXPECT_EQ(deploy.output, "hello, cli\n");
+
+    RunResult faults = run_cli("faults " + app_ + " " + faults_cfg_ + " Main 2 --json");
+    EXPECT_EQ(faults.status, 0);
+    EXPECT_TRUE(json_parses(faults.output)) << faults.output;
+    EXPECT_EQ(faults.output.find("\"retries\":0"), std::string::npos) << faults.output;
+}
+
 TEST_F(RafdacCli, UsageAndErrors) {
     EXPECT_EQ(run_cli("").status, 1);
     EXPECT_EQ(run_cli("frobnicate x").status, 1);
     EXPECT_EQ(run_cli("analyze /nonexistent/x.rir").status, 2);
     EXPECT_EQ(run_cli("run " + app_ + "b Main").status, 2);  // needs .rir
     EXPECT_EQ(run_cli("stats /nonexistent/x.rir " + cfg_ + " Main").status, 2);
+    EXPECT_EQ(run_cli("faults " + app_).status, 1);  // missing config/main
 }
 
 }  // namespace

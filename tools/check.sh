@@ -34,7 +34,7 @@ done
 case " $presets " in
 *" default "*)
     for bench in bench_property_access bench_dispatch_matrix bench_concurrency \
-                 bench_pipeline bench_transformability; do
+                 bench_pipeline bench_transformability bench_reliability; do
         echo "== perf smoke: $bench =="
         "build/bench/$bench" --benchmark_min_time=0.05s ||
             echo "WARN: $bench failed (non-gating)"

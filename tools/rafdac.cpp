@@ -20,6 +20,11 @@
 //                                         per-link occupancy table (busy
 //                                         time, utilization) and per-node
 //                                         virtual clocks
+//   rafdac faults    app.rir policy.cfg Main [nodes] [--json]
+//                                         deploy, run, then print the
+//                                         active fault plan, the circuit
+//                                         breaker states and the rpc
+//                                         reliability counters
 //
 // stats/trace print the application's own output on stderr so stdout
 // stays machine-readable.
@@ -134,7 +139,7 @@ int cmd_deploy(const std::string& input, const std::string& config_path,
     runtime::System system(pool);
     for (int k = 0; k < nodes; ++k) system.add_node();
     runtime::apply_policy_config(read_file(config_path), system.policy(),
-                                 &system.network());
+                                 &system.network(), &system.reliability());
     system.call_static(0, main_cls, "main", "()V");
     std::cout << system.node(0).interp().output();
     std::cerr << "[rafdac] virtual time " << system.network().now_us() << "us";
@@ -153,7 +158,7 @@ int cmd_observe(const std::string& input, const std::string& config_path,
     runtime::System system(pool);
     for (int k = 0; k < nodes; ++k) system.add_node();
     runtime::apply_policy_config(read_file(config_path), system.policy(),
-                                 &system.network());
+                                 &system.network(), &system.reliability());
     if (want_trace) system.tracer().set_enabled(true);
     system.enable_method_profiling(true);
     system.call_static(0, main_cls, "main", "()V");
@@ -175,7 +180,7 @@ int cmd_net(const std::string& input, const std::string& config_path,
     runtime::System system(pool);
     for (int k = 0; k < nodes; ++k) system.add_node();
     runtime::apply_policy_config(read_file(config_path), system.policy(),
-                                 &system.network());
+                                 &system.network(), &system.reliability());
     system.call_static(0, main_cls, "main", "()V");
     std::cerr << system.node(0).interp().output();
 
@@ -228,6 +233,93 @@ int cmd_net(const std::string& input, const std::string& config_path,
     return 0;
 }
 
+/// Fault plan, breaker states and rpc reliability counters after a run —
+/// the degradation story of a deployment at a glance.
+int cmd_faults(const std::string& input, const std::string& config_path,
+               const std::string& main_cls, int nodes, bool json) {
+    model::ClassPool pool = load_input(input);
+    runtime::System system(pool);
+    for (int k = 0; k < nodes; ++k) system.add_node();
+    runtime::apply_policy_config(read_file(config_path), system.policy(),
+                                 &system.network(), &system.reliability());
+    system.call_static(0, main_cls, "main", "()V");
+    std::cerr << system.node(0).interp().output();
+
+    auto counter = [&](const char* name) {
+        return system.metrics().counter(name).value();
+    };
+    if (json) {
+        std::ostringstream os;
+        os << "{\"virtual_time_us\":" << system.network().now_us()
+           << ",\"fault_windows\":[";
+        bool first = true;
+        system.network().fault_plan().visit([&](const net::FaultWindow& w) {
+            if (!first) os << ",";
+            first = false;
+            os << "{\"kind\":\"" << net::fault_kind_name(w.kind) << "\"";
+            if (w.kind == net::FaultKind::NodeCrash)
+                os << ",\"node\":" << w.node;
+            else
+                os << ",\"src\":" << w.src << ",\"dst\":" << w.dst;
+            os << ",\"from_us\":" << w.from_us << ",\"until_us\":" << w.until_us;
+            if (w.kind == net::FaultKind::LinkFlap)
+                os << ",\"period_us\":" << w.period_us;
+            if (w.kind == net::FaultKind::DropRate)
+                os << ",\"drop_probability\":" << w.drop_probability;
+            os << "}";
+        });
+        os << "],\"breakers\":[";
+        first = true;
+        system.visit_breakers([&](net::NodeId dst, const std::string& proto,
+                                  const runtime::CircuitBreaker& b) {
+            if (!first) os << ",";
+            first = false;
+            os << "{\"node\":" << dst << ",\"protocol\":\"" << proto
+               << "\",\"state\":\"" << runtime::breaker_state_name(b.state)
+               << "\",\"consecutive_failures\":" << b.consecutive_failures << "}";
+        });
+        os << "],\"rpc\":{\"retries\":" << counter("rpc.retries")
+           << ",\"retries_reply_loss\":" << counter("rpc.retries_reply_loss")
+           << ",\"timeouts\":" << counter("rpc.timeouts")
+           << ",\"dedup_hits\":" << counter("rpc.dedup_hits")
+           << ",\"breaker_open\":" << counter("rpc.breaker_open") << "}}";
+        std::cout << os.str() << "\n";
+        return 0;
+    }
+    std::cout << "virtual time: " << system.network().now_us() << "us\n"
+              << "fault plan (" << system.network().fault_plan().size()
+              << " windows):\n";
+    system.network().fault_plan().visit([&](const net::FaultWindow& w) {
+        std::cout << "  " << std::left << std::setw(6) << net::fault_kind_name(w.kind);
+        if (w.kind == net::FaultKind::NodeCrash)
+            std::cout << "node " << w.node;
+        else
+            std::cout << "link " << w.src << " -> " << w.dst;
+        std::cout << "  [" << w.from_us << ", " << w.until_us << ")us";
+        if (w.kind == net::FaultKind::LinkFlap)
+            std::cout << " period " << w.period_us << "us";
+        if (w.kind == net::FaultKind::DropRate)
+            std::cout << " p=" << w.drop_probability;
+        std::cout << "\n";
+    });
+    std::cout << "breakers:\n";
+    bool any_breaker = false;
+    system.visit_breakers([&](net::NodeId dst, const std::string& proto,
+                              const runtime::CircuitBreaker& b) {
+        any_breaker = true;
+        std::cout << "  node " << dst << " via " << proto << ": "
+                  << runtime::breaker_state_name(b.state) << " ("
+                  << b.consecutive_failures << " consecutive failures)\n";
+    });
+    if (!any_breaker) std::cout << "  (none active)\n";
+    std::cout << "rpc: retries " << counter("rpc.retries") << ", reply-loss retries "
+              << counter("rpc.retries_reply_loss") << ", timeouts "
+              << counter("rpc.timeouts") << ", dedup hits "
+              << counter("rpc.dedup_hits") << ", breaker rejections "
+              << counter("rpc.breaker_open") << "\n";
+    return 0;
+}
+
 int usage() {
     std::cerr << "usage:\n"
               << "  rafdac analyze   <app.rir[b]>\n"
@@ -238,6 +330,7 @@ int usage() {
               << "  rafdac stats     <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n"
               << "  rafdac trace     <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n"
               << "  rafdac net       <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n"
+              << "  rafdac faults    <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n"
               << "\n"
               << "environment:\n"
               << "  RAFDA_TRANSFORM_THREADS  worker threads for transform/deploy\n"
@@ -272,6 +365,9 @@ int main(int argc, char** argv) {
         if ((args.size() == 4 || args.size() == 5) && args[0] == "net")
             return cmd_net(args[1], args[2], args[3],
                            args.size() == 5 ? std::atoi(args[4].c_str()) : 2, json);
+        if ((args.size() == 4 || args.size() == 5) && args[0] == "faults")
+            return cmd_faults(args[1], args[2], args[3],
+                              args.size() == 5 ? std::atoi(args[4].c_str()) : 2, json);
         return usage();
     } catch (const std::exception& e) {
         std::cerr << "rafdac: " << e.what() << "\n";
