@@ -30,11 +30,16 @@ struct RunResult {
     std::uint64_t server_in_busy_us = 0;   // occupancy of the client->server links
     std::int64_t utilization_ppm = 0;      // busiest inbound link utilization
     std::size_t tasks = 0;
+    std::uint64_t latency_p50_us = 0;  // exact per-task virtual latency
+    std::uint64_t latency_p95_us = 0;
+    std::uint64_t latency_p99_us = 0;
+    std::string traffic_matrix;  // per-(class, src, dst) calls + bytes
+    std::string windows;         // time-windowed counter deltas
 };
 
 /// N clients (nodes 1..N) × `calls` work() invocations against the
-/// server (node 0).
-RunResult run_clients(int n_clients, int calls) {
+/// server (node 0).  `window_us` > 0 turns on windowed delta collection.
+RunResult run_clients(int n_clients, int calls, std::uint64_t window_us = 0) {
     model::ClassPool pool = bench::assemble_app(bench::kServiceApp);
     runtime::System system(pool);
     runtime::Node& server = system.add_node();
@@ -43,6 +48,7 @@ RunResult run_clients(int n_clients, int calls) {
     system.policy().set_instance_home("Service", 0, "RMI");
 
     runtime::WorkloadDriver driver(system);
+    driver.set_window_us(window_us);
     for (int k = 1; k <= n_clients; ++k) {
         const auto client = static_cast<net::NodeId>(k);
         Value svc = system.construct(client, "Service", "()V");
@@ -57,6 +63,11 @@ RunResult run_clients(int n_clients, int calls) {
     RunResult r;
     r.makespan_us = report.makespan_us;
     r.tasks = report.tasks_run;
+    r.latency_p50_us = report.latency_p50_us;
+    r.latency_p95_us = report.latency_p95_us;
+    r.latency_p99_us = report.latency_p99_us;
+    r.traffic_matrix = bench::traffic_matrix_json(system);
+    r.windows = bench::windows_json(report);
     obs::Snapshot snap = system.metrics().snapshot();
     for (int k = 1; k <= n_clients; ++k) {
         const std::string prefix = "net.link." + std::to_string(k) + ".0.";
@@ -80,9 +91,10 @@ BENCHMARK(BM_Clients)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 void emit_summary() {
     constexpr int kClients = 8;
     constexpr int kCalls = 64;
+    constexpr std::uint64_t kWindowUs = 10'000;
     const RunResult single = run_clients(1, kCalls);
-    const RunResult many = run_clients(kClients, kCalls);
-    const RunResult again = run_clients(kClients, kCalls);
+    const RunResult many = run_clients(kClients, kCalls, kWindowUs);
+    const RunResult again = run_clients(kClients, kCalls, kWindowUs);
 
     const double naive_serial =
         static_cast<double>(kClients) * static_cast<double>(single.makespan_us);
@@ -97,9 +109,17 @@ void emit_summary() {
         .add("server_inbound_busy_us", many.server_in_busy_us)
         .add("max_inbound_utilization_ppm",
              static_cast<std::uint64_t>(many.utilization_ppm))
+        .add("latency_p50_us", many.latency_p50_us)
+        .add("latency_p95_us", many.latency_p95_us)
+        .add("latency_p99_us", many.latency_p99_us)
+        .add_raw("traffic_matrix", many.traffic_matrix)
+        .add_raw("windows", many.windows)
         .add("deterministic",
              std::uint64_t{many.makespan_us == again.makespan_us &&
-                           many.server_in_busy_us == again.server_in_busy_us})
+                           many.server_in_busy_us == again.server_in_busy_us &&
+                           many.latency_p99_us == again.latency_p99_us &&
+                           many.traffic_matrix == again.traffic_matrix &&
+                           many.windows == again.windows})
         .emit();
 }
 

@@ -1,0 +1,186 @@
+// E11 — flight-recorder overhead and bounds (DESIGN.md §16).
+//
+// The journal's contract has three measurable clauses:
+//   1. *Passive*: enabling it must not perturb the simulation — every
+//      virtual-time result (makespan, wire bytes, drop pattern) is
+//      bit-for-bit identical with the journal on or off.  Hard-asserted
+//      here (exit 1 on violation).
+//   2. *Bounded*: the ring never exceeds its configured capacity no
+//      matter how many events a run produces; overflow shows up as
+//      `overwritten`, not as memory growth.  Hard-asserted.
+//   3. *Cheap*: recording costs host time only when enabled, and the
+//      disabled path is a predicted branch.  Host-time overhead of the
+//      enabled journal is reported (and warned about above 2%) but not
+//      asserted — wall clocks on shared CI are advisory, virtual time is
+//      the contract.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.hpp"
+#include "runtime/driver.hpp"
+#include "runtime/system.hpp"
+
+namespace {
+
+using namespace rafda;
+using vm::Value;
+
+constexpr int kClients = 4;
+constexpr int kCallsPerClient = 64;
+constexpr std::size_t kSmallRing = 256;
+
+struct RunResult {
+    std::uint64_t makespan_us = 0;
+    std::uint64_t wire_bytes = 0;
+    std::uint64_t journal_total = 0;
+    std::uint64_t journal_size = 0;
+    std::uint64_t journal_overwritten = 0;
+    double host_seconds = 0.0;
+};
+
+/// E9's workload shape (clients 1..N vs server 0 over RMI) with ~5% loss
+/// and retries, so the journal sees sends, drops, retries and fault
+/// edges, not just the happy path.
+RunResult run_workload(bool journal_on, std::size_t capacity = 0) {
+    model::ClassPool pool = bench::assemble_app(bench::kServiceApp);
+    runtime::SystemOptions options;
+    options.network_seed = 7;
+    options.reliability.attempts = 8;
+    options.reliability.dedup = true;
+    runtime::System system(pool, options);
+    system.add_node();  // 0: server
+    for (int k = 0; k < kClients; ++k) system.add_node();
+    system.policy().set_instance_home("Service", 0, "RMI");
+    for (int k = 1; k <= kClients; ++k) {
+        net::FaultWindow w;
+        w.kind = net::FaultKind::DropRate;
+        w.src = static_cast<net::NodeId>(k);
+        w.dst = 0;
+        w.from_us = 0;
+        w.until_us = ~0ULL;
+        w.drop_probability = 0.05;
+        system.network().fault_plan().add(w);
+    }
+    if (capacity) system.journal().set_capacity(capacity);
+    if (journal_on) system.journal().set_enabled(true);
+
+    runtime::WorkloadDriver driver(system);
+    for (int k = 1; k <= kClients; ++k) {
+        const auto client = static_cast<net::NodeId>(k);
+        Value svc = system.construct(client, "Service", "()V");
+        driver.add_client(client, kCallsPerClient,
+                          [svc](runtime::System& sys, net::NodeId node) {
+                              sys.node(node).interp().call_virtual(
+                                  svc, "work", "(J)J", {Value::of_long(1)});
+                          });
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    runtime::WorkloadDriver::Report report = driver.run();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    RunResult r;
+    r.makespan_us = report.makespan_us;
+    const net::LinkStats total = system.network().total_stats();
+    r.wire_bytes = total.bytes;
+    r.journal_total = system.journal().total_recorded();
+    r.journal_size = system.journal().size();
+    r.journal_overwritten = system.journal().overwritten();
+    r.host_seconds = std::chrono::duration<double>(t1 - t0).count();
+    return r;
+}
+
+void BM_JournalOff(benchmark::State& state) {
+    RunResult r;
+    for (auto _ : state) r = run_workload(false);
+    state.counters["makespan_us"] = static_cast<double>(r.makespan_us);
+}
+BENCHMARK(BM_JournalOff);
+
+void BM_JournalOn(benchmark::State& state) {
+    RunResult r;
+    for (auto _ : state) r = run_workload(true);
+    state.counters["makespan_us"] = static_cast<double>(r.makespan_us);
+    state.counters["events"] = static_cast<double>(r.journal_total);
+}
+BENCHMARK(BM_JournalOn);
+
+int emit_summary() {
+    // Virtual-time identity: journal on vs off, same seed.
+    const RunResult off = run_workload(false);
+    const RunResult on = run_workload(true);
+    const bool identical =
+        off.makespan_us == on.makespan_us && off.wire_bytes == on.wire_bytes;
+
+    // Bounded memory: a ring far smaller than the event count must cap at
+    // its capacity and account for the overflow exactly.
+    const RunResult small = run_workload(true, kSmallRing);
+    const bool bounded =
+        small.journal_size <= kSmallRing &&
+        small.journal_total == small.journal_size + small.journal_overwritten &&
+        small.journal_total > kSmallRing;  // the workload really did overflow
+
+    // Host-time overhead, best-of-N to shave scheduler noise (advisory).
+    double best_off = off.host_seconds, best_on = on.host_seconds;
+    for (int k = 0; k < 4; ++k) {
+        best_off = std::min(best_off, run_workload(false).host_seconds);
+        best_on = std::min(best_on, run_workload(true).host_seconds);
+    }
+    const double overhead_pct =
+        best_off > 0 ? 100.0 * (best_on - best_off) / best_off : 0.0;
+
+    bench::JsonSummary("E11")
+        .add("clients", std::uint64_t{kClients})
+        .add("calls_per_client", std::uint64_t{kCallsPerClient})
+        .add("makespan_us", on.makespan_us)
+        .add("journal_events", on.journal_total)
+        .add("virtual_time_identical", std::uint64_t{identical})
+        .add("ring_capacity", std::uint64_t{kSmallRing})
+        .add("ring_size", small.journal_size)
+        .add("ring_overwritten", small.journal_overwritten)
+        .add("ring_bounded", std::uint64_t{bounded})
+        .add("host_overhead_pct", overhead_pct)
+        .emit();
+
+    if (!identical) {
+        std::fprintf(stderr,
+                     "E11 FAIL: enabling the journal changed virtual-time results "
+                     "(makespan %llu vs %llu, bytes %llu vs %llu)\n",
+                     static_cast<unsigned long long>(off.makespan_us),
+                     static_cast<unsigned long long>(on.makespan_us),
+                     static_cast<unsigned long long>(off.wire_bytes),
+                     static_cast<unsigned long long>(on.wire_bytes));
+        return 1;
+    }
+    if (!bounded) {
+        std::fprintf(stderr,
+                     "E11 FAIL: ring bound violated (capacity %zu, size %llu, "
+                     "total %llu, overwritten %llu)\n",
+                     kSmallRing, static_cast<unsigned long long>(small.journal_size),
+                     static_cast<unsigned long long>(small.journal_total),
+                     static_cast<unsigned long long>(small.journal_overwritten));
+        return 1;
+    }
+    if (overhead_pct > 2.0)
+        std::fprintf(stderr,
+                     "E11 WARN: enabled-journal host overhead %.2f%% > 2%% "
+                     "(advisory; wall clocks are noisy)\n",
+                     overhead_pct);
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::printf("=== E11: flight-recorder overhead and bounds ===\n");
+    std::printf(
+        "expected shape: identical virtual-time results with the journal on or off\n"
+        "(it never reads clocks or draws randomness); a small ring caps at its\n"
+        "capacity with the overflow counted as overwritten; enabled-journal host\n"
+        "overhead is small (reported, warned above 2%%).\n\n");
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return emit_summary();
+}

@@ -65,6 +65,10 @@ struct RunResult {
     std::uint64_t reply_loss_retries = 0;
     std::uint64_t dedup_hits = 0;
     std::int64_t executions = 0;  // Service.work calls observed server-side
+    std::uint64_t latency_p50_us = 0;  // exact per-task virtual latency
+    std::uint64_t latency_p95_us = 0;
+    std::uint64_t latency_p99_us = 0;
+    std::string traffic_matrix;  // per-(class, src, dst) calls + bytes
 };
 
 RunResult run_workload(bool with_faults, bool reliable) {
@@ -133,6 +137,10 @@ RunResult run_workload(bool with_faults, bool reliable) {
     r.retries = system.metrics().counter("rpc.retries").value();
     r.reply_loss_retries = system.metrics().counter("rpc.retries_reply_loss").value();
     r.dedup_hits = system.metrics().counter("rpc.dedup_hits").value();
+    r.latency_p50_us = report.latency_p50_us;
+    r.latency_p95_us = report.latency_p95_us;
+    r.latency_p99_us = report.latency_p99_us;
+    r.traffic_matrix = bench::traffic_matrix_json(system);
     // Count executions straight off the instances' `calls` fields: with
     // exactly-once semantics this equals the task count.
     if (r.faults == 0) {
@@ -198,10 +206,17 @@ void emit_summary() {
         .add("reliability_cost",
              static_cast<double>(reliable.makespan_us) /
                  static_cast<double>(baseline.makespan_us ? baseline.makespan_us : 1))
+        .add("latency_p50_us", reliable.latency_p50_us)
+        .add("latency_p95_us", reliable.latency_p95_us)
+        .add("latency_p99_us", reliable.latency_p99_us)
+        .add("faultfree_latency_p99_us", baseline.latency_p99_us)
+        .add_raw("traffic_matrix", reliable.traffic_matrix)
         .add("deterministic",
              std::uint64_t{reliable.makespan_us == again.makespan_us &&
                            reliable.retries == again.retries &&
-                           reliable.dedup_hits == again.dedup_hits})
+                           reliable.dedup_hits == again.dedup_hits &&
+                           reliable.latency_p99_us == again.latency_p99_us &&
+                           reliable.traffic_matrix == again.traffic_matrix})
         .emit();
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -12,6 +13,8 @@
 #include "model/classpool.hpp"
 #include "model/verifier.hpp"
 #include "obs/export.hpp"
+#include "runtime/driver.hpp"
+#include "runtime/system.hpp"
 #include "vm/prelude.hpp"
 
 namespace rafda::bench {
@@ -38,6 +41,12 @@ public:
     }
     JsonSummary& add(const std::string& key, const std::string& v) {
         fields_.emplace_back(key, "\"" + obs::json_escape(v) + "\"");
+        return *this;
+    }
+    /// Splices a pre-rendered JSON value (array/object) in verbatim — for
+    /// structured sections like traffic matrices and window time series.
+    JsonSummary& add_raw(const std::string& key, std::string raw_json) {
+        fields_.emplace_back(key, std::move(raw_json));
         return *this;
     }
 
@@ -224,6 +233,50 @@ inline model::ClassPool assemble_app(const char* src) {
     model::assemble_into(pool, src);
     model::verify_pool(pool);
     return pool;
+}
+
+/// The per-(class, src, dst) traffic matrix as a raw JSON array, edges in
+/// deterministic (class, src, dst) order: who talks to whom, how often,
+/// and how many wire bytes it cost (requests + replies, retries included).
+inline std::string traffic_matrix_json(const runtime::System& system) {
+    std::string out = "[";
+    bool first = true;
+    for (const auto& [cls, t] : system.class_traffic()) {
+        std::set<std::pair<net::NodeId, net::NodeId>> edges;
+        for (const auto& [e, _] : t.calls) edges.insert(e);
+        for (const auto& [e, _] : t.bytes) edges.insert(e);
+        for (const std::pair<net::NodeId, net::NodeId>& edge : edges) {
+            if (!first) out += ",";
+            first = false;
+            auto lookup = [&edge](const auto& m) {
+                auto it = m.find(edge);
+                return it == m.end() ? std::uint64_t{0} : it->second;
+            };
+            out += "{\"class\":\"" + obs::json_escape(cls) +
+                   "\",\"src\":" + std::to_string(edge.first) +
+                   ",\"dst\":" + std::to_string(edge.second) +
+                   ",\"calls\":" + std::to_string(lookup(t.calls)) +
+                   ",\"bytes\":" + std::to_string(lookup(t.bytes)) + "}";
+        }
+    }
+    return out + "]";
+}
+
+/// A WorkloadDriver report's closed windows as a raw JSON array — the
+/// time-series view of a run (calls and wire bytes per window of virtual
+/// time).
+inline std::string windows_json(const runtime::WorkloadDriver::Report& report) {
+    std::string out = "[";
+    for (std::size_t k = 0; k < report.windows.size(); ++k) {
+        const runtime::WorkloadDriver::Window& w = report.windows[k];
+        if (k) out += ",";
+        out += "{\"start_us\":" + std::to_string(w.start_us) +
+               ",\"end_us\":" + std::to_string(w.end_us) +
+               ",\"tasks\":" + std::to_string(w.tasks) +
+               ",\"rpc_calls\":" + std::to_string(w.rpc_calls) +
+               ",\"wire_bytes\":" + std::to_string(w.wire_bytes) + "}";
+    }
+    return out + "]";
 }
 
 }  // namespace rafda::bench

@@ -61,6 +61,14 @@ struct CallRequest {
     // both, so wire sizes are unaffected.
     std::uint64_t sim_send_us = 0;
     std::uint64_t sim_arrival_us = 0;
+    // Accounting metadata (simulation bookkeeping, NOT wire data): the
+    // original application class the call targets (set by the proxy
+    // dispatcher so the RPC layer can attribute traffic per class without
+    // re-deriving it from descriptors) and the wire bytes this logical
+    // call has consumed so far across attempts — requests and replies,
+    // retries included.  Codecs ignore both.
+    std::string stat_class;
+    std::uint64_t sim_wire_bytes = 0;
     // Reliability extension (DESIGN.md §15), carried on the wire only when
     // nonzero so fault-free encodings stay byte-identical to the base
     // protocol: `attempt` is 0 for the first try and N for the Nth retry

@@ -67,6 +67,17 @@ Delivery SimNetwork::transfer_at(NodeId src, NodeId dst, std::size_t size,
     // into the same per-link stream the configured rate uses. Rng::chance
     // never draws for p <= 0, so a fault-free link's stream is untouched.
     bool lost = fault_plan_.link_down(src, dst, depart);
+    if (journal_ && journal_->enabled()) {
+        // Flight-recorder edge detection: record the transition the first
+        // time a transfer observes this link's down-state change.  Pure
+        // observation — no clock advance, no PRNG draw.
+        auto [it, inserted] = fault_seen_.try_emplace({src, dst}, false);
+        if (it->second != lost || (inserted && lost)) {
+            journal_->record(obs::JournalEvent::Kind::FaultEdge, depart, src, dst,
+                             lost ? 1 : 0, 0, "link");
+        }
+        it->second = lost;
+    }
     if (!lost) {
         const double p = fault_plan_.drop_override(src, dst, depart)
                              .value_or(params.drop_probability);

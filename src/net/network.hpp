@@ -24,6 +24,7 @@
 #include <optional>
 
 #include "net/faults.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "support/bytes.hpp"
 #include "support/rng.hpp"
@@ -125,6 +126,21 @@ public:
     /// registry must outlive the network (or be detached).
     void attach_metrics(obs::Registry* registry);
 
+    /// Flight recorder for link fault-window edges: each transfer
+    /// evaluates the fault plan at its departure time, and the first
+    /// evaluation that observes a link's down-state differing from the
+    /// last observation records a FaultEdge event (a=1 entering a down
+    /// window, a=0 leaving one).  Edges are therefore stamped with the
+    /// virtual time the fault became *observable*, which is what a
+    /// timeline reader wants — a window nobody sent into never happened.
+    /// Pass nullptr to detach; the journal must outlive the network.
+    void attach_journal(obs::Journal* journal) { journal_ = journal; }
+
+    /// Watermark value at the last reset_stats(): the epoch the
+    /// utilization_ppm denominators — and, via System::reset_stats(), the
+    /// journal and windowed-delta epochs — measure from.
+    std::uint64_t stats_epoch_us() const noexcept { return stats_epoch_us_; }
+
 private:
     struct LinkMetrics {
         obs::Counter* messages = nullptr;
@@ -141,6 +157,11 @@ private:
     mutable std::map<std::pair<NodeId, NodeId>, LinkStats> stats_;
     std::map<std::pair<NodeId, NodeId>, std::uint64_t> busy_until_;
     obs::Registry* registry_ = nullptr;
+    obs::Journal* journal_ = nullptr;
+    /// Last observed fault-plan down-state per directed link (journal
+    /// edge detection only; absent = never evaluated, first observation
+    /// of a down link records an entering edge).
+    std::map<std::pair<NodeId, NodeId>, bool> fault_seen_;
     std::map<std::pair<NodeId, NodeId>, LinkMetrics> link_metrics_;
     std::uint64_t clock_us_ = 0;
     /// Watermark value at the last reset_stats(); utilization_ppm

@@ -39,21 +39,28 @@ void emit_sample_json(std::ostringstream& os, const Sample& s) {
                                         static_cast<double>(s.count)
                                   : 0.0;
             os << "{\"count\":" << s.count << ",\"sum\":" << s.sum
-               << ",\"min\":" << s.min << ",\"max\":" << s.max << ",\"mean\":" << mean
-               << ",\"buckets\":{";
+               << ",\"min\":" << s.min << ",\"max\":" << s.max << ",\"mean\":" << mean;
+            // Derived quantiles (bucket approximation, clamped to max) so
+            // dashboards need no knowledge of the bucket layout...
+            os << ",\"p50\":"
+               << Histogram::quantile_from_buckets(s.buckets, s.count, s.max, 0.50)
+               << ",\"p95\":"
+               << Histogram::quantile_from_buckets(s.buckets, s.count, s.max, 0.95)
+               << ",\"p99\":"
+               << Histogram::quantile_from_buckets(s.buckets, s.count, s.max, 0.99);
+            // ...and explicit inclusive upper bounds per non-empty bucket
+            // (not just counts) so external tools can compute their own.
+            // The overflow bucket's bound is 2^64-1.
+            os << ",\"buckets\":[";
             bool first = true;
             for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
                 if (s.buckets[i] == 0) continue;
                 if (!first) os << ",";
                 first = false;
-                os << "\"";
-                if (i == Histogram::kBuckets - 1)
-                    os << "inf";
-                else
-                    os << "le_" << Histogram::bucket_upper_bound(i);
-                os << "\":" << s.buckets[i];
+                os << "{\"le\":" << Histogram::bucket_upper_bound(i)
+                   << ",\"count\":" << s.buckets[i] << "}";
             }
-            os << "}}";
+            os << "]}";
             break;
         }
     }

@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <limits>
 
@@ -7,6 +8,7 @@ namespace rafda::obs {
 
 void Histogram::record(std::uint64_t v) noexcept {
     ++buckets_[bucket_index(v)];
+    if (count_ < kExactCap) exact_[count_] = v;
     ++count_;
     sum_ += v;
     if (count_ == 1 || v < min_) min_ = v;
@@ -26,19 +28,40 @@ std::uint64_t Histogram::bucket_upper_bound(std::size_t i) noexcept {
 }
 
 std::uint64_t Histogram::approx_quantile(double q) const noexcept {
-    if (count_ == 0) return 0;
+    return quantile_from_buckets(buckets_, count_, max_, q);
+}
+
+std::uint64_t Histogram::quantile_from_buckets(
+    const std::array<std::uint64_t, kBuckets>& buckets, std::uint64_t count,
+    std::uint64_t max, double q) noexcept {
+    if (count == 0) return 0;
     if (q < 0.0) q = 0.0;
     if (q > 1.0) q = 1.0;
-    std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+    std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count - 1));
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < kBuckets; ++i) {
-        seen += buckets_[i];
+        seen += buckets[i];
         if (seen > rank) {
             std::uint64_t hi = bucket_upper_bound(i);
-            return hi > max_ ? max_ : hi;
+            return hi > max ? max : hi;
         }
     }
-    return max_;
+    return max;
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+    if (count_ == 0) return 0;
+    if (count_ > kExactCap) return approx_quantile(q);
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // Exact nearest-rank path: every recorded value is still retained.
+    std::array<std::uint64_t, kExactCap> sorted;
+    const std::size_t n = static_cast<std::size_t>(count_);
+    std::copy(exact_.begin(), exact_.begin() + n, sorted.begin());
+    std::sort(sorted.begin(), sorted.begin() + n);
+    const std::size_t rank =
+        static_cast<std::size_t>(q * static_cast<double>(count_ - 1));
+    return sorted[rank];
 }
 
 void Histogram::reset() noexcept {

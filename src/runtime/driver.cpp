@@ -48,6 +48,40 @@ WorkloadDriver::Report WorkloadDriver::run() {
     // invocation (the round-robin is sequential, so the delta belongs to
     // this task alone).
     obs::Counter& retries = system_->metrics().counter("rpc.retries");
+
+    // Cumulative RPC counters across all protocols, for window deltas.
+    auto rpc_totals = [&] {
+        std::pair<std::uint64_t, std::uint64_t> t{0, 0};  // {calls, bytes}
+        for (const auto& [proto, s] : system_->remote_stats()) {
+            t.first += s.calls + s.creates + s.discovers;
+            t.second += s.request_bytes + s.reply_bytes;
+        }
+        return t;
+    };
+    std::uint64_t window_start = system_->network().now_us();
+    auto [win_calls, win_bytes] = window_us_ ? rpc_totals()
+                                             : std::pair<std::uint64_t,
+                                                         std::uint64_t>{0, 0};
+    std::size_t win_tasks_done = 0;
+    std::size_t tasks_done = 0;
+    auto close_window = [&](std::uint64_t end) {
+        auto [calls, bytes] = rpc_totals();
+        Window w;
+        w.start_us = window_start;
+        w.end_us = end;
+        w.tasks = tasks_done - win_tasks_done;
+        // A reset_stats() mid-run rewinds the cumulative counters; clamp
+        // the delta instead of underflowing and re-anchor the baseline.
+        w.rpc_calls = calls >= win_calls ? calls - win_calls : calls;
+        w.wire_bytes = bytes >= win_bytes ? bytes - win_bytes : bytes;
+        report.windows.push_back(w);
+        window_start = end;
+        win_calls = calls;
+        win_bytes = bytes;
+        win_tasks_done = tasks_done;
+    };
+
+    std::vector<std::uint64_t> latencies;
     bool ran = true;
     while (ran) {
         ran = false;
@@ -56,6 +90,7 @@ WorkloadDriver::Report WorkloadDriver::run() {
             if (c.next >= c.tasks.size()) continue;
             ran = true;
             const std::uint64_t retries_before = retries.value();
+            const std::uint64_t t0 = system_->node(c.node).clock_us();
             try {
                 c.tasks[c.next](*system_, c.node);
                 if (retries.value() != retries_before) ++c.recovered;
@@ -64,8 +99,30 @@ WorkloadDriver::Report WorkloadDriver::run() {
                 log_debug("driver", "client ", c.node, " task ", c.next,
                           " raised ", e.class_name(), ": ", e.message());
             }
+            latencies.push_back(system_->node(c.node).clock_us() - t0);
             ++c.next;
+            ++tasks_done;
         }
+        if (window_us_) {
+            // Close every whole window the watermark has passed; boundary
+            // times are exact multiples so series align across runs.
+            while (system_->network().now_us() >= window_start + window_us_)
+                close_window(window_start + window_us_);
+        }
+    }
+    if (window_us_ && (tasks_done > win_tasks_done ||
+                       system_->network().now_us() > window_start))
+        close_window(system_->network().now_us());
+
+    if (!latencies.empty()) {
+        std::sort(latencies.begin(), latencies.end());
+        auto rank = [&](double q) {
+            return latencies[static_cast<std::size_t>(
+                q * static_cast<double>(latencies.size() - 1))];
+        };
+        report.latency_p50_us = rank(0.50);
+        report.latency_p95_us = rank(0.95);
+        report.latency_p99_us = rank(0.99);
     }
 
     report.end_us = report.start_us;

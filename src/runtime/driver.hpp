@@ -52,6 +52,17 @@ public:
         std::size_t faults = 0;     // tasks that surfaced a guest exception
         std::size_t recovered = 0;  // tasks that completed but needed retries
     };
+    /// One closed observation window (see set_window_us): deltas of the
+    /// system-wide RPC counters over [start_us, end_us) of virtual time,
+    /// for bench time series.
+    struct Window {
+        std::uint64_t start_us = 0;
+        std::uint64_t end_us = 0;
+        std::size_t tasks = 0;       // tasks completed in the window
+        std::uint64_t rpc_calls = 0;  // Invoke+Create+Discover sent
+        std::uint64_t wire_bytes = 0;  // request + reply bytes
+    };
+
     struct Report {
         std::uint64_t start_us = 0;     // min client clock at run() entry
         std::uint64_t end_us = 0;       // max client clock at drain
@@ -62,8 +73,23 @@ public:
         /// `faults` tasks surfaced a guest exception to the client.
         std::size_t faults = 0;
         std::size_t recovered = 0;
+        /// Exact per-task virtual-latency quantiles (nearest-rank over
+        /// every task's client-clock delta; 0 when no task ran).
+        std::uint64_t latency_p50_us = 0;
+        std::uint64_t latency_p95_us = 0;
+        std::uint64_t latency_p99_us = 0;
+        /// Closed windows, oldest first; empty unless set_window_us(>0).
+        /// The trailing partial window is closed at drain.
+        std::vector<Window> windows;
         std::vector<ClientReport> clients;
     };
+
+    /// Enables time-windowed deltas: while running, every `w` µs of
+    /// virtual time closes a Window snapshot of the RPC counters.  0 (the
+    /// default) disables windowing.  Window boundaries are checked at
+    /// round boundaries, so a window closes at the first round edge past
+    /// it — deterministic, since the round-robin order is.
+    void set_window_us(std::uint64_t w) { window_us_ = w; }
 
     /// Runs every queue to exhaustion, one invocation per client per
     /// round.  Can be called again after queueing more work; clocks carry
@@ -81,6 +107,7 @@ private:
 
     System* system_;
     std::vector<Client> clients_;
+    std::uint64_t window_us_ = 0;
 };
 
 }  // namespace rafda::runtime

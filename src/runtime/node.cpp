@@ -153,7 +153,7 @@ net::CallReply Node::handle_request(const net::CallRequest& req,
             // reply.  This is the arm that turns at-most-once into
             // exactly-once — the retried Create/Invoke must NOT run again
             // (it would leak an instance / duplicate a side effect).
-            system_->note_dedup_hit();
+            system_->note_dedup_hit(req.request_id, id_, clock_us_);
             return it->second;
         }
     }
@@ -163,7 +163,7 @@ net::CallReply Node::handle_request(const net::CallRequest& req,
     // up, and running it anyway would be a side effect nobody awaits.
     // The rejection is not cached — expiry is stable across retries.
     if (req.deadline_us && req.sim_arrival_us > req.deadline_us) {
-        system_->note_server_timeout();
+        system_->note_server_timeout(req.request_id, id_, clock_us_);
         reply.is_fault = true;
         reply.fault_class = kRemoteFaultClass;
         reply.fault_msg = "deadline expired before dispatch on node " +

@@ -55,6 +55,7 @@ System::System(const model::ClassPool& original, SystemOptions options)
       retry_jitter_rng_(Rng::mix(options.network_seed, 0x6a697474ULL)) {
     network_.set_default_link(options.default_link);
     network_.attach_metrics(&metrics_);
+    network_.attach_journal(&journal_);
     tracer_.set_clock([this] { return network_.now_us(); });
     set_log_time_source(
         [this] { return static_cast<std::int64_t>(network_.now_us()); }, this);
@@ -164,6 +165,9 @@ net::CallReply System::rpc(net::NodeId src, net::NodeId dst, const std::string& 
         if (br && br->state == CircuitBreaker::State::Open) {
             if (caller.clock_us() >= br->opened_at_us + rp.breaker_cooldown_us) {
                 br->set_state(CircuitBreaker::State::HalfOpen);
+                if (journal_.enabled())
+                    journal_.record(obs::JournalEvent::Kind::Breaker,
+                                    caller.clock_us(), dst, src, 2, 0, protocol);
             } else {
                 rpc_breaker_open_->add();
                 throw Dropped{"breaker open for node " + std::to_string(dst) + " via " +
@@ -177,10 +181,12 @@ net::CallReply System::rpc(net::NodeId src, net::NodeId dst, const std::string& 
         // PRNG is drawn, but the attempt still counts against the policy.
         if (plan.node_down(dst, caller.clock_us())) {
             pm.drops->add();
+            note_node_fault(dst, true, caller.clock_us());
             last = Dropped{"node " + std::to_string(dst) + " is down",
                            /*executed_remotely=*/false, /*fast_fail=*/true};
             failed = true;
         } else {
+            note_node_fault(dst, false, caller.clock_us());
             req.attempt = attempt;
             try {
                 obs::ScopedSpan span;
@@ -193,7 +199,13 @@ net::CallReply System::rpc(net::NodeId src, net::NodeId dst, const std::string& 
                 // Any decoded reply — fault or not — proves the transport
                 // round-trip works; guest-level faults never trip the
                 // breaker and are never retried.
-                if (br) br->record_success();
+                if (br) {
+                    const bool reopened = br->state != CircuitBreaker::State::Closed;
+                    br->record_success();
+                    if (reopened && journal_.enabled())
+                        journal_.record(obs::JournalEvent::Kind::Breaker,
+                                        caller.clock_us(), dst, src, 0, 0, protocol);
+                }
                 return reply;
             } catch (const Dropped& d) {
                 last = d;
@@ -203,6 +215,9 @@ net::CallReply System::rpc(net::NodeId src, net::NodeId dst, const std::string& 
         if (failed && br &&
             br->record_failure(rp.breaker_threshold, caller.clock_us())) {
             log_info("runtime", "breaker opened for node ", dst, " via ", protocol);
+            if (journal_.enabled())
+                journal_.record(obs::JournalEvent::Kind::Breaker, caller.clock_us(),
+                                dst, src, 1, 0, protocol);
         }
         // Retry decision.  Reply-loss means the callee already executed:
         // without dedup a retry would re-execute (the §12 instance leak),
@@ -218,6 +233,10 @@ net::CallReply System::rpc(net::NodeId src, net::NodeId dst, const std::string& 
         if (rp.jitter_us) delay += retry_jitter_rng_.below(rp.jitter_us + 1);
         if (req.deadline_us && caller.clock_us() + delay >= req.deadline_us) {
             rpc_timeouts_->add();
+            if (journal_.enabled())
+                journal_.record(obs::JournalEvent::Kind::RpcTimeout,
+                                caller.clock_us(), src, dst, req.request_id, 0,
+                                "client");
             last.what = "deadline exceeded after " + std::to_string(attempt + 1) +
                         " attempt(s): " + last.what;
             break;
@@ -227,8 +246,20 @@ net::CallReply System::rpc(net::NodeId src, net::NodeId dst, const std::string& 
         ++retries_spent_;
         rpc_retries_->add();
         if (last.executed_remotely) rpc_retries_reply_loss_->add();
+        if (journal_.enabled())
+            journal_.record(obs::JournalEvent::Kind::RpcRetry, caller.clock_us(),
+                            src, dst, req.request_id, attempt + 1, {});
     }
     throw last;
+}
+
+void System::note_node_fault(net::NodeId dst, bool down, std::uint64_t t_us) {
+    if (!journal_.enabled()) return;
+    auto [it, inserted] = node_fault_seen_.try_emplace(dst, false);
+    if (it->second != down || (inserted && down))
+        journal_.record(obs::JournalEvent::Kind::FaultEdge, t_us, dst, -1,
+                        down ? 1 : 0, 0, "node");
+    it->second = down;
 }
 
 net::CallReply System::rpc_attempt(net::NodeId src, net::NodeId dst,
@@ -262,9 +293,17 @@ net::CallReply System::rpc_attempt(net::NodeId src, net::NodeId dst,
         request_bytes = c.encode_request(req);
         pm.request_bytes->add(request_bytes.size());
         pm.request_size->record(request_bytes.size());
+        req.sim_wire_bytes += request_bytes.size();
         caller.advance_clock(codec_cost(request_bytes.size()).first);
     }
     req.sim_send_us = caller.clock_us();
+    if (journal_.enabled())
+        journal_.record(obs::JournalEvent::Kind::RpcSend, req.sim_send_us, src, dst,
+                        req.request_id, request_bytes.size(),
+                        req.stat_class.empty()
+                            ? protocol
+                            : req.stat_class +
+                                  (req.method.empty() ? "" : "." + req.method));
     net::Delivery inbound;
     {
         obs::ScopedSpan span;
@@ -279,6 +318,9 @@ net::CallReply System::rpc_attempt(net::NodeId src, net::NodeId dst,
         if (!inbound.delivered) {
             pm.drops->add();
             if (traced) tracer_.note("dropped", "request");
+            if (journal_.enabled())
+                journal_.record(obs::JournalEvent::Kind::RpcDrop, inbound.at_us, src,
+                                dst, req.request_id, 0, "request");
             // The sender observes the failure once the propagation window
             // has passed; the decode half of the codec budget is never
             // spent — the request never reached a parser.
@@ -299,11 +341,18 @@ net::CallReply System::rpc_attempt(net::NodeId src, net::NodeId dst,
     if (plan.node_down(dst, inbound.at_us)) {
         pm.drops->add();
         if (traced) tracer_.note("dropped", "dest_crashed");
+        note_node_fault(dst, true, inbound.at_us);
+        if (journal_.enabled())
+            journal_.record(obs::JournalEvent::Kind::RpcDrop, inbound.at_us, src,
+                            dst, req.request_id, 0, "dest_crashed");
         caller.reconcile_clock(inbound.at_us);
         caller.sync_guest_time();
         throw Dropped{"request reached crashed node " + std::to_string(dst),
                       /*executed_remotely=*/false};
     }
+    if (journal_.enabled())
+        journal_.record(obs::JournalEvent::Kind::RpcArrive, inbound.at_us, dst, src,
+                        req.request_id, request_bytes.size(), {});
     // The server cannot see the request before both its own prior work and
     // the wire delivery are done: clock reconciliation, join point one.
     callee.reconcile_clock(inbound.at_us);
@@ -332,6 +381,12 @@ net::CallReply System::rpc_attempt(net::NodeId src, net::NodeId dst,
         // Dispatch is charged on the destination node's clock; its guest
         // code observes the server's own time, not the caller's.
         callee.sync_guest_time();
+        if (journal_.enabled())
+            journal_.record(
+                obs::JournalEvent::Kind::RpcDispatch, callee.clock_us(), dst, src,
+                decoded.request_id, decoded.attempt,
+                decoded.kind == net::RequestKind::Invoke ? decoded.method
+                                                         : decoded.cls);
         reply = callee.handle_request(decoded, protocol);
     }
 
@@ -343,6 +398,7 @@ net::CallReply System::rpc_attempt(net::NodeId src, net::NodeId dst,
         reply_bytes = c.encode_reply(reply);
         pm.reply_bytes->add(reply_bytes.size());
         pm.reply_size->record(reply_bytes.size());
+        req.sim_wire_bytes += reply_bytes.size();
         callee.advance_clock(codec_cost(reply_bytes.size()).first);
     }
     net::Delivery outbound;
@@ -359,6 +415,9 @@ net::CallReply System::rpc_attempt(net::NodeId src, net::NodeId dst,
         if (!outbound.delivered) {
             pm.drops->add();
             if (traced) tracer_.note("dropped", "reply");
+            if (journal_.enabled())
+                journal_.record(obs::JournalEvent::Kind::RpcDrop, outbound.at_us,
+                                dst, src, req.request_id, 0, "reply");
             caller.reconcile_clock(outbound.at_us);
             caller.sync_guest_time();
             callee.sync_guest_time();
@@ -374,6 +433,9 @@ net::CallReply System::rpc_attempt(net::NodeId src, net::NodeId dst,
     // free to serve the next client the moment it finished encoding, which
     // is exactly where multi-client overlap comes from.
     caller.reconcile_clock(outbound.at_us);
+    if (journal_.enabled())
+        journal_.record(obs::JournalEvent::Kind::RpcReply, outbound.at_us, src, dst,
+                        req.request_id, reply_bytes.size(), {});
     net::CallReply decoded_reply;
     {
         obs::ScopedSpan span;
@@ -399,8 +461,9 @@ void System::wire_node(Node& n) {
         // A_O_Factory.make(): the policy decides where the instance lives.
         interp.register_native(
             naming::o_factory(cls), "make", "()" + o_int_desc,
-            [this, cls, node_id, o_local](vm::Interpreter& vm, const Value&,
-                                          std::vector<Value>) {
+            [this, cls, node_id, o_local,
+             lat = static_cast<obs::Histogram*>(nullptr)](
+                vm::Interpreter& vm, const Value&, std::vector<Value>) mutable {
                 Placement p = policy_.instance_placement(cls, node_id);
                 if (p.node == node_id) return vm.construct(o_local, "()V", {});
                 obs::ScopedSpan span;
@@ -411,11 +474,16 @@ void System::wire_node(Node& n) {
                 req.request_id = next_request_id();
                 req.src_node = node_id;
                 req.cls = cls;
+                req.stat_class = cls;
+                if (!lat) lat = &metrics_.histogram("rpc.latency." + cls + ".make");
+                const std::uint64_t t0 = node(node_id).clock_us();
                 try {
                     net::CallReply reply = rpc(node_id, p.node, p.protocol, req);
+                    lat->record(node(node_id).clock_us() - t0);
                     if (reply.is_fault) node(node_id).rethrow_fault(reply);
                     return node(node_id).import_value(reply.result, p.protocol);
                 } catch (const Dropped& d) {
+                    lat->record(node(node_id).clock_us() - t0);
                     node(node_id).throw_remote_fault(d.what);
                 }
             });
@@ -424,7 +492,8 @@ void System::wire_node(Node& n) {
         const std::string c_int_desc = "L" + naming::c_int(cls) + ";";
         interp.register_native(
             naming::c_factory(cls), "discover", "()" + c_int_desc,
-            [this, cls, node_id](vm::Interpreter&, const Value&, std::vector<Value>) {
+            [this, cls, node_id, lat = static_cast<obs::Histogram*>(nullptr)](
+                vm::Interpreter&, const Value&, std::vector<Value>) mutable {
                 Placement p = policy_.singleton_placement(cls, node_id);
                 if (p.node == node_id) return node(node_id).local_singleton(cls);
                 obs::ScopedSpan span;
@@ -435,22 +504,32 @@ void System::wire_node(Node& n) {
                 req.request_id = next_request_id();
                 req.src_node = node_id;
                 req.cls = cls;
+                req.stat_class = cls;
+                if (!lat)
+                    lat = &metrics_.histogram("rpc.latency." + cls + ".discover");
+                const std::uint64_t t0 = node(node_id).clock_us();
                 try {
                     net::CallReply reply = rpc(node_id, p.node, p.protocol, req);
+                    lat->record(node(node_id).clock_us() - t0);
                     if (reply.is_fault) node(node_id).rethrow_fault(reply);
                     return node(node_id).import_value(reply.result, p.protocol);
                 } catch (const Dropped& d) {
+                    lat->record(node(node_id).clock_us() - t0);
                     node(node_id).throw_remote_fault(d.what);
                 }
             });
 
         // Proxy dispatch: one class-level native per generated proxy class.
-        // Each dispatcher caches its class's registry handles (one counter
-        // per remote edge, one for loopback) so the hot path never builds
-        // a metric name.
+        // Each dispatcher caches its class's registry handles (one
+        // calls/bytes counter pair per remote edge, one latency histogram
+        // per method, one counter for loopback) so the hot path never
+        // builds a metric name.
         for (const std::string& proto : result_.report.protocols()) {
             auto dispatch = [this, node_id, proto, cls,
                              edge_counters = std::map<net::NodeId, obs::Counter*>{},
+                             byte_counters = std::map<net::NodeId, obs::Counter*>{},
+                             latency_hists =
+                                 std::map<std::string, obs::Histogram*>{},
                              local_counter = static_cast<obs::Counter*>(nullptr)](
                                 vm::Interpreter& vm, const model::Method& m,
                                 const Value& receiver,
@@ -489,13 +568,27 @@ void System::wire_node(Node& n) {
                                              std::to_string(node_id) + "." +
                                              std::to_string(target_node));
                 edge->add();
+                obs::Counter*& edge_bytes = byte_counters[target_node];
+                if (!edge_bytes)
+                    edge_bytes = &metrics_.counter("rpc.class_bytes." + cls + "." +
+                                                   std::to_string(node_id) + "." +
+                                                   std::to_string(target_node));
+                obs::Histogram*& lat = latency_hists[m.name];
+                if (!lat)
+                    lat = &metrics_.histogram("rpc.latency." + cls + "." + m.name);
+                req.stat_class = cls;
                 req.args.reserve(args.size());
                 for (const Value& a : args) req.args.push_back(self.export_value(a));
+                const std::uint64_t t0 = self.clock_us();
                 try {
                     net::CallReply reply = rpc(node_id, target_node, proto, req);
+                    edge_bytes->add(req.sim_wire_bytes);
+                    lat->record(self.clock_us() - t0);
                     if (reply.is_fault) self.rethrow_fault(reply);
                     return self.import_value(reply.result, proto);
                 } catch (const Dropped& d) {
+                    edge_bytes->add(req.sim_wire_bytes);
+                    lat->record(self.clock_us() - t0);
                     self.throw_remote_fault(d.what);
                 }
             };
@@ -591,6 +684,9 @@ vm::ObjId System::migrate_instance(net::NodeId from, vm::ObjId oid, net::NodeId 
 
     migrations_counter_->add();
     migration_bytes_counter_->add(payload.size());
+    if (journal_.enabled())
+        journal_.record(obs::JournalEvent::Kind::Migrate, landed.at_us, from, to,
+                        oid, new_oid, cls_name);
     f.sync_guest_time();
     t.sync_guest_time();
     log_info("runtime", "migrated ", cls_name, " (", from, ",", oid, ") -> (", to, ",",
@@ -740,11 +836,15 @@ const std::map<std::string, RemoteStats>& System::remote_stats() const {
 }
 
 const std::map<std::string, System::ClassTraffic>& System::class_traffic() const {
-    static constexpr const char* kPrefix = "rpc.class_calls.";
-    static constexpr std::size_t kPrefixLen = 16;
+    static constexpr const char* kCalls = "rpc.class_calls.";
+    static constexpr const char* kBytes = "rpc.class_bytes.";
+    static constexpr std::size_t kPrefixLen = 16;  // both prefixes
     class_traffic_view_.clear();
     metrics_.visit_counters([&](const std::string& name, std::uint64_t value) {
-        if (!value || name.compare(0, kPrefixLen, kPrefix) != 0) return;
+        if (!value) return;
+        const bool is_calls = name.compare(0, kPrefixLen, kCalls) == 0;
+        const bool is_bytes = !is_calls && name.compare(0, kPrefixLen, kBytes) == 0;
+        if (!is_calls && !is_bytes) return;
         // <cls>.<src>.<dst> — class names contain no dots, so split from
         // the right.
         const std::size_t dst_dot = name.rfind('.');
@@ -753,7 +853,8 @@ const std::map<std::string, System::ClassTraffic>& System::class_traffic() const
         const std::string cls = name.substr(kPrefixLen, src_dot - kPrefixLen);
         const net::NodeId src = std::stoi(name.substr(src_dot + 1, dst_dot - src_dot - 1));
         const net::NodeId dst = std::stoi(name.substr(dst_dot + 1));
-        class_traffic_view_[cls].calls[{src, dst}] += value;
+        ClassTraffic& ct = class_traffic_view_[cls];
+        (is_calls ? ct.calls : ct.bytes)[{src, dst}] += value;
     });
     return class_traffic_view_;
 }
@@ -766,6 +867,10 @@ void System::reset_stats() {
     metrics_.reset();
     tracer_.clear();
     network_.reset_stats();
+    // The journal's observation window must rebase together with the
+    // utilization epoch: both now describe "since the reset", so timeline
+    // events and windowed rates stay comparable (DESIGN.md §16).
+    journal_.rebase(network_.now_us());
     // Breaker *state* is semantic, not accounting: re-publish it so the
     // zeroed gauges don't claim every breaker is closed.
     for (auto& [key, b] : breakers_) b.set_state(b.state);

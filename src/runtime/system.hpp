@@ -18,6 +18,7 @@
 
 #include "net/codec.hpp"
 #include "net/network.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/node.hpp"
@@ -76,6 +77,14 @@ public:
     /// with `tracer().set_enabled(true)` before driving traffic.
     obs::Tracer& tracer() noexcept { return tracer_; }
     const obs::Tracer& tracer() const noexcept { return tracer_; }
+
+    /// Flight recorder (DESIGN.md §16): a bounded ring of virtual-time-
+    /// stamped events covering the RPC lifecycle, retries, breaker
+    /// transitions, fault-window edges, dedup hits and migrations.
+    /// Disabled by default; enable with `journal().set_enabled(true)`.
+    /// Recording is passive — enabling it cannot perturb a seeded run.
+    obs::Journal& journal() noexcept { return journal_; }
+    const obs::Journal& journal() const noexcept { return journal_; }
 
     /// Turns per-method instruction histograms on/off in every node's VM
     /// (`vm.node<N>.method_instr.<Cls>.<method>`); applies to nodes added
@@ -139,14 +148,23 @@ public:
     /// to whom, and where does the callee live").
     struct ClassTraffic {
         std::map<std::pair<net::NodeId, net::NodeId>, std::uint64_t> calls;
+        /// Wire bytes (requests + replies, retries included) per edge,
+        /// from the `rpc.class_bytes.<cls>.<src>.<dst>` counters.
+        std::map<std::pair<net::NodeId, net::NodeId>, std::uint64_t> bytes;
         std::uint64_t total() const {
             std::uint64_t n = 0;
             for (const auto& [_, c] : calls) n += c;
             return n;
         }
+        std::uint64_t total_bytes() const {
+            std::uint64_t n = 0;
+            for (const auto& [_, c] : bytes) n += c;
+            return n;
+        }
     };
-    /// View over the `rpc.class_calls.<cls>.<src>.<dst>` registry
-    /// counters, rebuilt on each call; all-zero edges are omitted.
+    /// View over the `rpc.class_calls.<cls>.<src>.<dst>` (and matching
+    /// class_bytes) registry counters, rebuilt on each call; all-zero
+    /// edges are omitted.
     const std::map<std::string, ClassTraffic>& class_traffic() const;
     std::uint64_t migrations() const noexcept;
     void reset_stats();
@@ -192,10 +210,24 @@ public:
     void visit_breakers(const std::function<void(
                             net::NodeId, const std::string&, const CircuitBreaker&)>& fn) const;
 
-    /// Bumped by Node when its reply cache answers a retried request.
-    void note_dedup_hit() { rpc_dedup_hits_->add(); }
+    /// Bumped by Node when its reply cache answers a retried request; the
+    /// (request id, node, time) triple also lands in the journal so the
+    /// timeline shows *which* retry was absorbed.
+    void note_dedup_hit(std::uint64_t request_id, net::NodeId node,
+                        std::uint64_t t_us) {
+        rpc_dedup_hits_->add();
+        if (journal_.enabled())
+            journal_.record(obs::JournalEvent::Kind::DedupHit, t_us, node, -1,
+                            request_id, 0, {});
+    }
     /// Bumped by Node when it refuses an expired request.
-    void note_server_timeout() { rpc_timeouts_->add(); }
+    void note_server_timeout(std::uint64_t request_id, net::NodeId node,
+                             std::uint64_t t_us) {
+        rpc_timeouts_->add();
+        if (journal_.enabled())
+            journal_.record(obs::JournalEvent::Kind::RpcTimeout, t_us, node, -1,
+                            request_id, 0, "server");
+    }
 
     net::Codec& codec(const std::string& protocol);
 
@@ -224,11 +256,16 @@ private:
                                ProtoMetrics& pm);
     CircuitBreaker& breaker(net::NodeId dst, const std::string& protocol);
 
-    // The registry and tracer are declared first so they outlive the nodes
-    // (interpreter destructors deregister their probes) and the network
-    // (which holds cached counter handles).
+    /// Journal edge detection for node-crash windows: records a FaultEdge
+    /// (peer=-1) when `down` differs from the last observation for `dst`.
+    void note_node_fault(net::NodeId dst, bool down, std::uint64_t t_us);
+
+    // The registry, tracer and journal are declared first so they outlive
+    // the nodes (interpreter destructors deregister their probes) and the
+    // network (which holds cached counter and journal handles).
     obs::Registry metrics_;
     obs::Tracer tracer_;
+    obs::Journal journal_;
     const model::ClassPool* original_;
     model::ClassPool prepared_;  // original + prelude + RemoteFault
     transform::PipelineResult result_;
@@ -249,6 +286,9 @@ private:
     bool method_profiling_ = false;
     RetryPolicy reliability_;
     std::map<std::pair<net::NodeId, std::string>, CircuitBreaker> breakers_;
+    /// Last observed node-crash state per destination (journal edge
+    /// detection only, mirroring SimNetwork::fault_seen_ for links).
+    std::map<net::NodeId, bool> node_fault_seen_;
     /// Jitter draws come from their own stream (not the network's), so a
     /// retry schedule can never perturb drop decisions — and vice versa.
     Rng retry_jitter_rng_;

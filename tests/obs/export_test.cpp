@@ -29,18 +29,33 @@ TEST(ToJson, EmitsEveryKindOnOneLine) {
 
     std::string json = to_json(reg.snapshot());
     EXPECT_EQ(json.find('\n'), std::string::npos);
-    // std::map ordering makes the whole document deterministic.
+    // std::map ordering makes the whole document deterministic.  Histogram
+    // samples carry derived quantiles plus explicit inclusive bucket upper
+    // bounds, so external tools never need the bucket layout.
     EXPECT_EQ(json,
               "{\"queue.depth\":-2,"
               "\"rpc.calls\":3,"
               "\"rpc.size\":{\"count\":2,\"sum\":4,\"min\":1,\"max\":3,\"mean\":2,"
-              "\"buckets\":{\"le_1\":1,\"le_3\":1}}}");
+              "\"p50\":1,\"p95\":1,\"p99\":1,"
+              "\"buckets\":[{\"le\":1,\"count\":1},{\"le\":3,\"count\":1}]}}");
 }
 
-TEST(ToJson, LastHistogramBucketIsNamedInf) {
+TEST(ToJson, OverflowBucketBoundIsUint64Max) {
     Registry reg;
     reg.histogram("h").record(~std::uint64_t{0});
-    EXPECT_NE(to_json(reg.snapshot()).find("\"inf\":1"), std::string::npos);
+    EXPECT_NE(to_json(reg.snapshot())
+                  .find("{\"le\":18446744073709551615,\"count\":1}"),
+              std::string::npos);
+}
+
+TEST(ToJson, QuantilesClampToObservedMax) {
+    Registry reg;
+    Histogram& h = reg.histogram("h");
+    for (int k = 0; k < 100; ++k) h.record(1000);  // bucket [512, 1024)
+    std::string json = to_json(reg.snapshot());
+    // The bucket bound (1023) exceeds the largest recorded value; exported
+    // quantiles must clamp to max, never invent values nobody recorded.
+    EXPECT_NE(json.find("\"p99\":1000"), std::string::npos);
 }
 
 TEST(ToTable, AlignsNamesAndSummarisesHistograms) {

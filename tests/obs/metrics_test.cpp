@@ -69,6 +69,51 @@ TEST(Histogram, ApproxQuantileIsMonotoneAndClamped) {
     EXPECT_EQ(Histogram().approx_quantile(0.5), 0u);
 }
 
+TEST(Histogram, QuantileIsExactForSmallN) {
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+    // Nearest-rank over the retained samples: rank = floor(q * (N-1)).
+    EXPECT_EQ(h.quantile(0.0), 1u);
+    EXPECT_EQ(h.quantile(0.5), 50u);   // floor(0.5 * 99) = 49 -> value 50
+    EXPECT_EQ(h.quantile(0.95), 95u);  // floor(0.95 * 99) = 94 -> value 95
+    EXPECT_EQ(h.quantile(0.99), 99u);
+    EXPECT_EQ(h.quantile(1.0), 100u);
+    EXPECT_EQ(Histogram().quantile(0.5), 0u);
+}
+
+TEST(Histogram, QuantileExactPathIsInsertionOrderIndependent) {
+    Histogram up, down;
+    for (std::uint64_t v = 1; v <= 50; ++v) up.record(v);
+    for (std::uint64_t v = 50; v >= 1; --v) down.record(v);
+    for (double q : {0.0, 0.5, 0.95, 0.99, 1.0})
+        EXPECT_EQ(up.quantile(q), down.quantile(q)) << "q=" << q;
+}
+
+TEST(Histogram, QuantileDegradesToBucketsBeyondExactCap) {
+    Histogram h;
+    // One past the retained-sample cap: the exact array no longer covers
+    // the population, so quantile() must fall back to the bucket
+    // approximation rather than report a truncated exact answer.
+    for (std::uint64_t v = 1; v <= Histogram::kExactCap + 1; ++v) h.record(v);
+    const std::uint64_t p50 = h.quantile(0.5);
+    EXPECT_EQ(p50, h.approx_quantile(0.5));
+    // Still monotone and clamped to the true extrema.
+    EXPECT_LE(h.quantile(0.5), h.quantile(0.99));
+    EXPECT_LE(h.quantile(0.99), Histogram::kExactCap + 1);
+
+    // At exactly the cap, the exact path still applies.
+    Histogram at_cap;
+    for (std::uint64_t v = 1; v <= Histogram::kExactCap; ++v) at_cap.record(v);
+    EXPECT_EQ(at_cap.quantile(1.0), Histogram::kExactCap);
+}
+
+TEST(Histogram, QuantileFromBucketsClampsToMax) {
+    std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+    buckets[Histogram::bucket_index(1000)] = 10;  // bound 1023 > true max
+    EXPECT_EQ(Histogram::quantile_from_buckets(buckets, 10, 1000, 0.99), 1000u);
+    EXPECT_EQ(Histogram::quantile_from_buckets(buckets, 0, 0, 0.5), 0u);
+}
+
 TEST(Histogram, ResetZeroesEverything) {
     Histogram h;
     h.record(42);

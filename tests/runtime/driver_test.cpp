@@ -198,6 +198,89 @@ TEST(WorkloadDriver, ContendedLinkQueuesTransfers) {
     EXPECT_LE(net.link_busy_until(1, 0), report.end_us);
 }
 
+TEST(WorkloadDriver, ReportsLatencyQuantiles) {
+    model::ClassPool pool = make_pool();
+    System system(pool);
+    WorkloadDriver::Report report = drive(system, 4, 16);
+    // One latency sample per task, so the quantiles are populated, ordered
+    // and bounded by the whole run.
+    EXPECT_GT(report.latency_p50_us, 0u);
+    EXPECT_LE(report.latency_p50_us, report.latency_p95_us);
+    EXPECT_LE(report.latency_p95_us, report.latency_p99_us);
+    EXPECT_LE(report.latency_p99_us, report.makespan_us);
+}
+
+TEST(WorkloadDriver, WindowsPartitionTheRun) {
+    model::ClassPool pool = make_pool();
+    System system(pool);
+    system.add_node();
+    for (int k = 1; k <= 4; ++k) system.add_node();
+    system.policy().set_instance_home("Service", 0, "RMI");
+    WorkloadDriver driver(system);
+    for (int k = 1; k <= 4; ++k) {
+        const auto client = static_cast<net::NodeId>(k);
+        Value svc = system.construct(client, "Service", "()V");
+        driver.add_client(client, 16, [svc](System& sys, net::NodeId node) {
+            sys.node(node).interp().call_virtual(svc, "work", "(J)J",
+                                                 {Value::of_long(7)});
+        });
+    }
+    const std::uint64_t kWindow = 2000;
+    driver.set_window_us(kWindow);
+    WorkloadDriver::Report report = driver.run();
+
+    ASSERT_GT(report.windows.size(), 1u);
+    std::size_t tasks = 0;
+    std::uint64_t calls = 0;
+    for (std::size_t i = 0; i < report.windows.size(); ++i) {
+        const WorkloadDriver::Window& w = report.windows[i];
+        EXPECT_LT(w.start_us, w.end_us);
+        // Contiguous, and every boundary except the trailing partial one
+        // is an exact multiple of the window size past the run start.
+        if (i) {
+            EXPECT_EQ(w.start_us, report.windows[i - 1].end_us);
+        }
+        if (i + 1 < report.windows.size()) {
+            EXPECT_EQ((w.end_us - report.windows[0].start_us) % kWindow, 0u);
+        }
+        tasks += w.tasks;
+        calls += w.rpc_calls;
+    }
+    // The windows tile the whole run: totals reconcile with the report.
+    // (The series is anchored on the network watermark, which sits inside
+    // [start_us, end_us] — client clocks run past it while decoding.)
+    EXPECT_EQ(tasks, report.tasks_run);
+    EXPECT_GE(calls, report.tasks_run);  // every task made >= 1 RPC
+    EXPECT_GE(report.windows.front().start_us, report.start_us);
+    EXPECT_LE(report.windows.back().end_us, report.end_us);
+}
+
+TEST(WorkloadDriver, WindowSeriesIsDeterministic) {
+    model::ClassPool pool = make_pool();
+    auto series = [&pool] {
+        System system(pool);
+        system.add_node();
+        system.add_node();
+        system.policy().set_instance_home("Service", 0, "RMI");
+        Value svc = system.construct(1, "Service", "()V");
+        WorkloadDriver driver(system);
+        driver.add_client(1, 12, [svc](System& sys, net::NodeId node) {
+            sys.node(node).interp().call_virtual(svc, "work", "(J)J",
+                                                 {Value::of_long(7)});
+        });
+        driver.set_window_us(1500);
+        WorkloadDriver::Report r = driver.run();
+        std::vector<std::tuple<std::uint64_t, std::uint64_t, std::size_t,
+                               std::uint64_t, std::uint64_t>>
+            out;
+        for (const WorkloadDriver::Window& w : r.windows)
+            out.emplace_back(w.start_us, w.end_us, w.tasks, w.rpc_calls,
+                             w.wire_bytes);
+        return out;
+    };
+    EXPECT_EQ(series(), series());
+}
+
 TEST(WorkloadDriver, RerunCarriesClocksForward) {
     model::ClassPool pool = make_pool();
     System system(pool);

@@ -273,6 +273,55 @@ TEST_F(RafdacCli, NetJsonRoundTripsThroughParser) {
     EXPECT_NE(r.output.find("\"clock_us\":"), std::string::npos);
 }
 
+TEST_F(RafdacCli, JournalPrintsEventTable) {
+    RunResult r = run_cli("journal " + app_ + " " + cfg_ + " Main 2");
+    EXPECT_EQ(r.status, 0);
+    EXPECT_NE(r.output.find("journal:"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("recorded, 0 overwritten"), std::string::npos);
+    // The deployment's RPC lifecycle is on the timeline, with the
+    // class.method detail on the send.
+    for (const char* kind : {"send", "arrive", "dispatch", "reply"})
+        EXPECT_NE(r.output.find(kind), std::string::npos) << kind;
+    EXPECT_NE(r.output.find("Greeter.greet"), std::string::npos);
+    // Application output stays on stderr.
+    EXPECT_EQ(r.output.find("hello, cli"), std::string::npos);
+}
+
+TEST_F(RafdacCli, JournalJsonRoundTripsThroughParser) {
+    RunResult r = run_cli("journal " + app_ + " " + cfg_ + " Main 2 --json");
+    EXPECT_EQ(r.status, 0);
+    ASSERT_FALSE(r.output.empty());
+    EXPECT_EQ(r.output.find('\n'), r.output.size() - 1);
+    EXPECT_TRUE(json_parses(r.output)) << r.output;
+    EXPECT_NE(r.output.find("\"events\":["), std::string::npos);
+    EXPECT_NE(r.output.find("\"kind\":\"send\""), std::string::npos);
+    EXPECT_NE(r.output.find("\"kind\":\"dispatch\""), std::string::npos);
+}
+
+TEST_F(RafdacCli, TraceChromeWritesLoadableTraceEventJson) {
+    const std::string out = app_ + "_chrome.json";
+    RunResult r = run_cli("trace " + app_ + " " + cfg_ + " Main 2 --chrome " + out);
+    EXPECT_EQ(r.status, 0);
+    // The span tree still goes to stdout; the Chrome export is a file.
+    EXPECT_NE(r.output.find("rpc.invoke Greeter.greet"), std::string::npos);
+
+    std::ifstream in(out);
+    ASSERT_TRUE(in.good()) << out;
+    std::string doc((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_TRUE(json_parses(doc)) << doc;
+    // Trace-event essentials Perfetto's legacy ingest requires: complete
+    // ("X") span events with timestamps, process/thread metadata naming
+    // the nodes and client lanes.
+    EXPECT_NE(doc.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ts\":"), std::string::npos);
+    EXPECT_NE(doc.find("\"pid\":"), std::string::npos);
+    EXPECT_NE(doc.find("process_name"), std::string::npos);
+    EXPECT_NE(doc.find("rpc.dispatch greet"), std::string::npos);
+    std::remove(out.c_str());
+}
+
 class RafdacFaultsCli : public RafdacCli {
 protected:
     std::string faults_cfg_;
@@ -344,6 +393,8 @@ TEST_F(RafdacCli, UsageAndErrors) {
     EXPECT_EQ(run_cli("run " + app_ + "b Main").status, 2);  // needs .rir
     EXPECT_EQ(run_cli("stats /nonexistent/x.rir " + cfg_ + " Main").status, 2);
     EXPECT_EQ(run_cli("faults " + app_).status, 1);  // missing config/main
+    // --chrome needs a path operand.
+    EXPECT_EQ(run_cli("trace " + app_ + " " + cfg_ + " Main 2 --chrome").status, 1);
 }
 
 }  // namespace

@@ -34,10 +34,40 @@ done
 case " $presets " in
 *" default "*)
     for bench in bench_property_access bench_dispatch_matrix bench_concurrency \
-                 bench_pipeline bench_transformability bench_reliability; do
+                 bench_pipeline bench_transformability bench_reliability \
+                 bench_journal; do
         echo "== perf smoke: $bench =="
         "build/bench/$bench" --benchmark_min_time=0.05s ||
             echo "WARN: $bench failed (non-gating)"
     done
+
+    # Chrome trace export contract (gating): `rafdac trace --chrome` must
+    # emit trace-event JSON that parses and carries the ph/ts/pid fields
+    # Perfetto's legacy ingest requires on every event.
+    echo "== chrome trace validation =="
+    trace_out=$(mktemp /tmp/rafda_trace_XXXXXX.json)
+    build/tools/rafdac trace examples/fig1.rir examples/fig1.cfg Main 2 \
+        --chrome "$trace_out" >/dev/null 2>&1
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$trace_out" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert events, "empty traceEvents"
+for e in events:
+    for key in ("ph", "ts", "pid"):
+        assert key in e, f"event missing {key}: {e}"
+print(f"chrome trace OK: {len(events)} events")
+PYEOF
+    else
+        # Fallback without python3: spot-check the required fields exist.
+        grep -q '"traceEvents":\[{' "$trace_out"
+        grep -q '"ph":"X"' "$trace_out"
+        grep -q '"ts":' "$trace_out"
+        grep -q '"pid":' "$trace_out"
+        echo "chrome trace OK (grep fallback)"
+    fi
+    rm -f "$trace_out"
     ;;
 esac

@@ -15,6 +15,15 @@
 //   rafdac trace     app.rir policy.cfg Main [nodes] [--json]
 //                                         deploy, run with span tracing on,
 //                                         then print the RPC span trees
+//   rafdac trace     ... --chrome out.json
+//                                         additionally write the spans +
+//                                         journal events as Chrome
+//                                         trace-event JSON (loadable in
+//                                         Perfetto / chrome://tracing)
+//   rafdac journal   app.rir policy.cfg Main [nodes] [--json]
+//                                         deploy, run with the flight
+//                                         recorder on, then print the
+//                                         event journal (table or JSON)
 //   rafdac net       app.rir policy.cfg Main [nodes] [--json]
 //                                         deploy, run, then print the
 //                                         per-link occupancy table (busy
@@ -40,6 +49,7 @@
 #include "model/binio.hpp"
 #include "model/printer.hpp"
 #include "model/verifier.hpp"
+#include "obs/chrome.hpp"
 #include "obs/export.hpp"
 #include "runtime/policy_config.hpp"
 #include "runtime/system.hpp"
@@ -150,25 +160,67 @@ int cmd_deploy(const std::string& input, const std::string& config_path,
     return 0;
 }
 
-/// Shared driver for `stats` and `trace`: deploy, run the entry point,
-/// then report from the observability layer instead of the application.
+enum class ObserveMode { Stats, Trace, Journal };
+
+/// Shared driver for `stats`, `trace` and `journal`: deploy, run the entry
+/// point, then report from the observability layer instead of the
+/// application.  A non-empty `chrome_path` (trace mode) additionally
+/// writes the spans + journal events as Chrome trace-event JSON.
 int cmd_observe(const std::string& input, const std::string& config_path,
-                const std::string& main_cls, int nodes, bool want_trace, bool json) {
+                const std::string& main_cls, int nodes, ObserveMode mode, bool json,
+                const std::string& chrome_path = {}) {
     model::ClassPool pool = load_input(input);
     runtime::System system(pool);
     for (int k = 0; k < nodes; ++k) system.add_node();
     runtime::apply_policy_config(read_file(config_path), system.policy(),
                                  &system.network(), &system.reliability());
-    if (want_trace) system.tracer().set_enabled(true);
+    if (mode == ObserveMode::Trace) system.tracer().set_enabled(true);
+    // The journal feeds both the `journal` report and the Chrome export's
+    // instant events (fault edges, drops, retries on the timeline).
+    if (mode == ObserveMode::Journal || !chrome_path.empty())
+        system.journal().set_enabled(true);
     system.enable_method_profiling(true);
     system.call_static(0, main_cls, "main", "()V");
     std::cerr << system.node(0).interp().output();
-    if (want_trace)
-        std::cout << (json ? system.tracer().to_json() + "\n"
-                           : system.tracer().render_tree());
-    else
-        std::cout << (json ? obs::to_json(system.metrics().snapshot()) + "\n"
-                           : obs::to_table(system.metrics().snapshot()));
+    if (!chrome_path.empty()) {
+        std::ofstream out(chrome_path, std::ios::binary);
+        if (!out) throw Error("cannot write " + chrome_path);
+        out << obs::chrome_trace_json(system.tracer(), system.journal()) << "\n";
+        std::cerr << "[rafdac] wrote Chrome trace to " << chrome_path << "\n";
+    }
+    switch (mode) {
+        case ObserveMode::Trace:
+            std::cout << (json ? system.tracer().to_json() + "\n"
+                               : system.tracer().render_tree());
+            break;
+        case ObserveMode::Stats:
+            std::cout << (json ? obs::to_json(system.metrics().snapshot()) + "\n"
+                               : obs::to_table(system.metrics().snapshot()));
+            break;
+        case ObserveMode::Journal: {
+            const obs::Journal& j = system.journal();
+            if (json) {
+                std::cout << j.to_json() << "\n";
+                break;
+            }
+            std::cout << "journal: " << j.size() << " events ("
+                      << j.total_recorded() << " recorded, " << j.overwritten()
+                      << " overwritten), epoch " << j.epoch_us() << "us\n"
+                      << std::left << std::setw(8) << "seq" << std::setw(10)
+                      << "t_us" << std::setw(10) << "kind" << std::right
+                      << std::setw(6) << "node" << std::setw(6) << "peer"
+                      << std::setw(12) << "a" << std::setw(12) << "b"
+                      << "  detail\n";
+            j.visit([&](const obs::JournalEvent& e) {
+                std::cout << std::left << std::setw(8) << e.seq << std::setw(10)
+                          << e.t_us << std::setw(10) << obs::journal_kind_name(e.kind)
+                          << std::right << std::setw(6) << e.node << std::setw(6)
+                          << e.peer << std::setw(12) << e.a << std::setw(12) << e.b
+                          << "  " << e.detail << "\n";
+            });
+            break;
+        }
+    }
     return 0;
 }
 
@@ -329,6 +381,8 @@ int usage() {
               << "  rafdac deploy    <app.rir> <policy.cfg> <MainClass> [nodes=2]\n"
               << "  rafdac stats     <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n"
               << "  rafdac trace     <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n"
+              << "                   [--chrome <out.json>]\n"
+              << "  rafdac journal   <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n"
               << "  rafdac net       <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n"
               << "  rafdac faults    <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n"
               << "\n"
@@ -348,6 +402,12 @@ int main(int argc, char** argv) {
         json = true;
         args.erase(it);
     }
+    std::string chrome_path;
+    if (auto it = std::find(args.begin(), args.end(), "--chrome"); it != args.end()) {
+        if (std::next(it) == args.end()) return usage();
+        chrome_path = *std::next(it);
+        args.erase(it, std::next(it, 2));
+    }
     try {
         if (args.size() == 2 && args[0] == "analyze") return cmd_analyze(args[1]);
         if (args.size() == 3 && args[0] == "transform")
@@ -358,10 +418,13 @@ int main(int argc, char** argv) {
             return cmd_deploy(args[1], args[2], args[3],
                               args.size() == 5 ? std::atoi(args[4].c_str()) : 2);
         if ((args.size() == 4 || args.size() == 5) &&
-            (args[0] == "stats" || args[0] == "trace"))
+            (args[0] == "stats" || args[0] == "trace" || args[0] == "journal"))
             return cmd_observe(args[1], args[2], args[3],
                                args.size() == 5 ? std::atoi(args[4].c_str()) : 2,
-                               args[0] == "trace", json);
+                               args[0] == "trace"     ? ObserveMode::Trace
+                               : args[0] == "journal" ? ObserveMode::Journal
+                                                      : ObserveMode::Stats,
+                               json, args[0] == "trace" ? chrome_path : "");
         if ((args.size() == 4 || args.size() == 5) && args[0] == "net")
             return cmd_net(args[1], args[2], args[3],
                            args.size() == 5 ? std::atoi(args[4].c_str()) : 2, json);
