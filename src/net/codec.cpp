@@ -7,6 +7,15 @@
 
 namespace rafda::net {
 
+void Codec::encode_batch_entry(const CallRequest&, const BatchContext&,
+                               ByteWriter&) const {
+    throw CodecError(protocol() + ": protocol has no batch-entry framing");
+}
+
+CallRequest Codec::decode_batch_entry(const Bytes&, const BatchContext&) const {
+    throw CodecError(protocol() + ": protocol has no batch-entry framing");
+}
+
 std::unique_ptr<Codec> make_codec(const std::string& protocol) {
     if (protocol == "RMI") return std::make_unique<RmibCodec>();
     if (protocol == "SOAP") return std::make_unique<SoapxCodec>();

@@ -7,6 +7,11 @@
 //   SOAPX — verbose XML-style text (the SOAP stand-in)
 // Both carry exactly the same message model; they differ in encoding cost
 // and wire size, which is what experiment E5 measures.
+//
+// Encoding is zero-copy: the `*_into` methods append the framed message to
+// a caller-supplied ByteWriter, which in the RPC path borrows a frame from
+// the System's BufferPool (DESIGN.md §17).  The Bytes-returning wrappers
+// remain for tests, tools and the migration path.
 #pragma once
 
 #include <memory>
@@ -17,6 +22,16 @@
 
 namespace rafda::net {
 
+/// Frame-level context shared by every call coalesced into one batch
+/// frame on a directed link: the sending node and the request id of the
+/// frame-opening call.  Batch entries omit what the context pins down and
+/// are only decodable against the same context the encoder used — which
+/// the receiving end of a link has, because it saw the frame open.
+struct BatchContext {
+    std::int32_t src_node = 0;
+    std::uint64_t base_request_id = 0;
+};
+
 class Codec {
 public:
     virtual ~Codec() = default;
@@ -24,10 +39,37 @@ public:
     /// Protocol suffix used in generated proxy class names ("RMI", "SOAP").
     virtual const std::string& protocol() const = 0;
 
-    virtual Bytes encode_request(const CallRequest& req) const = 0;
+    /// Appends the framed request/reply to `w` with no intermediate copy.
+    virtual void encode_request_into(const CallRequest& req, ByteWriter& w) const = 0;
+    virtual void encode_reply_into(const CallReply& reply, ByteWriter& w) const = 0;
+
+    Bytes encode_request(const CallRequest& req) const {
+        ByteWriter w;
+        encode_request_into(req, w);
+        return w.take();
+    }
+    Bytes encode_reply(const CallReply& reply) const {
+        ByteWriter w;
+        encode_reply_into(reply, w);
+        return w.take();
+    }
+
     virtual CallRequest decode_request(const Bytes& data) const = 0;
-    virtual Bytes encode_reply(const CallReply& reply) const = 0;
     virtual CallReply decode_reply(const Bytes& data) const = 0;
+
+    /// True when the protocol defines a compact batch-entry framing for
+    /// calls coalesced into an open frame on a busy link (DESIGN.md §17).
+    /// The default is per-call framing only: such protocols still share
+    /// the pooled buffers, but every request travels as its own frame.
+    virtual bool supports_batch_entries() const { return false; }
+    /// Appends one batch-continuation entry for `req` against `ctx`.
+    /// Throws CodecError unless supports_batch_entries().
+    virtual void encode_batch_entry(const CallRequest& req, const BatchContext& ctx,
+                                    ByteWriter& w) const;
+    /// Decodes a batch-continuation entry against the same context the
+    /// encoder used.  Throws CodecError unless supports_batch_entries().
+    virtual CallRequest decode_batch_entry(const Bytes& data,
+                                           const BatchContext& ctx) const;
 
     /// Simulated per-byte CPU cost of encoding/decoding, in nanoseconds;
     /// lets experiments model SOAP's parsing overhead without real XML

@@ -18,10 +18,14 @@ constexpr std::uint8_t kTypeReply = 1;
 constexpr std::uint8_t kFlagReliable = 0x01;
 
 /// CDR-style writer: pads to 4-byte alignment before multi-byte values.
+/// Wraps the caller's ByteWriter (in the RPC path a pooled frame) and
+/// aligns relative to where this message started, so the encoding is the
+/// same whether the frame buffer was fresh or already held other bytes.
 class CdrWriter {
 public:
+    explicit CdrWriter(ByteWriter& w) : w_(w), base_(w.size()) {}
     void align4() {
-        while (w_.size() % 4 != 0) w_.u8(0);
+        while ((w_.size() - base_) % 4 != 0) w_.u8(0);
     }
     void u8(std::uint8_t v) { w_.u8(v); }
     void u32(std::uint32_t v) {
@@ -40,13 +44,12 @@ public:
     }
     void str(std::string_view s) {
         u32(static_cast<std::uint32_t>(s.size()));
-        for (char c : s) w_.u8(static_cast<std::uint8_t>(c));
+        w_.text(s);
     }
-    Bytes take() { return w_.take(); }
-    std::size_t size() const { return w_.size(); }
 
 private:
-    ByteWriter w_;
+    ByteWriter& w_;
+    std::size_t base_;
 };
 
 class CdrReader {
@@ -159,8 +162,8 @@ const std::string& CorbxCodec::protocol() const {
     return name;
 }
 
-Bytes CorbxCodec::encode_request(const CallRequest& req) const {
-    CdrWriter w;
+void CorbxCodec::encode_request_into(const CallRequest& req, ByteWriter& out) const {
+    CdrWriter w(out);
     const bool reliable = req.attempt != 0 || req.deadline_us != 0;
     write_header(w, kTypeRequest, reliable ? kFlagReliable : 0);
     if (reliable) {
@@ -178,7 +181,6 @@ Bytes CorbxCodec::encode_request(const CallRequest& req) const {
     w.str(req.desc);
     w.u32(static_cast<std::uint32_t>(req.args.size()));
     for (const MarshalledValue& a : req.args) write_value(w, a);
-    return w.take();
 }
 
 CallRequest CorbxCodec::decode_request(const Bytes& data) const {
@@ -207,8 +209,8 @@ CallRequest CorbxCodec::decode_request(const Bytes& data) const {
     return req;
 }
 
-Bytes CorbxCodec::encode_reply(const CallReply& reply) const {
-    CdrWriter w;
+void CorbxCodec::encode_reply_into(const CallReply& reply, ByteWriter& out) const {
+    CdrWriter w(out);
     write_header(w, kTypeReply);
     w.u64(reply.request_id);
     w.u8(reply.is_fault ? 1 : 0);
@@ -218,7 +220,6 @@ Bytes CorbxCodec::encode_reply(const CallReply& reply) const {
     } else {
         write_value(w, reply.result);
     }
-    return w.take();
 }
 
 CallReply CorbxCodec::decode_reply(const Bytes& data) const {

@@ -40,6 +40,7 @@ SimNetwork::LinkMetrics& SimNetwork::link_metrics(NodeId src, NodeId dst) {
         m.messages = &registry_->counter(prefix + "messages");
         m.bytes = &registry_->counter(prefix + "bytes");
         m.drops = &registry_->counter(prefix + "drops");
+        m.coalesced = &registry_->counter(prefix + "coalesced");
         m.busy_us = &registry_->counter(prefix + "busy_us");
         m.utilization_ppm = &registry_->gauge(prefix + "utilization_ppm");
         it = link_metrics_.emplace(std::make_pair(src, dst), m).first;
@@ -54,12 +55,25 @@ void SimNetwork::attach_metrics(obs::Registry* registry) {
 
 Delivery SimNetwork::transfer_at(NodeId src, NodeId dst, std::size_t size,
                                  std::uint64_t send_us) {
+    return sequence_transfer(src, dst, size, send_us, false);
+}
+
+Delivery SimNetwork::transfer_coalesced_at(NodeId src, NodeId dst, std::size_t size,
+                                           std::uint64_t send_us) {
+    return sequence_transfer(src, dst, size, send_us, true);
+}
+
+Delivery SimNetwork::sequence_transfer(NodeId src, NodeId dst, std::size_t size,
+                                       std::uint64_t send_us, bool try_coalesce) {
     const LinkParams& params = link(src, dst);
     LinkStats& stats = stats_[{src, dst}];
     LinkMetrics* metrics = registry_ ? &link_metrics(src, dst) : nullptr;
     std::uint64_t& busy_until = busy_until_[{src, dst}];
     // The channel carries one message at a time: a transfer sent while the
-    // link is occupied queues behind the in-flight one.
+    // link is occupied queues behind the in-flight one — unless the caller
+    // asked to coalesce, in which case the bytes join the in-flight frame
+    // at its tail instead of waiting for the link to free up.
+    const bool coalesce = try_coalesce && send_us < busy_until;
     const std::uint64_t depart = std::max(send_us, busy_until);
     // Scheduled faults are evaluated at the departure time. A down/flapped
     // link loses the message without consuming a PRNG draw (pure function
@@ -99,29 +113,37 @@ Delivery SimNetwork::transfer_at(NodeId src, NodeId dst, std::size_t size,
                 stats.busy_us * 1'000'000 /
                 std::max<std::uint64_t>(1, clock_us_ - stats_epoch_us_)));
         }
-        return Delivery{false, fail_at};
+        return Delivery{false, fail_at, coalesce};
     }
-    ++stats.messages;
+    if (coalesce)
+        ++stats.coalesced;
+    else
+        ++stats.messages;
     stats.bytes += size;
     double serialization =
         params.bandwidth_bytes_per_us > 0
             ? static_cast<double>(size) / params.bandwidth_bytes_per_us
             : 0.0;
+    // A coalesced entry rides the in-flight frame: it pays its own
+    // serialization time but shares the frame's propagation delay.
     const std::uint64_t arrival =
-        depart + params.latency_us +
+        depart + (coalesce ? 0 : params.latency_us) +
         static_cast<std::uint64_t>(std::llround(serialization));
     stats.busy_us += arrival - depart;
     busy_until = arrival;
     observe(arrival);
     if (metrics) {
-        metrics->messages->add();
+        if (coalesce)
+            metrics->coalesced->add();
+        else
+            metrics->messages->add();
         metrics->bytes->add(size);
         metrics->busy_us->add(arrival - depart);
         metrics->utilization_ppm->set(static_cast<std::int64_t>(
             stats.busy_us * 1'000'000 /
             std::max<std::uint64_t>(1, clock_us_ - stats_epoch_us_)));
     }
-    return Delivery{true, arrival};
+    return Delivery{true, arrival, coalesce};
 }
 
 std::optional<std::uint64_t> SimNetwork::transfer(NodeId src, NodeId dst,
@@ -151,6 +173,7 @@ LinkStats SimNetwork::total_stats() const {
         total.messages += s.messages;
         total.bytes += s.bytes;
         total.drops += s.drops;
+        total.coalesced += s.coalesced;
         total.busy_us += s.busy_us;
     }
     return total;
@@ -176,6 +199,7 @@ void SimNetwork::reset_stats() {
         m.messages->reset();
         m.bytes->reset();
         m.drops->reset();
+        m.coalesced->reset();
         m.busy_us->reset();
         m.utilization_ppm->reset();
     }

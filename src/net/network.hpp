@@ -41,9 +41,13 @@ struct LinkParams {
 };
 
 struct LinkStats {
+    /// Frames put on the wire (coalesced continuation entries excluded).
     std::uint64_t messages = 0;
     std::uint64_t bytes = 0;
     std::uint64_t drops = 0;
+    /// Entries appended to an already-in-flight frame instead of opening
+    /// a new one (transfer_coalesced_at).
+    std::uint64_t coalesced = 0;
     /// Total virtual time the link spent occupied (sum of depart→arrival
     /// windows, drops included up to the loss point).
     std::uint64_t busy_us = 0;
@@ -51,10 +55,13 @@ struct LinkStats {
 
 /// Outcome of one sequenced transfer.  `at_us` is the arrival time when
 /// delivered, or the time the loss becomes observable (depart + latency)
-/// when dropped — the link was occupied either way.
+/// when dropped — the link was occupied either way.  `coalesced` reports
+/// whether the bytes rode an already-in-flight frame (and so paid no
+/// fresh propagation delay).
 struct Delivery {
     bool delivered = false;
     std::uint64_t at_us = 0;
+    bool coalesced = false;
 };
 
 class SimNetwork {
@@ -74,6 +81,19 @@ public:
     /// occupy the link for the propagation delay.
     Delivery transfer_at(NodeId src, NodeId dst, std::size_t size,
                          std::uint64_t send_us);
+
+    /// Like transfer_at, but when the link is still occupied at `send_us`
+    /// the bytes are appended to the in-flight frame instead of queueing
+    /// behind it: the entry departs at busy_until and arrives after its
+    /// serialization time alone — it shares the frame's propagation delay
+    /// rather than paying a fresh one (cut-through pipelining; DESIGN.md
+    /// §17).  Fault evaluation and the per-link drop stream are consulted
+    /// exactly as transfer_at would at the same departure time, so a
+    /// coalesced schedule makes the identical PRNG draws.  On a free link
+    /// this degrades to transfer_at (Delivery.coalesced = false), letting
+    /// callers probe link_busy_until() and append atomically.
+    Delivery transfer_coalesced_at(NodeId src, NodeId dst, std::size_t size,
+                                   std::uint64_t send_us);
 
     /// Legacy synchronous transfer: sends at the global watermark and
     /// returns the delay, or nullopt when the message was dropped (the
@@ -146,11 +166,14 @@ private:
         obs::Counter* messages = nullptr;
         obs::Counter* bytes = nullptr;
         obs::Counter* drops = nullptr;
+        obs::Counter* coalesced = nullptr;
         obs::Counter* busy_us = nullptr;
         obs::Gauge* utilization_ppm = nullptr;
     };
     LinkMetrics& link_metrics(NodeId src, NodeId dst);
     Rng& link_rng(NodeId src, NodeId dst);
+    Delivery sequence_transfer(NodeId src, NodeId dst, std::size_t size,
+                               std::uint64_t send_us, bool try_coalesce);
 
     LinkParams default_link_;
     std::map<std::pair<NodeId, NodeId>, LinkParams> links_;

@@ -13,6 +13,16 @@ constexpr std::uint8_t kMagicReply = 0xA2;
 // fault-free wire sizes in EXPERIMENTS.md E5 — is byte-identical to the
 // original framing.
 constexpr std::uint8_t kMagicRequestReliable = 0xA3;
+// Batch-continuation entry: a request coalesced into an already-open
+// frame on a busy link.  It omits src_node (pinned by the frame) and
+// carries request_id as a varint delta from the frame-opening call, with
+// the reliability and trace fields flag-gated the same way 0xA3 gates
+// the reliability extension.  Only decodable against the BatchContext
+// the encoder used, so decode_request rejects it outright.
+constexpr std::uint8_t kMagicBatchEntry = 0xA4;
+
+constexpr std::uint8_t kEntryFlagReliable = 0x01;
+constexpr std::uint8_t kEntryFlagTraced = 0x02;
 
 void write_value(ByteWriter& w, const MarshalledValue& v) {
     w.u8(static_cast<std::uint8_t>(v.tag));
@@ -53,6 +63,31 @@ MarshalledValue read_value(ByteReader& r) {
     return v;
 }
 
+std::uint8_t checked_kind(std::uint8_t kind) {
+    if (kind > static_cast<std::uint8_t>(RequestKind::Discover))
+        throw CodecError("rmib: bad request kind");
+    return kind;
+}
+
+void write_call_body(ByteWriter& w, const CallRequest& req) {
+    w.u64(req.target_oid);
+    w.str(req.cls);
+    w.str(req.method);
+    w.str(req.desc);
+    w.u32(static_cast<std::uint32_t>(req.args.size()));
+    for (const MarshalledValue& a : req.args) write_value(w, a);
+}
+
+void read_call_body(ByteReader& r, CallRequest& req) {
+    req.target_oid = r.u64();
+    req.cls = r.str();
+    req.method = r.str();
+    req.desc = r.str();
+    std::uint32_t n = r.u32();
+    req.args.reserve(n);
+    for (std::uint32_t k = 0; k < n; ++k) req.args.push_back(read_value(r));
+}
+
 }  // namespace
 
 const std::string& RmibCodec::protocol() const {
@@ -60,8 +95,7 @@ const std::string& RmibCodec::protocol() const {
     return name;
 }
 
-Bytes RmibCodec::encode_request(const CallRequest& req) const {
-    ByteWriter w;
+void RmibCodec::encode_request_into(const CallRequest& req, ByteWriter& w) const {
     const bool reliable = req.attempt != 0 || req.deadline_us != 0;
     w.u8(reliable ? kMagicRequestReliable : kMagicRequest);
     if (reliable) {
@@ -73,18 +107,14 @@ Bytes RmibCodec::encode_request(const CallRequest& req) const {
     w.u64(req.trace_id);
     w.u64(req.parent_span);
     w.i32(req.src_node);
-    w.u64(req.target_oid);
-    w.str(req.cls);
-    w.str(req.method);
-    w.str(req.desc);
-    w.u32(static_cast<std::uint32_t>(req.args.size()));
-    for (const MarshalledValue& a : req.args) write_value(w, a);
-    return w.take();
+    write_call_body(w, req);
 }
 
 CallRequest RmibCodec::decode_request(const Bytes& data) const {
     ByteReader r(data);
     const std::uint8_t magic = r.u8();
+    if (magic == kMagicBatchEntry)
+        throw CodecError("rmib: batch entry outside a batch frame");
     if (magic != kMagicRequest && magic != kMagicRequestReliable)
         throw CodecError("rmib: bad request magic");
     CallRequest req;
@@ -92,27 +122,65 @@ CallRequest RmibCodec::decode_request(const Bytes& data) const {
         req.attempt = r.u32();
         req.deadline_us = r.u64();
     }
-    std::uint8_t kind = r.u8();
-    if (kind > static_cast<std::uint8_t>(RequestKind::Discover))
-        throw CodecError("rmib: bad request kind");
-    req.kind = static_cast<RequestKind>(kind);
+    req.kind = static_cast<RequestKind>(checked_kind(r.u8()));
     req.request_id = r.u64();
     req.trace_id = r.u64();
     req.parent_span = r.u64();
     req.src_node = r.i32();
-    req.target_oid = r.u64();
-    req.cls = r.str();
-    req.method = r.str();
-    req.desc = r.str();
-    std::uint32_t n = r.u32();
-    req.args.reserve(n);
-    for (std::uint32_t k = 0; k < n; ++k) req.args.push_back(read_value(r));
+    read_call_body(r, req);
     if (!r.at_end()) throw CodecError("rmib: trailing bytes in request");
     return req;
 }
 
-Bytes RmibCodec::encode_reply(const CallReply& reply) const {
-    ByteWriter w;
+void RmibCodec::encode_batch_entry(const CallRequest& req, const BatchContext& ctx,
+                                   ByteWriter& w) const {
+    if (req.src_node != ctx.src_node)
+        throw CodecError("rmib: batch entry from a different source node");
+    if (req.request_id < ctx.base_request_id)
+        throw CodecError("rmib: batch entry precedes the frame-opening call");
+    std::uint8_t flags = 0;
+    if (req.attempt != 0 || req.deadline_us != 0) flags |= kEntryFlagReliable;
+    if (req.trace_id != 0 || req.parent_span != 0) flags |= kEntryFlagTraced;
+    w.u8(kMagicBatchEntry);
+    w.u8(flags);
+    w.varu64(req.request_id - ctx.base_request_id);
+    w.u8(static_cast<std::uint8_t>(req.kind));
+    if (flags & kEntryFlagReliable) {
+        w.u32(req.attempt);
+        w.u64(req.deadline_us);
+    }
+    if (flags & kEntryFlagTraced) {
+        w.u64(req.trace_id);
+        w.u64(req.parent_span);
+    }
+    write_call_body(w, req);
+}
+
+CallRequest RmibCodec::decode_batch_entry(const Bytes& data,
+                                          const BatchContext& ctx) const {
+    ByteReader r(data);
+    if (r.u8() != kMagicBatchEntry) throw CodecError("rmib: bad batch-entry magic");
+    const std::uint8_t flags = r.u8();
+    if (flags & ~(kEntryFlagReliable | kEntryFlagTraced))
+        throw CodecError("rmib: bad batch-entry flags");
+    CallRequest req;
+    req.src_node = ctx.src_node;
+    req.request_id = ctx.base_request_id + r.varu64();
+    req.kind = static_cast<RequestKind>(checked_kind(r.u8()));
+    if (flags & kEntryFlagReliable) {
+        req.attempt = r.u32();
+        req.deadline_us = r.u64();
+    }
+    if (flags & kEntryFlagTraced) {
+        req.trace_id = r.u64();
+        req.parent_span = r.u64();
+    }
+    read_call_body(r, req);
+    if (!r.at_end()) throw CodecError("rmib: trailing bytes in batch entry");
+    return req;
+}
+
+void RmibCodec::encode_reply_into(const CallReply& reply, ByteWriter& w) const {
     w.u8(kMagicReply);
     w.u64(reply.request_id);
     w.u8(reply.is_fault ? 1 : 0);
@@ -122,7 +190,6 @@ Bytes RmibCodec::encode_reply(const CallReply& reply) const {
     } else {
         write_value(w, reply.result);
     }
-    return w.take();
 }
 
 CallReply RmibCodec::decode_reply(const Bytes& data) const {

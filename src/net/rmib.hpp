@@ -1,4 +1,9 @@
 // RMIB — the compact binary protocol (RMI stand-in).
+//
+// RMIB is the only shipped codec with batch-entry framing: calls
+// coalesced into an open frame on a busy link travel as 0xA4
+// continuation entries that omit the fields pinned down by the frame's
+// BatchContext (DESIGN.md §17).
 #pragma once
 
 #include "net/codec.hpp"
@@ -8,10 +13,15 @@ namespace rafda::net {
 class RmibCodec final : public Codec {
 public:
     const std::string& protocol() const override;
-    Bytes encode_request(const CallRequest& req) const override;
+    void encode_request_into(const CallRequest& req, ByteWriter& w) const override;
     CallRequest decode_request(const Bytes& data) const override;
-    Bytes encode_reply(const CallReply& reply) const override;
+    void encode_reply_into(const CallReply& reply, ByteWriter& w) const override;
     CallReply decode_reply(const Bytes& data) const override;
+    bool supports_batch_entries() const override { return true; }
+    void encode_batch_entry(const CallRequest& req, const BatchContext& ctx,
+                            ByteWriter& w) const override;
+    CallRequest decode_batch_entry(const Bytes& data,
+                                   const BatchContext& ctx) const override;
     double cpu_cost_ns_per_byte() const override { return 0.5; }
 };
 

@@ -1,8 +1,10 @@
 #include "net/soapx.hpp"
 
+#include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
-#include <sstream>
+#include <string_view>
 
 #include "support/error.hpp"
 #include "support/strings.hpp"
@@ -12,6 +14,26 @@ namespace rafda::net {
 namespace {
 
 // ---- encoding -----------------------------------------------------------
+//
+// The document is appended piecewise to the caller's ByteWriter (in the
+// RPC path a pooled frame), never assembled in an intermediate
+// ostringstream.  The numeric formats below must stay byte-identical to
+// the historical ostream output: std::to_string matches operator<< for
+// integers, and "%.17g" matches a precision(17) defaultfloat stream for
+// doubles (both pinned by SoapxFormat tests).
+
+void append_text(ByteWriter& w, std::string_view v) { w.text(v); }
+
+template <typename Int>
+void append_int(ByteWriter& w, Int v) {
+    w.text(std::to_string(v));
+}
+
+void append_double(ByteWriter& w, double v) {
+    char buf[40];
+    int n = std::snprintf(buf, sizeof buf, "%.17g", v);
+    w.text(std::string_view(buf, static_cast<std::size_t>(n)));
+}
 
 const char* tag_name(ValueTag t) {
     switch (t) {
@@ -37,36 +59,49 @@ ValueTag tag_from_name(const std::string& name) {
     throw CodecError("soapx: unknown value type " + name);
 }
 
-void encode_value(std::ostringstream& os, const char* element,
-                  const MarshalledValue& v) {
-    os << "<" << element << " type=\"" << tag_name(v.tag) << "\"";
+void encode_value(ByteWriter& w, std::string_view element, const MarshalledValue& v) {
+    append_text(w, "<");
+    append_text(w, element);
+    append_text(w, " type=\"");
+    append_text(w, tag_name(v.tag));
+    append_text(w, "\"");
     switch (v.tag) {
         case ValueTag::Ref:
-            os << " node=\"" << v.ref_node << "\" oid=\"" << v.ref_oid << "\" class=\""
-               << xml_escape(v.ref_class) << "\">";
+            append_text(w, " node=\"");
+            append_int(w, v.ref_node);
+            append_text(w, "\" oid=\"");
+            append_int(w, v.ref_oid);
+            append_text(w, "\" class=\"");
+            append_text(w, xml_escape(v.ref_class));
+            append_text(w, "\">");
             break;
         case ValueTag::Null:
-            os << ">";
+            append_text(w, ">");
             break;
         case ValueTag::Bool:
-            os << ">" << (v.b ? "true" : "false");
+            append_text(w, ">");
+            append_text(w, v.b ? "true" : "false");
             break;
         case ValueTag::Int:
-            os << ">" << v.i;
+            append_text(w, ">");
+            append_int(w, v.i);
             break;
         case ValueTag::Long:
-            os << ">" << v.j;
+            append_text(w, ">");
+            append_int(w, v.j);
             break;
         case ValueTag::Double:
-            os << ">";
-            os.precision(17);
-            os << v.d;
+            append_text(w, ">");
+            append_double(w, v.d);
             break;
         case ValueTag::Str:
-            os << ">" << xml_escape(v.s);
+            append_text(w, ">");
+            append_text(w, xml_escape(v.s));
             break;
     }
-    os << "</" << element << ">";
+    append_text(w, "</");
+    append_text(w, element);
+    append_text(w, ">");
 }
 
 const char* kind_name(RequestKind k) {
@@ -108,9 +143,12 @@ struct Element {
     }
 };
 
+// The scanner walks the wire bytes in place (string_view over the Bytes
+// payload) — decode no longer copies the document into a std::string
+// before parsing.
 class Scanner {
 public:
-    explicit Scanner(const std::string& text) : text_(text) {}
+    explicit Scanner(std::string_view text) : text_(text) {}
 
     Element parse_document() {
         Element root = parse_element();
@@ -164,11 +202,11 @@ private:
             skip_ws();
             if (pos_ >= text_.size() || text_[pos_] != '"') fail("expected '\"'");
             ++pos_;
-            std::string value;
-            while (pos_ < text_.size() && text_[pos_] != '"') value += text_[pos_++];
+            const std::size_t start = pos_;
+            while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;
             if (pos_ >= text_.size()) fail("unterminated attribute");
+            el.attrs[key] = xml_unescape(text_.substr(start, pos_ - start));
             ++pos_;
-            el.attrs[key] = xml_unescape(value);
         }
         // Content: text and child elements until matching close tag.
         while (true) {
@@ -176,12 +214,14 @@ private:
             if (text_[pos_] == '<') {
                 if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
                     pos_ += 2;
-                    std::string close;
-                    while (pos_ < text_.size() && text_[pos_] != '>') close += text_[pos_++];
+                    const std::size_t start = pos_;
+                    while (pos_ < text_.size() && text_[pos_] != '>') ++pos_;
                     if (pos_ >= text_.size()) fail("unterminated close tag");
+                    std::string_view close = text_.substr(start, pos_ - start);
                     ++pos_;
                     if (close != el.name)
-                        fail("mismatched close tag " + close + " for " + el.name);
+                        fail("mismatched close tag " + std::string(close) + " for " +
+                             el.name);
                     el.text = xml_unescape(el.text);
                     return el;
                 }
@@ -192,7 +232,7 @@ private:
         }
     }
 
-    const std::string& text_;
+    std::string_view text_;
     std::size_t pos_ = 0;
 };
 
@@ -225,11 +265,10 @@ const Element& only_child(const Element& el, const char* name) {
     return el.children[0];
 }
 
-std::string to_string_payload(const Bytes& data) {
-    return std::string(data.begin(), data.end());
+std::string_view as_text(const Bytes& data) {
+    if (data.empty()) return {};
+    return std::string_view(reinterpret_cast<const char*>(data.data()), data.size());
 }
-
-Bytes to_bytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
 
 }  // namespace
 
@@ -238,26 +277,45 @@ const std::string& SoapxCodec::protocol() const {
     return name;
 }
 
-Bytes SoapxCodec::encode_request(const CallRequest& req) const {
-    std::ostringstream os;
-    os << "<Envelope><Body><Request kind=\"" << kind_name(req.kind) << "\" id=\""
-       << req.request_id << "\" trace=\"" << req.trace_id << "\" span=\""
-       << req.parent_span << "\" src=\"" << req.src_node << "\" target=\""
-       << req.target_oid << "\" class=\"" << xml_escape(req.cls) << "\" method=\""
-       << xml_escape(req.method) << "\" desc=\"" << xml_escape(req.desc) << "\"";
+void SoapxCodec::encode_request_into(const CallRequest& req, ByteWriter& w) const {
+    append_text(w, "<Envelope><Body><Request kind=\"");
+    append_text(w, kind_name(req.kind));
+    append_text(w, "\" id=\"");
+    append_int(w, req.request_id);
+    append_text(w, "\" trace=\"");
+    append_int(w, req.trace_id);
+    append_text(w, "\" span=\"");
+    append_int(w, req.parent_span);
+    append_text(w, "\" src=\"");
+    append_int(w, req.src_node);
+    append_text(w, "\" target=\"");
+    append_int(w, req.target_oid);
+    append_text(w, "\" class=\"");
+    append_text(w, xml_escape(req.cls));
+    append_text(w, "\" method=\"");
+    append_text(w, xml_escape(req.method));
+    append_text(w, "\" desc=\"");
+    append_text(w, xml_escape(req.desc));
+    append_text(w, "\"");
     // Reliability attributes only appear when set, so base-protocol
     // traffic keeps its original byte size (EXPERIMENTS.md E5).
-    if (req.attempt != 0) os << " attempt=\"" << req.attempt << "\"";
-    if (req.deadline_us != 0) os << " deadline=\"" << req.deadline_us << "\"";
-    os << ">";
-    for (const MarshalledValue& a : req.args) encode_value(os, "arg", a);
-    os << "</Request></Body></Envelope>";
-    return to_bytes(os.str());
+    if (req.attempt != 0) {
+        append_text(w, " attempt=\"");
+        append_int(w, req.attempt);
+        append_text(w, "\"");
+    }
+    if (req.deadline_us != 0) {
+        append_text(w, " deadline=\"");
+        append_int(w, req.deadline_us);
+        append_text(w, "\"");
+    }
+    append_text(w, ">");
+    for (const MarshalledValue& a : req.args) encode_value(w, "arg", a);
+    append_text(w, "</Request></Body></Envelope>");
 }
 
 CallRequest SoapxCodec::decode_request(const Bytes& data) const {
-    std::string text = to_string_payload(data);
-    Element envelope = Scanner(text).parse_document();
+    Element envelope = Scanner(as_text(data)).parse_document();
     if (envelope.name != "Envelope") throw CodecError("soapx: expected <Envelope>");
     const Element& request = only_child(only_child(envelope, "Body"), "Request");
     CallRequest req;
@@ -283,22 +341,24 @@ CallRequest SoapxCodec::decode_request(const Bytes& data) const {
     return req;
 }
 
-Bytes SoapxCodec::encode_reply(const CallReply& reply) const {
-    std::ostringstream os;
-    os << "<Envelope><Body><Reply id=\"" << reply.request_id << "\">";
+void SoapxCodec::encode_reply_into(const CallReply& reply, ByteWriter& w) const {
+    append_text(w, "<Envelope><Body><Reply id=\"");
+    append_int(w, reply.request_id);
+    append_text(w, "\">");
     if (reply.is_fault) {
-        os << "<fault class=\"" << xml_escape(reply.fault_class) << "\">"
-           << xml_escape(reply.fault_msg) << "</fault>";
+        append_text(w, "<fault class=\"");
+        append_text(w, xml_escape(reply.fault_class));
+        append_text(w, "\">");
+        append_text(w, xml_escape(reply.fault_msg));
+        append_text(w, "</fault>");
     } else {
-        encode_value(os, "result", reply.result);
+        encode_value(w, "result", reply.result);
     }
-    os << "</Reply></Body></Envelope>";
-    return to_bytes(os.str());
+    append_text(w, "</Reply></Body></Envelope>");
 }
 
 CallReply SoapxCodec::decode_reply(const Bytes& data) const {
-    std::string text = to_string_payload(data);
-    Element envelope = Scanner(text).parse_document();
+    Element envelope = Scanner(as_text(data)).parse_document();
     if (envelope.name != "Envelope") throw CodecError("soapx: expected <Envelope>");
     const Element& reply_el = only_child(only_child(envelope, "Body"), "Reply");
     CallReply reply;

@@ -91,6 +91,19 @@ public:
     /// it — deterministic, since the round-robin order is.
     void set_window_us(std::uint64_t w) { window_us_ = w; }
 
+    /// Client pipelining (DESIGN.md §17): each round a client issues up
+    /// to `depth` consecutive invocations in node pipeline mode — reply
+    /// waits are deferred to the end of the burst, so successive requests
+    /// stream onto the link while it is still busy (the workload shape
+    /// per-link batching coalesces).  1 (the default) is the legacy
+    /// call-and-wait behaviour.  Host execution order is unchanged, so
+    /// per-call results are identical; only virtual-time joins move.
+    /// Task latencies are measured per burst (each task in a burst
+    /// reports the burst-so-far delta from the burst's start clock).
+    void set_pipeline_depth(std::size_t depth) {
+        pipeline_depth_ = depth ? depth : 1;
+    }
+
     /// Runs every queue to exhaustion, one invocation per client per
     /// round.  Can be called again after queueing more work; clocks carry
     /// over (virtual time never rewinds).
@@ -108,6 +121,7 @@ private:
     System* system_;
     std::vector<Client> clients_;
     std::uint64_t window_us_ = 0;
+    std::size_t pipeline_depth_ = 1;
 };
 
 }  // namespace rafda::runtime

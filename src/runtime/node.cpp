@@ -30,6 +30,23 @@ void Node::reconcile_clock(std::uint64_t t) {
     clock_changed();
 }
 
+void Node::set_pipeline(bool on) {
+    if (!on && pipeline_horizon_us_) {
+        reconcile_clock(pipeline_horizon_us_);
+        pipeline_horizon_us_ = 0;
+        sync_guest_time();
+    }
+    pipeline_ = on;
+}
+
+void Node::reconcile_reply(std::uint64_t t) {
+    if (pipeline_) {
+        if (t > pipeline_horizon_us_) pipeline_horizon_us_ = t;
+        return;
+    }
+    reconcile_clock(t);
+}
+
 void Node::clock_changed() {
     if (clock_gauge_) clock_gauge_->set(static_cast<std::int64_t>(clock_us_));
     system_->network().observe(clock_us_);

@@ -49,6 +49,21 @@ public:
     /// Pulls the guest-visible logical time (Sys.time) up to the clock.
     void sync_guest_time();
 
+    /// Pipeline mode (DESIGN.md §17): while on, this node streams its
+    /// remote calls — successful reply arrivals are folded into a pending
+    /// horizon (reconcile_reply) instead of stalling the clock, so the
+    /// next request departs while the link still carries the previous one
+    /// (which is what lets the batching layer coalesce).  Turning the
+    /// mode off drains the horizon: the clock catches up to the latest
+    /// reply arrival, restoring ordinary call-and-wait semantics.
+    /// Failure paths always reconcile immediately, so retries, deadlines
+    /// and exactly-once behave identically per logical call.
+    void set_pipeline(bool on);
+    bool pipeline() const noexcept { return pipeline_; }
+    /// Success-path reply join point: defers into the pipeline horizon
+    /// when pipeline mode is on, otherwise reconciles immediately.
+    void reconcile_reply(std::uint64_t t);
+
     /// Services one decoded request arriving over `protocol`.  When the
     /// system's reliability policy enables dedup, the request id is an
     /// idempotency key: a retry of an already-executed request replays the
@@ -110,6 +125,10 @@ private:
     std::map<std::uint64_t, net::CallReply> reply_cache_;
     std::deque<std::uint64_t> reply_cache_order_;
     std::uint64_t restarts_seen_ = 0;
+    /// Pipeline mode: deferred success-path reply horizon (max arrival
+    /// seen since the mode was turned on; drained by set_pipeline(false)).
+    bool pipeline_ = false;
+    std::uint64_t pipeline_horizon_us_ = 0;
 };
 
 }  // namespace rafda::runtime

@@ -65,7 +65,8 @@ void parse_fault_window(const std::vector<std::string>& toks, std::size_t t,
 }  // namespace
 
 void apply_policy_config(std::string_view text, DistributionPolicy& policy,
-                         net::SimNetwork* network, RetryPolicy* reliability) {
+                         net::SimNetwork* network, RetryPolicy* reliability,
+                         BatchPolicy* batching) {
     int lineno = 0;
     for (const std::string& raw : split(text, '\n')) {
         ++lineno;
@@ -177,6 +178,22 @@ void apply_policy_config(std::string_view text, DistributionPolicy& policy,
                 if (toks[3] != "cooldown")
                     throw ParseError("expected 'cooldown C'", lineno);
                 reliability->breaker_cooldown_us = parse_u64(toks[4], lineno);
+            }
+        } else if (head == "batch") {
+            // batch on|off [max N]
+            if (!batching)
+                throw ParseError("'batch' line given but no batch policy", lineno);
+            if (toks.size() != 2 && toks.size() != 4)
+                throw ParseError("syntax: batch on|off [max N]", lineno);
+            if (toks[1] != "on" && toks[1] != "off")
+                throw ParseError("batch must be 'on' or 'off'", lineno);
+            batching->enabled = toks[1] == "on";
+            if (toks.size() == 4) {
+                if (toks[2] != "max") throw ParseError("expected 'max N'", lineno);
+                const std::uint64_t max_calls = parse_u64(toks[3], lineno);
+                if (max_calls < 2)
+                    throw ParseError("batch max must be >= 2 (opener + entry)", lineno);
+                batching->max_frame_calls = static_cast<std::uint32_t>(max_calls);
             }
         } else if (head == "fault") {
             // fault link SRC -> DST down|flap from T until T [period P]

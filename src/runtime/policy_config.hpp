@@ -18,6 +18,7 @@
 //   retry attempts 8 base 200 multiplier 2 cap 20000 jitter 50 budget 0 deadline 0
 //   dedup on capacity 1024
 //   breaker threshold 5 cooldown 10000
+//   batch on max 32                      # per-link call batching (§17)
 //   fault link 0 -> 1 down from 5000 until 9000
 //   fault link 0 -> 1 flap from 5000 until 9000 period 500
 //   fault link 0 -> 1 drop 0.25 from 5000 until 9000
@@ -34,10 +35,12 @@ namespace rafda::runtime {
 
 /// Parses `text` and applies it to `policy` (and, for `link`/`fault`
 /// lines, to `network`; for `retry`/`dedup`/`breaker` lines, to
-/// `reliability` — each when given).  Throws ParseError with a line
-/// number on malformed input, including unknown protocols.
+/// `reliability`; for `batch` lines, to `batching` — each when given).
+/// Throws ParseError with a line number on malformed input, including
+/// unknown protocols.
 void apply_policy_config(std::string_view text, DistributionPolicy& policy,
                          net::SimNetwork* network = nullptr,
-                         RetryPolicy* reliability = nullptr);
+                         RetryPolicy* reliability = nullptr,
+                         BatchPolicy* batching = nullptr);
 
 }  // namespace rafda::runtime

@@ -46,6 +46,22 @@ struct RetryPolicy {
     std::uint64_t breaker_cooldown_us = 10'000;
 };
 
+/// Per-link call batching for the RPC path (DESIGN.md §17).  Off by
+/// default: with it off the wire schedule — and every E5/E8 byte — is
+/// exactly the per-frame behaviour.  With it on, a request finding its
+/// directed link still occupied by an earlier request frame of the same
+/// protocol is appended to that frame as a compact continuation entry
+/// (protocols without batch framing keep per-call frames and only share
+/// the pooled buffers).  Batching changes *when* bytes travel, never
+/// what executes: retries, dedup and deadlines see identical semantics
+/// per logical call.
+struct BatchPolicy {
+    bool enabled = false;
+    /// Calls per frame ceiling, opener included; a full frame forces the
+    /// next call to open (and queue behind) a fresh frame.
+    std::uint32_t max_frame_calls = 32;
+};
+
 /// Closed/open/half-open breaker state for one (node, protocol) edge.
 /// State is mirrored into a registry gauge so `rafdac faults` and tests
 /// can observe transitions without poking at internals.

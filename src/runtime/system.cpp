@@ -52,6 +52,7 @@ System::System(const model::ClassPool& original, SystemOptions options)
           }())),
       network_(options.network_seed),
       reliability_(options.reliability),
+      batching_(options.batching),
       retry_jitter_rng_(Rng::mix(options.network_seed, 0x6a697474ULL)) {
     network_.set_default_link(options.default_link);
     network_.attach_metrics(&metrics_);
@@ -68,6 +69,21 @@ System::System(const model::ClassPool& original, SystemOptions options)
     rpc_timeouts_ = &metrics_.counter("rpc.timeouts");
     rpc_dedup_hits_ = &metrics_.counter("rpc.dedup_hits");
     rpc_breaker_open_ = &metrics_.counter("rpc.breaker_open");
+    batch_frames_ = &metrics_.counter("rpc.batch.frames");
+    batch_coalesced_ = &metrics_.counter("rpc.batch.coalesced");
+    batch_entry_bytes_ = &metrics_.counter("rpc.batch.entry_bytes");
+    batch_latency_saved_us_ = &metrics_.counter("rpc.batch.latency_saved_us");
+    // Pool traffic is sampled live at snapshot time (cumulative over the
+    // process, unaffected by reset_stats — zero hot-path cost).
+    metrics_.register_probe("rpc.pool.acquires", [this] {
+        return static_cast<std::int64_t>(buffer_pool_.acquires());
+    });
+    metrics_.register_probe("rpc.pool.reuses", [this] {
+        return static_cast<std::int64_t>(buffer_pool_.reuses());
+    });
+    metrics_.register_probe("rpc.pool.retained", [this] {
+        return static_cast<std::int64_t>(buffer_pool_.retained());
+    });
     for (const std::string& proto : result_.report.protocols())
         codecs_[proto] = net::make_codec(proto);
 }
@@ -285,12 +301,36 @@ net::CallReply System::rpc_attempt(net::NodeId src, net::NodeId dst,
         return std::pair<std::uint64_t, std::uint64_t>{total / 2, total - total / 2};
     };
 
-    Bytes request_bytes;
+    // The request frame encodes straight into a pooled buffer; no
+    // per-call vector churn (DESIGN.md §17).
+    support::PooledBuffer request_frame(buffer_pool_);
+    Bytes& request_bytes = request_frame.bytes();
+    BatchLane& lane = batch_lanes_[{src, dst}];
+    bool coalesce = false;
+    net::BatchContext entry_ctx;
     {
         obs::ScopedSpan span;
         if (traced)
             span = obs::ScopedSpan(tracer_, "codec.encode_request " + protocol, src);
-        request_bytes = c.encode_request(req);
+        // Batch join: if the directed link still carries an earlier
+        // same-protocol request frame with room, tentatively encode this
+        // call as a compact continuation entry.  The join must be decided
+        // against the clock *after* the encode charge (the entry's own
+        // size sets the charge), so encode first and fall back to a full
+        // frame when the link turns out to be free by then.
+        if (batching_.enabled && lane.joinable && lane.protocol == protocol &&
+            c.supports_batch_entries() &&
+            1 + lane.entries < std::max<std::uint32_t>(2, batching_.max_frame_calls)) {
+            ByteWriter w(request_bytes);
+            c.encode_batch_entry(req, lane.ctx, w);
+            coalesce = caller.clock_us() + codec_cost(request_bytes.size()).first <
+                       network_.link_busy_until(src, dst);
+            if (coalesce) entry_ctx = lane.ctx;
+        }
+        if (!coalesce) {
+            ByteWriter w(request_bytes);
+            c.encode_request_into(req, w);
+        }
         pm.request_bytes->add(request_bytes.size());
         pm.request_size->record(request_bytes.size());
         req.sim_wire_bytes += request_bytes.size();
@@ -314,7 +354,29 @@ net::CallReply System::rpc_attempt(net::NodeId src, net::NodeId dst,
                                    src);
             tracer_.note("bytes", std::to_string(request_bytes.size()));
         }
-        inbound = network_.transfer_at(src, dst, request_bytes.size(), req.sim_send_us);
+        inbound = coalesce ? network_.transfer_coalesced_at(src, dst,
+                                                            request_bytes.size(),
+                                                            req.sim_send_us)
+                           : network_.transfer_at(src, dst, request_bytes.size(),
+                                                  req.sim_send_us);
+        if (inbound.delivered && coalesce) {
+            if (++lane.entries == 1) batch_frames_->add();
+            batch_coalesced_->add();
+            batch_entry_bytes_->add(request_bytes.size());
+            // The entry rode the open frame's propagation window instead
+            // of paying its own.
+            batch_latency_saved_us_->add(network_.link(src, dst).latency_us);
+            if (traced) tracer_.note("coalesced", "request");
+        } else if (inbound.delivered) {
+            // This full frame now occupies the link; a same-protocol
+            // follower may append to it while it is in flight.
+            lane = BatchLane{protocol, net::BatchContext{src, req.request_id}, 0,
+                             batching_.enabled && c.supports_batch_entries()};
+        } else {
+            // The frame (or the frame this entry joined) died on the
+            // wire; nothing in flight is joinable any more.
+            lane.joinable = false;
+        }
         if (!inbound.delivered) {
             pm.drops->add();
             if (traced) tracer_.note("dropped", "request");
@@ -361,7 +423,8 @@ net::CallReply System::rpc_attempt(net::NodeId src, net::NodeId dst,
         obs::ScopedSpan span;
         if (traced)
             span = obs::ScopedSpan(tracer_, "codec.decode_request " + protocol, dst);
-        decoded = c.decode_request(request_bytes);
+        decoded = coalesce ? c.decode_batch_entry(request_bytes, entry_ctx)
+                           : c.decode_request(request_bytes);
         decoded.sim_send_us = req.sim_send_us;
         decoded.sim_arrival_us = req.sim_arrival_us;
         callee.advance_clock(codec_cost(request_bytes.size()).second);
@@ -390,12 +453,14 @@ net::CallReply System::rpc_attempt(net::NodeId src, net::NodeId dst,
         reply = callee.handle_request(decoded, protocol);
     }
 
-    Bytes reply_bytes;
+    support::PooledBuffer reply_frame(buffer_pool_);
+    Bytes& reply_bytes = reply_frame.bytes();
     {
         obs::ScopedSpan span;
         if (traced)
             span = obs::ScopedSpan(tracer_, "codec.encode_reply " + protocol, dst);
-        reply_bytes = c.encode_reply(reply);
+        ByteWriter w(reply_bytes);
+        c.encode_reply_into(reply, w);
         pm.reply_bytes->add(reply_bytes.size());
         pm.reply_size->record(reply_bytes.size());
         req.sim_wire_bytes += reply_bytes.size();
@@ -412,6 +477,9 @@ net::CallReply System::rpc_attempt(net::NodeId src, net::NodeId dst,
             tracer_.note("bytes", std::to_string(reply_bytes.size()));
         }
         outbound = network_.transfer_at(dst, src, reply_bytes.size(), callee.clock_us());
+        // The reply frame is what now occupies the reverse link; a later
+        // request on that link must open its own frame.
+        batch_lanes_[{dst, src}].joinable = false;
         if (!outbound.delivered) {
             pm.drops->add();
             if (traced) tracer_.note("dropped", "reply");
@@ -431,8 +499,11 @@ net::CallReply System::rpc_attempt(net::NodeId src, net::NodeId dst,
     // Join point two: the caller resumes no earlier than the reply arrival.
     // The server is NOT pulled forward by the reply's flight time — it is
     // free to serve the next client the moment it finished encoding, which
-    // is exactly where multi-client overlap comes from.
-    caller.reconcile_clock(outbound.at_us);
+    // is exactly where multi-client overlap comes from.  In pipeline mode
+    // this join is deferred into the caller's horizon (drained when the
+    // pipeline closes), which is what lets its next request depart while
+    // the link still carries this one.
+    caller.reconcile_reply(outbound.at_us);
     if (journal_.enabled())
         journal_.record(obs::JournalEvent::Kind::RpcReply, outbound.at_us, src, dst,
                         req.request_id, reply_bytes.size(), {});

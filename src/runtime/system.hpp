@@ -24,6 +24,7 @@
 #include "runtime/node.hpp"
 #include "runtime/policy.hpp"
 #include "runtime/reliable.hpp"
+#include "support/pool.hpp"
 #include "support/rng.hpp"
 #include "transform/pipeline.hpp"
 
@@ -36,6 +37,8 @@ struct SystemOptions {
     /// Reliability knobs for the RPC path (defaults = legacy
     /// at-most-once: one attempt, no dedup, no breaker).
     RetryPolicy reliability;
+    /// Per-link call batching (default off = per-frame wire schedule).
+    BatchPolicy batching;
 };
 
 /// Per-protocol accounting of remote traffic.
@@ -205,6 +208,16 @@ public:
     RetryPolicy& reliability() noexcept { return reliability_; }
     const RetryPolicy& reliability() const noexcept { return reliability_; }
 
+    /// The active batching policy (DESIGN.md §17); mutate before driving
+    /// traffic.  Off by default — the wire schedule is then exactly the
+    /// per-frame behaviour, byte for byte.
+    BatchPolicy& batching() noexcept { return batching_; }
+    const BatchPolicy& batching() const noexcept { return batching_; }
+
+    /// The pooled message-buffer arena the RPC path encodes into; exposed
+    /// for tests and the rpc.pool.* probes.
+    const support::BufferPool& buffer_pool() const noexcept { return buffer_pool_; }
+
     /// Per-(destination node, protocol) breaker traversal in key order,
     /// for `rafdac faults` and tests.
     void visit_breakers(const std::function<void(
@@ -285,6 +298,25 @@ private:
     std::uint64_t request_counter_ = 0;
     bool method_profiling_ = false;
     RetryPolicy reliability_;
+    BatchPolicy batching_;
+    /// Per-directed-link batch lane: what frame last occupied the link
+    /// and whether a same-protocol request may still append to it.  The
+    /// decode side reuses the recorded BatchContext, modelling the
+    /// receiver having seen the frame open.
+    struct BatchLane {
+        std::string protocol;
+        net::BatchContext ctx;
+        std::uint32_t entries = 0;  // continuation entries appended so far
+        bool joinable = false;
+    };
+    std::map<std::pair<net::NodeId, net::NodeId>, BatchLane> batch_lanes_;
+    /// Message-buffer arena for the RPC hot path (request + reply frames
+    /// encode straight into pooled storage; DESIGN.md §17).
+    support::BufferPool buffer_pool_;
+    obs::Counter* batch_frames_ = nullptr;
+    obs::Counter* batch_coalesced_ = nullptr;
+    obs::Counter* batch_entry_bytes_ = nullptr;
+    obs::Counter* batch_latency_saved_us_ = nullptr;
     std::map<std::pair<net::NodeId, std::string>, CircuitBreaker> breakers_;
     /// Last observed node-crash state per destination (journal edge
     /// detection only, mirroring SimNetwork::fault_seen_ for links).

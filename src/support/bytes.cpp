@@ -7,19 +7,27 @@
 
 namespace rafda {
 
-void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+void ByteWriter::u8(std::uint8_t v) { buf_->push_back(v); }
 
 void ByteWriter::u16(std::uint16_t v) {
-    buf_.push_back(static_cast<std::uint8_t>(v));
-    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_->push_back(static_cast<std::uint8_t>(v));
+    buf_->push_back(static_cast<std::uint8_t>(v >> 8));
 }
 
 void ByteWriter::u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    for (int i = 0; i < 4; ++i) buf_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
 }
 
 void ByteWriter::u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    for (int i = 0; i < 8; ++i) buf_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::varu64(std::uint64_t v) {
+    while (v >= 0x80) {
+        buf_->push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    buf_->push_back(static_cast<std::uint8_t>(v));
 }
 
 void ByteWriter::i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
@@ -34,10 +42,12 @@ void ByteWriter::f64(double v) {
 
 void ByteWriter::str(std::string_view v) {
     u32(static_cast<std::uint32_t>(v.size()));
-    buf_.insert(buf_.end(), v.begin(), v.end());
+    buf_->insert(buf_->end(), v.begin(), v.end());
 }
 
-void ByteWriter::raw(const Bytes& v) { buf_.insert(buf_.end(), v.begin(), v.end()); }
+void ByteWriter::raw(const Bytes& v) { buf_->insert(buf_->end(), v.begin(), v.end()); }
+
+void ByteWriter::text(std::string_view v) { buf_->insert(buf_->end(), v.begin(), v.end()); }
 
 void ByteReader::need(std::size_t n) const {
     if (pos_ + n > data_->size()) throw CodecError("truncated message");
@@ -69,6 +79,16 @@ std::uint64_t ByteReader::u64() {
     for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>((*data_)[pos_ + i]) << (8 * i);
     pos_ += 8;
     return v;
+}
+
+std::uint64_t ByteReader::varu64() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+        std::uint8_t b = u8();
+        v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+        if (!(b & 0x80)) return v;
+    }
+    throw CodecError("varint too long");
 }
 
 std::int32_t ByteReader::i32() { return static_cast<std::int32_t>(u32()); }

@@ -3,6 +3,10 @@
 // Integers are encoded little-endian at fixed width; strings are
 // length-prefixed.  ByteReader throws CodecError on truncated input so
 // codecs never read past the end of a message.
+//
+// A ByteWriter can either own its buffer (the historical behaviour) or
+// borrow one — e.g. a frame leased from a support::BufferPool — so encode
+// paths append straight into pooled storage with no final copy.
 #pragma once
 
 #include <cstdint>
@@ -17,10 +21,21 @@ using Bytes = std::vector<std::uint8_t>;
 /// Appends primitive values to a growing byte vector.
 class ByteWriter {
 public:
+    ByteWriter() = default;
+    /// Borrowing mode: appends into `external` (cleared first, capacity
+    /// kept).  The caller owns the buffer; it must outlive the writer and
+    /// `take()` must not be used.
+    explicit ByteWriter(Bytes& external) : buf_(&external) { external.clear(); }
+    ByteWriter(const ByteWriter&) = delete;
+    ByteWriter& operator=(const ByteWriter&) = delete;
+
     void u8(std::uint8_t v);
     void u16(std::uint16_t v);
     void u32(std::uint32_t v);
     void u64(std::uint64_t v);
+    /// LEB128-style unsigned varint: 7 value bits per byte, high bit =
+    /// continuation.  Small values (batch-entry id deltas) cost one byte.
+    void varu64(std::uint64_t v);
     void i32(std::int32_t v);
     void i64(std::int64_t v);
     void f64(double v);
@@ -28,13 +43,17 @@ public:
     void str(std::string_view v);
     /// Raw bytes, no length prefix.
     void raw(const Bytes& v);
+    /// Raw character data, no length prefix (text protocols).
+    void text(std::string_view v);
 
-    const Bytes& data() const noexcept { return buf_; }
-    Bytes take() noexcept { return std::move(buf_); }
-    std::size_t size() const noexcept { return buf_.size(); }
+    const Bytes& data() const noexcept { return *buf_; }
+    /// Owning mode only: moves the buffer out.
+    Bytes take() noexcept { return std::move(*buf_); }
+    std::size_t size() const noexcept { return buf_->size(); }
 
 private:
-    Bytes buf_;
+    Bytes owned_;
+    Bytes* buf_ = &owned_;
 };
 
 /// Consumes primitive values from a byte span; throws CodecError on
@@ -47,6 +66,8 @@ public:
     std::uint16_t u16();
     std::uint32_t u32();
     std::uint64_t u64();
+    /// Counterpart of ByteWriter::varu64; throws CodecError past 10 bytes.
+    std::uint64_t varu64();
     std::int32_t i32();
     std::int64_t i64();
     double f64();

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <sstream>
+
 #include "net/codec.hpp"
 #include "net/rmib.hpp"
 #include "net/soapx.hpp"
+#include "support/bytes.hpp"
 #include "support/error.hpp"
 
 namespace rafda::net {
@@ -113,8 +117,222 @@ TEST_P(BothCodecs, ReliabilityExtensionIsAbsentOnFirstAttempt) {
     EXPECT_GT(codec_->encode_request(req).size(), legacy.size());
 }
 
+TEST_P(BothCodecs, NewEncoderKeepsLegacyFramingWithoutExtension) {
+    // The other compatibility direction: a request without the extension
+    // must leave the *new* encoder in the original framing, so a legacy
+    // decoder (which knows nothing of attempt/deadline) would accept it.
+    CallRequest req = sample_request();
+    ASSERT_EQ(req.attempt, 0u);
+    ASSERT_EQ(req.deadline_us, 0u);
+    const Bytes wire = codec_->encode_request(req);
+    const std::string proto = codec_->protocol();
+    if (proto == "RMI") {
+        EXPECT_EQ(wire.at(0), 0xA1);  // plain request magic, not 0xA3/0xA4
+    } else if (proto == "CORBA") {
+        // CRBX header: magic(4) ver(2) type(1) flags(1) — reliable bit off.
+        EXPECT_EQ(wire.at(7), 0x00);
+    } else {
+        const std::string text(wire.begin(), wire.end());
+        EXPECT_EQ(text.find("attempt"), std::string::npos);
+        EXPECT_EQ(text.find("deadline"), std::string::npos);
+    }
+}
+
+TEST_P(BothCodecs, BatchingOffUsesPerCallFraming) {
+    // With batching off (the default), the RPC path encodes through
+    // encode_request_into — identical framing whether the destination
+    // buffer is fresh or a reused pooled frame with leftover capacity.
+    CallRequest req = sample_request();
+    const Bytes fresh = codec_->encode_request(req);
+    Bytes pooled_frame;
+    pooled_frame.reserve(4096);
+    pooled_frame.push_back(0xEE);  // stale content from a previous lease
+    ByteWriter w(pooled_frame);
+    codec_->encode_request_into(req, w);
+    EXPECT_EQ(pooled_frame, fresh);
+    EXPECT_EQ(codec_->decode_request(pooled_frame), req);
+}
+
+TEST_P(BothCodecs, OnlyRmibSupportsBatchEntries) {
+    const bool is_rmi = codec_->protocol() == "RMI";
+    EXPECT_EQ(codec_->supports_batch_entries(), is_rmi);
+    if (!is_rmi) {
+        CallRequest req = sample_request();
+        BatchContext ctx{req.src_node, req.request_id};
+        ByteWriter w;
+        EXPECT_THROW(codec_->encode_batch_entry(req, ctx, w), CodecError);
+        EXPECT_THROW(codec_->decode_batch_entry(codec_->encode_request(req), ctx),
+                     CodecError);
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(Protocols, BothCodecs,
                          ::testing::Values("RMI", "SOAP", "CORBA"));
+
+TEST(Codecs, LegacyRmibBytesDecodeWithZeroReliabilityDefaults) {
+    // A frame hand-assembled in the original 0xA1 layout (no extension
+    // words) must decode on the current decoder with attempt/deadline 0.
+    ByteWriter w;
+    w.u8(0xA1);                     // legacy request magic
+    w.u8(0);                        // kind = Invoke
+    w.u64(42);                      // request_id
+    w.u64(0);                       // trace_id
+    w.u64(0);                       // parent_span
+    w.i32(3);                       // src_node
+    w.u64(77);                      // target_oid
+    w.str("");                      // cls
+    w.str("m");                     // method
+    w.str("()V");                   // desc
+    w.u32(0);                       // nargs
+    CallRequest req = RmibCodec().decode_request(w.take());
+    EXPECT_EQ(req.request_id, 42u);
+    EXPECT_EQ(req.src_node, 3);
+    EXPECT_EQ(req.method, "m");
+    EXPECT_EQ(req.attempt, 0u);
+    EXPECT_EQ(req.deadline_us, 0u);
+}
+
+TEST(Codecs, LegacySoapBytesDecodeWithZeroReliabilityDefaults) {
+    // A hand-written legacy envelope (no attempt/deadline attributes)
+    // against the current decoder: the extension defaults to zero.
+    const std::string xml =
+        "<Envelope><Body><Request kind=\"invoke\" id=\"9\" trace=\"0\" span=\"0\""
+        " src=\"1\" target=\"5\" class=\"\" method=\"m\" desc=\"(I)I\">"
+        "<arg type=\"int\">-3</arg></Request></Body></Envelope>";
+    CallRequest req = SoapxCodec().decode_request(Bytes(xml.begin(), xml.end()));
+    EXPECT_EQ(req.request_id, 9u);
+    EXPECT_EQ(req.attempt, 0u);
+    EXPECT_EQ(req.deadline_us, 0u);
+    ASSERT_EQ(req.args.size(), 1u);
+    EXPECT_EQ(req.args[0].i, -3);
+}
+
+TEST(Codecs, SoapExtensionAttributesDecode) {
+    // And the forward direction as raw text: attributes written by the
+    // new encoder carry through a decode of the literal document.
+    const std::string xml =
+        "<Envelope><Body><Request kind=\"invoke\" id=\"9\" trace=\"0\" span=\"0\""
+        " src=\"1\" target=\"5\" class=\"\" method=\"m\" desc=\"()V\""
+        " attempt=\"4\" deadline=\"123456\"></Request></Body></Envelope>";
+    CallRequest req = SoapxCodec().decode_request(Bytes(xml.begin(), xml.end()));
+    EXPECT_EQ(req.attempt, 4u);
+    EXPECT_EQ(req.deadline_us, 123456u);
+}
+
+// ---- RMIB batch-entry framing (DESIGN.md §17) ---------------------------
+
+TEST(RmibBatch, EntryRoundTripsAgainstItsContext) {
+    RmibCodec rmib;
+    CallRequest req = sample_request();  // trace ids set -> traced flag
+    BatchContext ctx{req.src_node, 40};  // id 42 -> delta 2
+    ByteWriter w;
+    rmib.encode_batch_entry(req, ctx, w);
+    Bytes wire = w.take();
+    EXPECT_EQ(wire.at(0), 0xA4);
+    EXPECT_EQ(rmib.decode_batch_entry(wire, ctx), req);
+    // Entries omit src_node and shrink the id to a varint delta, so the
+    // coalesced framing is strictly smaller than a standalone request.
+    EXPECT_LT(wire.size(), rmib.encode_request(req).size());
+}
+
+TEST(RmibBatch, UntracedUnreliableEntryOmitsBothExtensions) {
+    RmibCodec rmib;
+    CallRequest req = sample_request();
+    req.trace_id = req.parent_span = 0;
+    BatchContext ctx{req.src_node, req.request_id};  // delta 0
+    ByteWriter w;
+    rmib.encode_batch_entry(req, ctx, w);
+    Bytes lean = w.take();
+    EXPECT_EQ(lean.at(1), 0x00);  // flags byte: no reliable, no trace
+    EXPECT_EQ(rmib.decode_batch_entry(lean, ctx), req);
+
+    req.attempt = 3;
+    req.deadline_us = 9999;
+    ByteWriter w2;
+    rmib.encode_batch_entry(req, ctx, w2);
+    Bytes reliable = w2.take();
+    EXPECT_EQ(reliable.at(1), 0x01);  // reliable flag alone
+    EXPECT_EQ(reliable.size(), lean.size() + 12);  // u32 attempt + u64 deadline
+    EXPECT_EQ(rmib.decode_batch_entry(reliable, ctx), req);
+}
+
+TEST(RmibBatch, DecodeRequestRejectsBatchEntry) {
+    // An entry is only meaningful against the frame that opened the lane;
+    // the standalone decoder must refuse it rather than misparse.
+    RmibCodec rmib;
+    CallRequest req = sample_request();
+    BatchContext ctx{req.src_node, req.request_id};
+    ByteWriter w;
+    rmib.encode_batch_entry(req, ctx, w);
+    EXPECT_THROW(rmib.decode_request(w.take()), CodecError);
+}
+
+TEST(RmibBatch, EncodeValidatesAgainstContext) {
+    RmibCodec rmib;
+    CallRequest req = sample_request();
+    ByteWriter w;
+    BatchContext wrong_src{req.src_node + 1, req.request_id};
+    EXPECT_THROW(rmib.encode_batch_entry(req, wrong_src, w), CodecError);
+    BatchContext later_base{req.src_node, req.request_id + 1};
+    EXPECT_THROW(rmib.encode_batch_entry(req, later_base, w), CodecError);
+}
+
+TEST(RmibBatch, DecodeRejectsUnknownFlagsAndTrailingBytes) {
+    RmibCodec rmib;
+    CallRequest req = sample_request();
+    req.trace_id = req.parent_span = 0;
+    BatchContext ctx{req.src_node, req.request_id};
+    ByteWriter w;
+    rmib.encode_batch_entry(req, ctx, w);
+    Bytes wire = w.take();
+
+    Bytes bad_flags = wire;
+    bad_flags[1] = 0x04;  // not a defined entry flag
+    EXPECT_THROW(rmib.decode_batch_entry(bad_flags, ctx), CodecError);
+
+    Bytes trailing = wire;
+    trailing.push_back(0xff);
+    EXPECT_THROW(rmib.decode_batch_entry(trailing, ctx), CodecError);
+}
+
+TEST(RmibBatch, LargeIdDeltaRoundTrips) {
+    // The varint delta must survive multi-byte encodings.
+    RmibCodec rmib;
+    CallRequest req = sample_request();
+    req.request_id = 1'000'000'042ULL;
+    BatchContext ctx{req.src_node, 42};
+    ByteWriter w;
+    rmib.encode_batch_entry(req, ctx, w);
+    EXPECT_EQ(rmib.decode_batch_entry(w.take(), ctx).request_id, req.request_id);
+}
+
+// ---- SOAPX numeric formatting pins --------------------------------------
+//
+// The streaming encoder replaced an ostringstream; these differential
+// tests pin that std::to_string and snprintf("%.17g") reproduce the
+// historical ostream output byte for byte, which the E5/E8 wire-size
+// guarantees depend on.
+
+TEST(SoapxFormat, ToStringMatchesOstreamForIntegers) {
+    for (long long v : {0LL, 1LL, -1LL, 42LL, -12345678901234LL,
+                        9223372036854775807LL, -9223372036854775807LL - 1}) {
+        std::ostringstream os;
+        os << v;
+        EXPECT_EQ(std::to_string(v), os.str()) << v;
+    }
+}
+
+TEST(SoapxFormat, Snprintf17gMatchesOstreamPrecision17) {
+    for (double v : {0.0, -0.0, 1.0, 2.5, 0.1, 1.0 / 3.0, 1e300, 1e-300,
+                     -1.7976931348623157e308, 12345678901234567.0, 6.02214076e23}) {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+        std::ostringstream os;
+        os.precision(17);
+        os << v;
+        EXPECT_EQ(std::string(buf), os.str()) << v;
+    }
+}
 
 TEST(Codecs, SoapIsLargerOnTheWire) {
     RmibCodec rmib;

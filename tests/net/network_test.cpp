@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace rafda::net {
 namespace {
 
@@ -229,6 +231,91 @@ TEST(SimNetwork, DropStillOccupiesTheChannel) {
     EXPECT_EQ(d.at_us, 50u);
     EXPECT_EQ(net.stats(0, 1).busy_us, 50u);
     EXPECT_EQ(net.link_busy_until(0, 1), 50u);
+}
+
+TEST(SimNetwork, CoalescedTransferSkipsPropagationOnBusyLink) {
+    // 100us latency, 1000 bytes/us.  The frame occupies [0, 105); an
+    // entry sent at 10 joins its tail: departs at 105, pays only its own
+    // serialization (2us), no second propagation delay.
+    SimNetwork net;
+    net.set_default_link(LinkParams{100, 1000.0, 0.0});
+    Delivery frame = net.transfer_at(0, 1, 5000, 0);
+    ASSERT_TRUE(frame.delivered);
+    EXPECT_EQ(frame.at_us, 105u);
+    EXPECT_FALSE(frame.coalesced);
+
+    Delivery entry = net.transfer_coalesced_at(0, 1, 2000, 10);
+    ASSERT_TRUE(entry.delivered);
+    EXPECT_TRUE(entry.coalesced);
+    EXPECT_EQ(entry.at_us, 107u);
+    EXPECT_EQ(net.link_busy_until(0, 1), 107u);
+
+    // Entries extend the frame: one message, one coalesced continuation.
+    EXPECT_EQ(net.stats(0, 1).messages, 1u);
+    EXPECT_EQ(net.stats(0, 1).coalesced, 1u);
+    EXPECT_EQ(net.stats(0, 1).bytes, 7000u);
+    EXPECT_EQ(net.total_stats().coalesced, 1u);
+}
+
+TEST(SimNetwork, CoalescedTransferDegradesToPlainOnFreeLink) {
+    // No frame in flight at the send time: the "coalesced" request is an
+    // ordinary transfer, full latency charged, flag off.
+    SimNetwork net;
+    net.set_default_link(LinkParams{100, 1000.0, 0.0});
+    Delivery d = net.transfer_coalesced_at(0, 1, 5000, 0);
+    ASSERT_TRUE(d.delivered);
+    EXPECT_FALSE(d.coalesced);
+    EXPECT_EQ(d.at_us, 105u);
+    EXPECT_EQ(net.stats(0, 1).messages, 1u);
+    EXPECT_EQ(net.stats(0, 1).coalesced, 0u);
+}
+
+TEST(SimNetwork, CoalescedDrawsMatchPlainTransfersOnLossyLinks) {
+    // Drop decisions come from the per-link PRNG stream at the departure
+    // time; whether a transfer coalesced must not change the stream, so
+    // the same event sequence loses the same messages either way.
+    auto run = [](bool coalesce) {
+        SimNetwork net(1234);
+        net.set_default_link(LinkParams{100, 1000.0, 0.25});
+        std::vector<bool> outcomes;
+        std::uint64_t t = 0;
+        for (int k = 0; k < 64; ++k) {
+            Delivery d = coalesce ? net.transfer_coalesced_at(0, 1, 1000, t)
+                                  : net.transfer_at(0, 1, 1000, t);
+            outcomes.push_back(d.delivered);
+            t += 10;  // well inside the previous transfer's window
+        }
+        return outcomes;
+    };
+    EXPECT_EQ(run(false), run(true));
+}
+
+TEST(SimNetwork, CoalescedDropChargesLatencyLikePlainDrop) {
+    // A lost entry still died on the wire: the loss accounting (drop
+    // count, latency-only busy charge) is identical to a plain drop.
+    SimNetwork net;
+    net.set_default_link(LinkParams{50, 0.0, 1.0});
+    net.transfer_at(0, 1, 100, 0);  // occupy [0, 50)
+    Delivery d = net.transfer_coalesced_at(0, 1, 100, 10);
+    EXPECT_FALSE(d.delivered);
+    EXPECT_EQ(d.at_us, 100u);  // departs at 50, dies 50us later
+    EXPECT_EQ(net.stats(0, 1).drops, 2u);
+    EXPECT_EQ(net.stats(0, 1).coalesced, 0u);
+    EXPECT_EQ(net.link_busy_until(0, 1), 100u);
+}
+
+TEST(SimNetwork, ResetStatsClearsCoalescedCount) {
+    obs::Registry reg;
+    SimNetwork net;
+    net.set_default_link(LinkParams{100, 1000.0, 0.0});
+    net.attach_metrics(&reg);
+    net.transfer_at(0, 1, 1000, 0);
+    net.transfer_coalesced_at(0, 1, 1000, 10);
+    ASSERT_EQ(net.stats(0, 1).coalesced, 1u);
+    ASSERT_EQ(reg.snapshot().counter_value("net.link.0.1.coalesced"), 1u);
+    net.reset_stats();
+    EXPECT_EQ(net.stats(0, 1).coalesced, 0u);
+    EXPECT_EQ(reg.snapshot().counter_value("net.link.0.1.coalesced"), 0u);
 }
 
 }  // namespace

@@ -40,6 +40,26 @@ TEST(ToJson, EmitsEveryKindOnOneLine) {
               "\"buckets\":[{\"le\":1,\"count\":1},{\"le\":3,\"count\":1}]}}");
 }
 
+TEST(ToJson, EmptyHistogramExportsZeroQuantiles) {
+    // A histogram that was resolved but never recorded (or was reset) must
+    // export well-defined zeros, not garbage quantiles.
+    Registry reg;
+    reg.histogram("rpc.latency.C.poke");
+    EXPECT_EQ(to_json(reg.snapshot()),
+              "{\"rpc.latency.C.poke\":{\"count\":0,\"sum\":0,\"min\":0,"
+              "\"max\":0,\"mean\":0,\"p50\":0,\"p95\":0,\"p99\":0,"
+              "\"buckets\":[]}}");
+}
+
+TEST(ToJson, SingleSampleHistogramQuantilesMatchTheSample) {
+    Registry reg;
+    reg.histogram("h").record(77);
+    std::string json = to_json(reg.snapshot());
+    EXPECT_NE(json.find("\"p50\":77"), std::string::npos);
+    EXPECT_NE(json.find("\"p95\":77"), std::string::npos);
+    EXPECT_NE(json.find("\"p99\":77"), std::string::npos);
+}
+
 TEST(ToJson, OverflowBucketBoundIsUint64Max) {
     Registry reg;
     reg.histogram("h").record(~std::uint64_t{0});

@@ -81,6 +81,30 @@ TEST(Histogram, QuantileIsExactForSmallN) {
     EXPECT_EQ(Histogram().quantile(0.5), 0u);
 }
 
+TEST(Histogram, EmptyHistogramQuantilesAreDefinedZero) {
+    // N = 0 has no nearest rank; both quantile paths must return a defined
+    // 0 rather than index an empty sample array — including right after a
+    // reset, when stale retained samples must not leak back out.
+    Histogram h;
+    for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+        EXPECT_EQ(h.quantile(q), 0u) << "q=" << q;
+        EXPECT_EQ(h.approx_quantile(q), 0u) << "q=" << q;
+    }
+    h.record(1234);
+    h.reset();
+    for (double q : {0.0, 0.5, 0.95, 0.99, 1.0})
+        EXPECT_EQ(h.quantile(q), 0u) << "q=" << q;
+}
+
+TEST(Histogram, SingleSampleQuantilesReturnTheSample) {
+    Histogram h;
+    h.record(77);
+    EXPECT_EQ(h.quantile(0.50), 77u);
+    EXPECT_EQ(h.quantile(0.95), 77u);
+    EXPECT_EQ(h.quantile(0.99), 77u);
+    EXPECT_EQ(h.approx_quantile(0.99), 77u);  // bucket bound clamps to max
+}
+
 TEST(Histogram, QuantileExactPathIsInsertionOrderIndependent) {
     Histogram up, down;
     for (std::uint64_t v = 1; v <= 50; ++v) up.record(v);

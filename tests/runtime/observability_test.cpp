@@ -212,6 +212,39 @@ TEST_F(ObservabilityFixture, StatsViewsAreRegistryBacked) {
     EXPECT_EQ(system->metrics().snapshot().counter_value("rpc.proto.RMI.calls"), 0u);
 }
 
+TEST_F(ObservabilityFixture, DispatchHandlesSurviveResetAndRegistryGrowth) {
+    // The proxy dispatch closures cache raw Counter*/Histogram* handles on
+    // first use.  reset_stats() zeroes metrics in place and registry
+    // growth must not relocate them, so the cached handles have to keep
+    // accumulating — a dangling or stale handle here would silently lose
+    // (or double-count) class traffic after any mid-run stats reset.
+    system->policy().set_instance_home("C", 1, "RMI");
+    Value c = system->construct(0, "C", "()V");
+    for (int k = 0; k < 3; ++k) system->node(0).interp().call_virtual(c, "poke", "()I");
+    obs::Snapshot before = system->metrics().snapshot();
+    ASSERT_EQ(before.counter_value("rpc.class_calls.C.0.1"), 3u);
+    const obs::Sample* lat = before.find("rpc.latency.C.poke");
+    ASSERT_NE(lat, nullptr);
+    ASSERT_EQ(lat->count, 3u);
+
+    system->reset_stats();
+    // Grow the registry past the reset so the node-based maps rebalance
+    // around the cached entries.
+    for (int k = 0; k < 64; ++k)
+        system->metrics().counter("test.growth." + std::to_string(k)).add();
+
+    for (int k = 0; k < 2; ++k) system->node(0).interp().call_virtual(c, "poke", "()I");
+    obs::Snapshot snap = system->metrics().snapshot();
+    EXPECT_EQ(snap.counter_value("rpc.class_calls.C.0.1"), 2u);
+    EXPECT_GT(snap.counter_value("rpc.class_bytes.C.0.1"), 0u);
+    lat = snap.find("rpc.latency.C.poke");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->count, 2u);  // histogram resumed from zero, not stale
+    EXPECT_GT(lat->sum, 0u);
+    // And the derived views read the same post-reset truth.
+    EXPECT_EQ(system->class_traffic().at("C").calls.at({0, 1}), 2u);
+}
+
 TEST_F(ObservabilityFixture, AdvisorReadsExclusivelyFromRegistry) {
     // Traffic split 30/10 between nodes 0 and 1 toward objects on node 2.
     system->policy().set_instance_home("C", 2, "RMI");

@@ -163,6 +163,37 @@ TEST(PolicyConfig, RejectsMalformedReliabilityLines) {
     bad("fault disk 1 crash from 5 until 9");
 }
 
+TEST(PolicyConfig, ParsesBatchDirective) {
+    DistributionPolicy policy;
+    BatchPolicy batching;
+    apply_policy_config("batch on max 8", policy, nullptr, nullptr, &batching);
+    EXPECT_TRUE(batching.enabled);
+    EXPECT_EQ(batching.max_frame_calls, 8u);
+
+    apply_policy_config("batch off", policy, nullptr, nullptr, &batching);
+    EXPECT_FALSE(batching.enabled);
+    EXPECT_EQ(batching.max_frame_calls, 8u);  // max untouched without 'max N'
+}
+
+TEST(PolicyConfig, BatchDirectiveNeedsItsTargetAndValidShape) {
+    DistributionPolicy policy;
+    // No BatchPolicy given: a batch line is an error.
+    EXPECT_THROW(apply_policy_config("batch on", policy), ParseError);
+
+    BatchPolicy batching;
+    auto bad = [&](const char* text) {
+        EXPECT_THROW(apply_policy_config(text, policy, nullptr, nullptr, &batching),
+                     ParseError)
+            << text;
+    };
+    bad("batch");
+    bad("batch maybe");
+    bad("batch on max");
+    bad("batch on cap 4");
+    bad("batch on max 1");  // a frame of one call is not a batch
+    bad("batch on max 0");
+}
+
 TEST(PolicyConfig, LaterLinesOverrideEarlier) {
     DistributionPolicy policy;
     apply_policy_config(R"(

@@ -107,5 +107,64 @@ TEST(Bytes, TakeMovesBuffer) {
     EXPECT_EQ(w.size(), 0u);
 }
 
+TEST(Bytes, VaruRoundTripsAtEncodingBoundaries) {
+    for (std::uint64_t v :
+         {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{127},
+          std::uint64_t{128}, std::uint64_t{16383}, std::uint64_t{16384},
+          std::uint64_t{1} << 35, std::numeric_limits<std::uint64_t>::max()}) {
+        ByteWriter w;
+        w.varu64(v);
+        ByteReader r(w.data());
+        EXPECT_EQ(r.varu64(), v) << v;
+        EXPECT_TRUE(r.at_end());
+    }
+    // Small values (batch-entry id deltas) cost a single byte.
+    ByteWriter small;
+    small.varu64(42);
+    EXPECT_EQ(small.size(), 1u);
+    ByteWriter max;
+    max.varu64(std::numeric_limits<std::uint64_t>::max());
+    EXPECT_EQ(max.size(), 10u);
+}
+
+TEST(Bytes, VaruRejectsOverlongEncoding) {
+    // Eleven continuation bytes can't fit in 64 bits.
+    Bytes overlong(11, 0x80);
+    ByteReader r(overlong);
+    EXPECT_THROW(r.varu64(), CodecError);
+}
+
+TEST(Bytes, BorrowingWriterClearsAndKeepsCapacity) {
+    Bytes pooled;
+    pooled.reserve(1024);
+    pooled.push_back(0xEE);  // stale bytes from the buffer's previous life
+    const std::uint8_t* data_before = pooled.data();
+    {
+        ByteWriter w(pooled);
+        EXPECT_EQ(w.size(), 0u);  // cleared on construction
+        w.u32(7);
+        w.str("hi");
+    }
+    EXPECT_EQ(pooled.size(), 10u);  // u32 + length-prefixed "hi"
+    EXPECT_EQ(pooled.data(), data_before);  // no reallocation
+    ByteReader r(pooled);
+    EXPECT_EQ(r.u32(), 7u);
+    EXPECT_EQ(r.str(), "hi");
+}
+
+TEST(Bytes, BorrowingWriterMatchesOwningOutput) {
+    auto write = [](ByteWriter& w) {
+        w.u8(0xA1);
+        w.varu64(300);
+        w.text("tail");
+    };
+    ByteWriter owning;
+    write(owning);
+    Bytes external;
+    ByteWriter borrowing(external);
+    write(borrowing);
+    EXPECT_EQ(external, owning.data());
+}
+
 }  // namespace
 }  // namespace rafda

@@ -1,0 +1,103 @@
+#include "support/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+namespace rafda::support {
+namespace {
+
+TEST(BufferPool, ReusesReleasedCapacity) {
+    BufferPool pool;
+    Bytes b = pool.acquire();
+    EXPECT_TRUE(b.empty());
+    b.resize(4096);
+    const std::uint8_t* data = b.data();
+    pool.release(std::move(b));
+    EXPECT_EQ(pool.retained(), 1u);
+
+    Bytes again = pool.acquire();
+    EXPECT_TRUE(again.empty());           // handed back cleared...
+    EXPECT_GE(again.capacity(), 4096u);   // ...with its grown capacity
+    EXPECT_EQ(again.data(), data);        // literally the same allocation
+    EXPECT_EQ(pool.acquires(), 2u);
+    EXPECT_EQ(pool.reuses(), 1u);
+    EXPECT_EQ(pool.retained(), 0u);
+}
+
+TEST(BufferPool, FreeListIsLifo) {
+    // The most-recently-released buffer comes back first (warmest cache
+    // lines, best-fit capacity for steady-state message sizes).
+    BufferPool pool;
+    Bytes a, b;
+    a.resize(100);
+    b.resize(200);
+    const std::uint8_t* b_data = b.data();
+    pool.release(std::move(a));
+    pool.release(std::move(b));
+    EXPECT_EQ(pool.acquire().data(), b_data);
+}
+
+TEST(BufferPool, RetentionCapBoundsTheFreeList) {
+    BufferPool pool(/*max_retained=*/2);
+    for (int k = 0; k < 4; ++k) {
+        Bytes b;
+        b.resize(64);
+        pool.release(std::move(b));
+    }
+    EXPECT_EQ(pool.retained(), 2u);
+}
+
+TEST(BufferPool, EmptyBuffersAreNotRetained) {
+    // A capacity-less buffer has nothing worth keeping.
+    BufferPool pool;
+    pool.release(Bytes{});
+    EXPECT_EQ(pool.retained(), 0u);
+}
+
+TEST(BufferPool, PooledBufferReturnsOnDestruction) {
+    BufferPool pool;
+    {
+        PooledBuffer lease(pool);
+        lease.bytes().resize(512);
+        EXPECT_EQ(pool.retained(), 0u);  // still leased
+    }
+    EXPECT_EQ(pool.retained(), 1u);
+    EXPECT_EQ(pool.acquires(), 1u);
+    {
+        PooledBuffer lease(pool);
+        EXPECT_TRUE(lease.bytes().empty());
+        EXPECT_GE(lease.bytes().capacity(), 512u);
+    }
+    EXPECT_EQ(pool.reuses(), 1u);
+}
+
+TEST(BufferPool, NestedLeasesDeepenThePool) {
+    // A dispatch that issues nested RPCs holds several frames at once;
+    // each returns independently.
+    BufferPool pool;
+    {
+        PooledBuffer outer(pool);
+        outer.bytes().resize(64);
+        {
+            PooledBuffer inner(pool);
+            inner.bytes().resize(32);
+        }
+        EXPECT_EQ(pool.retained(), 1u);
+    }
+    EXPECT_EQ(pool.retained(), 2u);
+}
+
+TEST(BufferPool, MovedFromLeaseReleasesNothing) {
+    BufferPool pool;
+    {
+        PooledBuffer a(pool);
+        a.bytes().resize(64);
+        PooledBuffer b(std::move(a));
+        EXPECT_EQ(b.bytes().size(), 64u);
+    }  // only b releases
+    EXPECT_EQ(pool.retained(), 1u);
+}
+
+}  // namespace
+}  // namespace rafda::support

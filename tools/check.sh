@@ -35,17 +35,30 @@ case " $presets " in
 *" default "*)
     for bench in bench_property_access bench_dispatch_matrix bench_concurrency \
                  bench_pipeline bench_transformability bench_reliability \
-                 bench_journal; do
+                 bench_journal bench_batching; do
         echo "== perf smoke: $bench =="
         "build/bench/$bench" --benchmark_min_time=0.05s ||
             echo "WARN: $bench failed (non-gating)"
     done
 
+    # Differential guard (gating): with batching off (the default), the
+    # RPC path's pooled-buffer encode must be byte-for-byte inert — two
+    # E5 runs of the same build produce identical JSON sidecars.
+    echo "== E5 determinism guard =="
+    e5_first=$(mktemp /tmp/rafda_e5_XXXXXX.json)
+    trap 'rm -f "$e5_first"' EXIT INT TERM
+    cp BENCH_E5.json "$e5_first"
+    build/bench/bench_dispatch_matrix --benchmark_min_time=0.05s >/dev/null
+    cmp BENCH_E5.json "$e5_first"
+    echo "E5 determinism OK: re-run byte-identical"
+
     # Chrome trace export contract (gating): `rafdac trace --chrome` must
     # emit trace-event JSON that parses and carries the ph/ts/pid fields
-    # Perfetto's legacy ingest requires on every event.
+    # Perfetto's legacy ingest requires on every event.  The trap cleans
+    # the temp file even when validation aborts mid-way (set -e).
     echo "== chrome trace validation =="
     trace_out=$(mktemp /tmp/rafda_trace_XXXXXX.json)
+    trap 'rm -f "$e5_first" "$trace_out"' EXIT INT TERM
     build/tools/rafdac trace examples/fig1.rir examples/fig1.cfg Main 2 \
         --chrome "$trace_out" >/dev/null 2>&1
     if command -v python3 >/dev/null 2>&1; then
@@ -68,6 +81,5 @@ PYEOF
         grep -q '"pid":' "$trace_out"
         echo "chrome trace OK (grep fallback)"
     fi
-    rm -f "$trace_out"
     ;;
 esac

@@ -149,7 +149,8 @@ int cmd_deploy(const std::string& input, const std::string& config_path,
     runtime::System system(pool);
     for (int k = 0; k < nodes; ++k) system.add_node();
     runtime::apply_policy_config(read_file(config_path), system.policy(),
-                                 &system.network(), &system.reliability());
+                                 &system.network(), &system.reliability(),
+                                 &system.batching());
     system.call_static(0, main_cls, "main", "()V");
     std::cout << system.node(0).interp().output();
     std::cerr << "[rafdac] virtual time " << system.network().now_us() << "us";
@@ -173,7 +174,8 @@ int cmd_observe(const std::string& input, const std::string& config_path,
     runtime::System system(pool);
     for (int k = 0; k < nodes; ++k) system.add_node();
     runtime::apply_policy_config(read_file(config_path), system.policy(),
-                                 &system.network(), &system.reliability());
+                                 &system.network(), &system.reliability(),
+                                 &system.batching());
     if (mode == ObserveMode::Trace) system.tracer().set_enabled(true);
     // The journal feeds both the `journal` report and the Chrome export's
     // instant events (fault edges, drops, retries on the timeline).
@@ -232,7 +234,8 @@ int cmd_net(const std::string& input, const std::string& config_path,
     runtime::System system(pool);
     for (int k = 0; k < nodes; ++k) system.add_node();
     runtime::apply_policy_config(read_file(config_path), system.policy(),
-                                 &system.network(), &system.reliability());
+                                 &system.network(), &system.reliability(),
+                                 &system.batching());
     system.call_static(0, main_cls, "main", "()V");
     std::cerr << system.node(0).interp().output();
 
@@ -251,7 +254,8 @@ int cmd_net(const std::string& input, const std::string& config_path,
             first = false;
             os << "{\"src\":" << src << ",\"dst\":" << dst
                << ",\"messages\":" << s.messages << ",\"bytes\":" << s.bytes
-               << ",\"drops\":" << s.drops << ",\"busy_us\":" << s.busy_us
+               << ",\"drops\":" << s.drops << ",\"coalesced\":" << s.coalesced
+               << ",\"busy_us\":" << s.busy_us
                << ",\"utilization_pct\":" << utilization_pct(s.busy_us) << "}";
         });
         os << "],\"nodes\":[";
@@ -259,26 +263,39 @@ int cmd_net(const std::string& input, const std::string& config_path,
             os << (k ? "," : "") << "{\"node\":" << k
                << ",\"clock_us\":" << system.node(static_cast<net::NodeId>(k)).clock_us()
                << "}";
-        os << "]}";
+        auto& reg = system.metrics();
+        os << "],\"batch\":{\"frames\":" << reg.counter("rpc.batch.frames").value()
+           << ",\"coalesced\":" << reg.counter("rpc.batch.coalesced").value()
+           << ",\"entry_bytes\":" << reg.counter("rpc.batch.entry_bytes").value()
+           << ",\"latency_saved_us\":"
+           << reg.counter("rpc.batch.latency_saved_us").value() << "}}";
         std::cout << os.str() << "\n";
         return 0;
     }
     std::cout << "virtual time: " << network.now_us() << "us\n"
               << std::left << std::setw(6) << "src" << std::setw(6) << "dst"
               << std::right << std::setw(10) << "messages" << std::setw(12) << "bytes"
-              << std::setw(8) << "drops" << std::setw(12) << "busy_us"
-              << std::setw(8) << "util%" << "\n";
+              << std::setw(8) << "drops" << std::setw(10) << "coalesced"
+              << std::setw(12) << "busy_us" << std::setw(8) << "util%" << "\n";
     network.visit_links([&](net::NodeId src, net::NodeId dst, const net::LinkStats& s) {
         std::cout << std::left << std::setw(6) << src << std::setw(6) << dst
                   << std::right << std::setw(10) << s.messages << std::setw(12)
-                  << s.bytes << std::setw(8) << s.drops << std::setw(12) << s.busy_us
+                  << s.bytes << std::setw(8) << s.drops << std::setw(10) << s.coalesced
+                  << std::setw(12) << s.busy_us
                   << std::setw(8) << std::fixed << std::setprecision(1)
                   << utilization_pct(s.busy_us) << "\n";
     });
     const net::LinkStats total = network.total_stats();
     std::cout << std::left << std::setw(12) << "total" << std::right << std::setw(10)
               << total.messages << std::setw(12) << total.bytes << std::setw(8)
-              << total.drops << std::setw(12) << total.busy_us << "\n";
+              << total.drops << std::setw(10) << total.coalesced << std::setw(12)
+              << total.busy_us << "\n";
+    if (std::uint64_t frames = system.metrics().counter("rpc.batch.frames").value())
+        std::cout << "batch: " << frames << " frame(s), "
+                  << system.metrics().counter("rpc.batch.coalesced").value()
+                  << " coalesced call(s), "
+                  << system.metrics().counter("rpc.batch.latency_saved_us").value()
+                  << "us latency saved\n";
     for (int k = 0; k < nodes; ++k)
         std::cout << "node " << k << " clock "
                   << system.node(static_cast<net::NodeId>(k)).clock_us() << "us\n";
@@ -293,7 +310,8 @@ int cmd_faults(const std::string& input, const std::string& config_path,
     runtime::System system(pool);
     for (int k = 0; k < nodes; ++k) system.add_node();
     runtime::apply_policy_config(read_file(config_path), system.policy(),
-                                 &system.network(), &system.reliability());
+                                 &system.network(), &system.reliability(),
+                                 &system.batching());
     system.call_static(0, main_cls, "main", "()V");
     std::cerr << system.node(0).interp().output();
 
