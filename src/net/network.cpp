@@ -113,6 +113,7 @@ Delivery SimNetwork::sequence_transfer(NodeId src, NodeId dst, std::size_t size,
                 stats.busy_us * 1'000'000 /
                 std::max<std::uint64_t>(1, clock_us_ - stats_epoch_us_)));
         }
+        if (completion_sink_) completion_sink_(src, dst, fail_at, false);
         return Delivery{false, fail_at, coalesce};
     }
     if (coalesce)
@@ -143,6 +144,7 @@ Delivery SimNetwork::sequence_transfer(NodeId src, NodeId dst, std::size_t size,
             stats.busy_us * 1'000'000 /
             std::max<std::uint64_t>(1, clock_us_ - stats_epoch_us_)));
     }
+    if (completion_sink_) completion_sink_(src, dst, arrival, true);
     return Delivery{true, arrival, coalesce};
 }
 

@@ -161,6 +161,20 @@ public:
     /// journal and windowed-delta epochs — measure from.
     std::uint64_t stats_epoch_us() const noexcept { return stats_epoch_us_; }
 
+    /// Publishes each sequenced transfer's completion (arrival when
+    /// delivered, loss-observable time when dropped) to an external event
+    /// sink — how the scheduler's event heap sees network completions on
+    /// the same timeline as client work (DESIGN.md §18).  Purely
+    /// observational: called after the transfer is fully accounted, never
+    /// advances clocks or draws from a PRNG.  Pass nullptr (the default)
+    /// to detach; the sink must outlive its installation.
+    using CompletionSink =
+        std::function<void(NodeId src, NodeId dst, std::uint64_t at_us,
+                           bool delivered)>;
+    void set_completion_sink(CompletionSink sink) {
+        completion_sink_ = std::move(sink);
+    }
+
 private:
     struct LinkMetrics {
         obs::Counter* messages = nullptr;
@@ -196,6 +210,7 @@ private:
     std::uint64_t seed_;
     std::map<std::pair<NodeId, NodeId>, Rng> link_rng_;
     FaultPlan fault_plan_;
+    CompletionSink completion_sink_;
 };
 
 }  // namespace rafda::net

@@ -82,12 +82,19 @@ std::string to_json(const Snapshot& snapshot) {
     return os.str();
 }
 
-std::string to_table(const Snapshot& snapshot) {
+std::string to_table(const Snapshot& snapshot, std::size_t max_rows) {
     std::size_t width = 0;
     for (const auto& [name, _] : snapshot.samples)
         if (name.size() > width) width = name.size();
     std::ostringstream os;
+    std::size_t rows = 0;
     for (const auto& [name, s] : snapshot.samples) {
+        if (max_rows && rows++ == max_rows) {
+            // Samples are name-sorted, so the cut is stable across runs.
+            os << "... " << (snapshot.samples.size() - max_rows)
+               << " more sample(s) (pass --all to list every one)\n";
+            break;
+        }
         os << name << std::string(width - name.size() + 2, ' ');
         switch (s.kind) {
             case Sample::Kind::Counter: os << s.counter; break;

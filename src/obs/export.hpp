@@ -22,6 +22,10 @@ std::string json_escape(const std::string& s);
 std::string to_json(const Snapshot& snapshot);
 
 /// The snapshot as an aligned human-readable table, one metric per line.
-std::string to_table(const Snapshot& snapshot);
+/// Name-sorted fixed-width table.  `max_rows` > 0 truncates the listing
+/// after that many samples with a one-line "... N more" marker — hundreds
+/// of nodes mint thousands of per-link and per-edge samples, and a
+/// dashboard wants the head, not the firehose.  0 = list everything.
+std::string to_table(const Snapshot& snapshot, std::size_t max_rows = 0);
 
 }  // namespace rafda::obs

@@ -48,7 +48,16 @@ void Journal::record(JournalEvent::Kind kind, std::uint64_t t_us, std::int32_t n
     slot.peer = peer;
     slot.a = a;
     slot.b = b;
+    // Bound per-slot memory: a slot's string capacity persists for the
+    // ring's lifetime (reuse pool), so an unbounded detail would pin
+    // arbitrary heap per slot at scale.  kMaxDetail covers every emitter's
+    // legitimate payload (protocol names, methods, "request"/"reply").
+    if (detail.size() > kMaxDetail) {
+        detail.resize(kMaxDetail);
+        detail += "...";
+    }
     slot.detail = std::move(detail);
+    if (slot.detail.capacity() > kMaxDetail + 16) slot.detail.shrink_to_fit();
     head_ = (head_ + 1) % capacity_;
     if (size_ < capacity_) ++size_;
     ++total_;

@@ -66,6 +66,12 @@ const char* journal_kind_name(JournalEvent::Kind kind);
 class Journal {
 public:
     static constexpr std::size_t kDefaultCapacity = 8192;
+    /// Longest detail string a slot retains; longer strings are truncated
+    /// with a "..." suffix at record time.  Slots are a reuse pool whose
+    /// string capacity persists, so this bounds ring memory at
+    /// capacity × (sizeof(JournalEvent) + kMaxDetail) regardless of what
+    /// emitters pass in — the scale guarantee DESIGN.md §18 relies on.
+    static constexpr std::size_t kMaxDetail = 64;
 
     /// Enabling allocates the ring (once); disabling keeps the recorded
     /// events readable but stops recording.

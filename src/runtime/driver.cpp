@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "runtime/sched.hpp"
 #include "runtime/system.hpp"
 #include "support/log.hpp"
 #include "vm/interp.hpp"
@@ -25,9 +26,22 @@ void WorkloadDriver::add_client(net::NodeId node, std::size_t count, Task task) 
     add_client(node, std::move(tasks));
 }
 
+void WorkloadDriver::add_fleet(std::vector<net::NodeId> nodes,
+                               std::uint64_t clients, std::uint32_t tasks_each,
+                               Task task) {
+    if (nodes.empty() || clients == 0 || tasks_each == 0) return;
+    Fleet f;
+    f.nodes = std::move(nodes);
+    f.clients = clients;
+    f.tasks_each = tasks_each;
+    f.task = std::move(task);
+    fleets_.push_back(std::move(f));
+}
+
 WorkloadDriver::Report WorkloadDriver::run() {
     Report report;
-    if (clients_.empty()) return report;
+    if (clients_.empty() && fleets_.empty()) return report;
+    const bool vclock = fairness_ == Fairness::VirtualClock;
 
     report.clients.reserve(clients_.size());
     for (Client& c : clients_) {
@@ -36,17 +50,19 @@ WorkloadDriver::Report WorkloadDriver::run() {
         cr.start_us = system_->node(c.node).clock_us();
         report.clients.push_back(cr);
     }
-    report.start_us = report.clients.front().start_us;
-    for (const ClientReport& cr : report.clients)
-        report.start_us = std::min(report.start_us, cr.start_us);
+    bool have_start = false;
+    auto fold_start = [&](std::uint64_t t) {
+        if (!have_start || t < report.start_us) report.start_us = t;
+        have_start = true;
+    };
+    for (const ClientReport& cr : report.clients) fold_start(cr.start_us);
+    for (const Fleet& f : fleets_)
+        for (net::NodeId n : f.nodes) fold_start(system_->node(n).clock_us());
 
-    // Round-robin: one invocation per client per round.  The execution
-    // order is fixed, so the event sequence — and with it every clock,
-    // link-occupancy window and drop decision — is deterministic.
     // Tasks that needed retries but still completed are "recovered":
     // detected by diffing the system-wide rpc.retries counter around each
-    // invocation (the round-robin is sequential, so the delta belongs to
-    // this task alone).
+    // invocation (dispatch is sequential, so the delta belongs to this
+    // task alone).
     obs::Counter& retries = system_->metrics().counter("rpc.retries");
 
     // Cumulative RPC counters across all protocols, for window deltas.
@@ -62,8 +78,8 @@ WorkloadDriver::Report WorkloadDriver::run() {
     auto [win_calls, win_bytes] = window_us_ ? rpc_totals()
                                              : std::pair<std::uint64_t,
                                                          std::uint64_t>{0, 0};
-    std::size_t win_tasks_done = 0;
-    std::size_t tasks_done = 0;
+    std::uint64_t win_tasks_done = 0;
+    std::uint64_t tasks_done = 0;
     auto close_window = [&](std::uint64_t end) {
         auto [calls, bytes] = rpc_totals();
         Window w;
@@ -80,53 +96,148 @@ WorkloadDriver::Report WorkloadDriver::run() {
         win_bytes = bytes;
         win_tasks_done = tasks_done;
     };
+    auto close_whole_windows = [&] {
+        // Close every whole window the watermark has passed; boundary
+        // times are exact multiples so series align across runs.
+        while (system_->network().now_us() >= window_start + window_us_)
+            close_window(window_start + window_us_);
+    };
 
     std::vector<std::uint64_t> latencies;
-    bool ran = true;
-    while (ran) {
-        ran = false;
-        for (std::size_t i = 0; i < clients_.size(); ++i) {
-            Client& c = clients_[i];
-            if (c.next >= c.tasks.size()) continue;
-            ran = true;
-            Node& node = system_->node(c.node);
-            // Pipelined clients issue a burst of invocations with reply
-            // waits deferred; the drain below closes the burst before the
-            // next client runs, so the round-robin event order — and with
-            // it determinism — is untouched.
-            const std::size_t burst =
-                std::min(pipeline_depth_, c.tasks.size() - c.next);
-            if (burst > 1) node.set_pipeline(true);
-            const std::uint64_t t0 = node.clock_us();
-            for (std::size_t b = 0; b < burst; ++b) {
-                const std::uint64_t retries_before = retries.value();
-                try {
-                    c.tasks[c.next](*system_, c.node);
-                    if (retries.value() != retries_before) ++c.recovered;
-                } catch (const vm::GuestException& e) {
-                    ++c.faults;
-                    log_debug("driver", "client ", c.node, " task ", c.next,
-                              " raised ", e.class_name(), ": ", e.message());
-                }
-                // The last burst member's latency is recorded after the
-                // drain, so it covers the whole burst's reply horizon.
-                if (b + 1 < burst) latencies.push_back(node.clock_us() - t0);
-                ++c.next;
-                ++tasks_done;
+    std::uint64_t fleet_tasks = 0;
+    std::uint64_t fleet_faults = 0;
+    std::uint64_t fleet_recovered = 0;
+
+    // The scheduler.  A pending client's whole footprint is its Event; the
+    // handlers below are its continuations ("run the next burst"), so
+    // nothing per-client survives between dispatches except queue cursors
+    // (explicit clients) or the remaining-count riding in the event itself
+    // (fleet clients).  Handler registration order is fixed, so event
+    // kinds — and with them the order digest — are stable across runs.
+    EventHeap heap;
+
+    // Continuation: one burst for an explicitly added client.  Pipelined
+    // clients issue the burst with reply waits deferred; the drain closes
+    // the burst before the next event dispatches, so the event order — and
+    // with it determinism — is untouched.
+    const std::uint32_t kClientStep = heap.register_handler([&](const Event& e) {
+        Client& c = clients_[static_cast<std::size_t>(e.a)];
+        Node& node = system_->node(c.node);
+        const std::size_t burst =
+            std::min(pipeline_depth_, c.tasks.size() - c.next);
+        if (burst > 1) node.set_pipeline(true);
+        const std::uint64_t t0 = node.clock_us();
+        for (std::size_t b = 0; b < burst; ++b) {
+            const std::uint64_t retries_before = retries.value();
+            try {
+                c.tasks[c.next](*system_, c.node);
+                if (retries.value() != retries_before) ++c.recovered;
+            } catch (const vm::GuestException& ex) {
+                ++c.faults;
+                log_debug("driver", "client ", c.node, " task ", c.next,
+                          " raised ", ex.class_name(), ": ", ex.message());
             }
-            if (burst > 1) node.set_pipeline(false);
-            latencies.push_back(node.clock_us() - t0);
+            // The last burst member's latency is recorded after the
+            // drain, so it covers the whole burst's reply horizon.
+            if (b + 1 < burst) latencies.push_back(node.clock_us() - t0);
+            ++c.next;
+            ++tasks_done;
         }
-        if (window_us_) {
-            // Close every whole window the watermark has passed; boundary
-            // times are exact multiples so series align across runs.
-            while (system_->network().now_us() >= window_start + window_us_)
-                close_window(window_start + window_us_);
+        if (burst > 1) node.set_pipeline(false);
+        latencies.push_back(node.clock_us() - t0);
+        if (c.next < c.tasks.size())
+            heap.post(vclock ? node.clock_us() : e.at_us + 1, c.node, e.kind,
+                      e.a);
+    });
+
+    // Continuation: one burst for a fleet client.  `a` packs (fleet,
+    // client); `b` carries the remaining task count, so the event IS the
+    // client state.
+    const std::uint32_t kFleetStep = heap.register_handler([&](const Event& e) {
+        Fleet& f = fleets_[static_cast<std::size_t>(e.a >> 32)];
+        const std::uint64_t ci = e.a & 0xffffffffULL;
+        const net::NodeId nid = f.nodes[ci % f.nodes.size()];
+        Node& node = system_->node(nid);
+        std::uint64_t remaining = e.b;
+        const std::size_t burst = static_cast<std::size_t>(
+            std::min<std::uint64_t>(pipeline_depth_, remaining));
+        if (burst > 1) node.set_pipeline(true);
+        const std::uint64_t t0 = node.clock_us();
+        for (std::size_t b = 0; b < burst; ++b) {
+            const std::uint64_t retries_before = retries.value();
+            try {
+                f.task(*system_, nid);
+                if (retries.value() != retries_before) ++fleet_recovered;
+            } catch (const vm::GuestException& ex) {
+                ++fleet_faults;
+                log_debug("driver", "fleet client ", nid, " raised ",
+                          ex.class_name(), ": ", ex.message());
+            }
+            if (b + 1 < burst) latencies.push_back(node.clock_us() - t0);
+            ++fleet_tasks;
+            ++tasks_done;
+        }
+        if (burst > 1) node.set_pipeline(false);
+        latencies.push_back(node.clock_us() - t0);
+        remaining -= burst;
+        if (remaining)
+            heap.post(vclock ? node.clock_us() : e.at_us + 1, nid, e.kind, e.a,
+                      remaining);
+    });
+
+    // Passive marker for a network transfer completion (VirtualClock only):
+    // the transfer is already fully accounted by SimNetwork when the sink
+    // fires, so the event carries no work — it exists to sequence network
+    // completions into the same popped stream (and digest) as client work.
+    const std::uint32_t kNetArrival = heap.register_handler([](const Event&) {});
+
+    // Seed the heap: explicit clients in registration order, then fleet
+    // clients in index order.  In RoundRobin mode every initial event is
+    // at round 0 and the tie-break sequence reproduces the legacy
+    // client-iteration order exactly.
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+        if (clients_[i].tasks.empty()) continue;
+        heap.post(vclock ? system_->node(clients_[i].node).clock_us() : 0,
+                  clients_[i].node, kClientStep, i);
+    }
+    for (std::size_t fi = 0; fi < fleets_.size(); ++fi) {
+        Fleet& f = fleets_[fi];
+        for (std::uint64_t ci = 0; ci < f.clients; ++ci) {
+            const net::NodeId nid = f.nodes[ci % f.nodes.size()];
+            heap.post(vclock ? system_->node(nid).clock_us() : 0, nid,
+                      kFleetStep, (static_cast<std::uint64_t>(fi) << 32) | ci,
+                      f.tasks_each);
         }
     }
-    if (window_us_ && (tasks_done > win_tasks_done ||
-                       system_->network().now_us() > window_start))
-        close_window(system_->network().now_us());
+
+    if (vclock)
+        system_->network().set_completion_sink(
+            [&heap, kNetArrival](net::NodeId src, net::NodeId dst,
+                                 std::uint64_t at_us, bool) {
+                heap.post(at_us, dst, kNetArrival,
+                          static_cast<std::uint64_t>(
+                              static_cast<std::uint32_t>(src)));
+            });
+
+    // Dispatch loop.  RoundRobin keys are round numbers: a popped key
+    // change is a round boundary, the legacy window-check point.
+    // VirtualClock keys are clocks; windows are checked after each burst.
+    std::uint64_t cur_key = 0;
+    while (!heap.empty()) {
+        Event e = heap.pop();
+        if (!vclock && window_us_ && e.at_us != cur_key) close_whole_windows();
+        cur_key = e.at_us;
+        heap.dispatch(e);
+        if (vclock && window_us_) close_whole_windows();
+    }
+    if (vclock) system_->network().set_completion_sink(nullptr);
+
+    if (window_us_) {
+        close_whole_windows();
+        if (tasks_done > win_tasks_done ||
+            system_->network().now_us() > window_start)
+            close_window(system_->network().now_us());
+    }
 
     if (!latencies.empty()) {
         std::sort(latencies.begin(), latencies.end());
@@ -158,7 +269,19 @@ WorkloadDriver::Report WorkloadDriver::run() {
         c.faults = 0;
         c.recovered = 0;
     }
+    for (const Fleet& f : fleets_) {
+        report.fleet_clients += f.clients;
+        for (net::NodeId n : f.nodes)
+            report.end_us = std::max(report.end_us, system_->node(n).clock_us());
+    }
+    fleets_.clear();
+    report.tasks_run += fleet_tasks;
+    report.faults += fleet_faults;
+    report.recovered += fleet_recovered;
     report.makespan_us = report.end_us - report.start_us;
+    report.events_dispatched = heap.dispatched();
+    report.peak_pending_events = heap.peak_pending();
+    report.event_order_digest = heap.order_digest();
     return report;
 }
 

@@ -1,4 +1,5 @@
-// WorkloadDriver — a concurrent multi-client workload generator.
+// WorkloadDriver — a concurrent multi-client workload generator on the
+// event-heap scheduler (DESIGN.md §18).
 //
 // The RAFDA follow-up papers frame the runtime as a *server* mediating
 // many concurrent clients; this driver makes that workload expressible in
@@ -10,13 +11,27 @@
 // (channel occupancy queues contending transfers) and on the server
 // node's clock (requests arriving while it is busy wait their turn).
 //
-// The driver interleaves the clients' invocation queues round-robin, one
-// invocation per client per round, which fixes the event order and makes
-// runs bit-for-bit reproducible from the network seed.  The resulting
-// makespan is the span between the earliest client start clock and the
-// latest client completion clock; with N clients against one server it
-// must beat N× the single-client time, because only the server-side work
-// serializes (measured by bench_concurrency / E9, DESIGN.md §13).
+// Scheduling is a single EventHeap: every pending client is one POD event
+// (its continuation is "run the next burst"), so 10⁵–10⁶ clients cost
+// O(bytes per pending event), not O(queues × stack).  Two fairness modes
+// pick the event key:
+//
+//  - RoundRobin (default): the key is the client's completed-burst count,
+//    so the heap dispatches exactly the legacy round-robin interleaving —
+//    one invocation per client per round, clients in registration order
+//    within a round (the tie-break sequence preserves post order).  Legacy
+//    workloads are a *degenerate event order* of the new scheduler, which
+//    is why every pre-refactor bench JSON stays byte-identical.
+//  - VirtualClock: the key is the client node's clock, so the next client
+//    to run is always the one earliest in virtual time — the event-driven
+//    order a discrete-event simulator wants at scale, and the mode
+//    bench_scale (E13) runs.  SimNetwork transfer completions feed the
+//    same heap as passive arrival events, sequencing network and client
+//    work on one timeline.
+//
+// Either way the dispatch order is a pure function of the workload and
+// the network seed — runs are bit-for-bit reproducible, and the heap's
+// order digest makes that checkable in one comparison.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +52,9 @@ public:
     /// one client's fault must not kill the whole workload.
     using Task = std::function<void(System&, net::NodeId)>;
 
+    /// Event-key policy; see the header comment.
+    enum class Fairness { RoundRobin, VirtualClock };
+
     explicit WorkloadDriver(System& system) : system_(&system) {}
 
     /// Appends a client with an ordered queue of invocations.
@@ -44,13 +62,23 @@ public:
     /// Convenience: `count` repetitions of the same invocation.
     void add_client(net::NodeId node, std::size_t count, Task task);
 
+    /// Bulk registration for scale runs: `clients` lightweight clients
+    /// spread round-robin across `nodes` (client k lives on nodes[k %
+    /// nodes.size()]), each issuing `tasks_each` repetitions of one shared
+    /// task.  Fleet clients carry no per-client queue or report — their
+    /// entire pending state is the event in the heap — so a million of
+    /// them cost megabytes, not gigabytes.  Tallies aggregate into the
+    /// Report totals; `Report::fleet_clients` counts them.
+    void add_fleet(std::vector<net::NodeId> nodes, std::uint64_t clients,
+                   std::uint32_t tasks_each, Task task);
+
     struct ClientReport {
         net::NodeId node = 0;
         std::uint64_t start_us = 0;  // node clock when run() began
         std::uint64_t end_us = 0;    // node clock when its queue drained
-        std::size_t tasks = 0;
-        std::size_t faults = 0;     // tasks that surfaced a guest exception
-        std::size_t recovered = 0;  // tasks that completed but needed retries
+        std::uint64_t tasks = 0;
+        std::uint64_t faults = 0;     // tasks that surfaced a guest exception
+        std::uint64_t recovered = 0;  // tasks that completed but needed retries
     };
     /// One closed observation window (see set_window_us): deltas of the
     /// system-wide RPC counters over [start_us, end_us) of virtual time,
@@ -58,8 +86,8 @@ public:
     struct Window {
         std::uint64_t start_us = 0;
         std::uint64_t end_us = 0;
-        std::size_t tasks = 0;       // tasks completed in the window
-        std::uint64_t rpc_calls = 0;  // Invoke+Create+Discover sent
+        std::uint64_t tasks = 0;       // tasks completed in the window
+        std::uint64_t rpc_calls = 0;   // Invoke+Create+Discover sent
         std::uint64_t wire_bytes = 0;  // request + reply bytes
     };
 
@@ -67,12 +95,12 @@ public:
         std::uint64_t start_us = 0;     // min client clock at run() entry
         std::uint64_t end_us = 0;       // max client clock at drain
         std::uint64_t makespan_us = 0;  // end_us - start_us
-        std::size_t tasks_run = 0;
+        std::uint64_t tasks_run = 0;
         /// Injected faults split by outcome: `recovered` tasks hit at
         /// least one transport failure but the retry policy absorbed it;
         /// `faults` tasks surfaced a guest exception to the client.
-        std::size_t faults = 0;
-        std::size_t recovered = 0;
+        std::uint64_t faults = 0;
+        std::uint64_t recovered = 0;
         /// Exact per-task virtual-latency quantiles (nearest-rank over
         /// every task's client-clock delta; 0 when no task ran).
         std::uint64_t latency_p50_us = 0;
@@ -81,14 +109,22 @@ public:
         /// Closed windows, oldest first; empty unless set_window_us(>0).
         /// The trailing partial window is closed at drain.
         std::vector<Window> windows;
+        /// Per-client detail for explicitly added clients only; fleet
+        /// clients aggregate into the totals above.
         std::vector<ClientReport> clients;
+        /// Scheduler accounting for the run.
+        std::uint64_t fleet_clients = 0;
+        std::uint64_t events_dispatched = 0;
+        std::uint64_t peak_pending_events = 0;  // bounded-memory witness
+        std::uint64_t event_order_digest = 0;   // FNV-1a over the pop stream
     };
 
     /// Enables time-windowed deltas: while running, every `w` µs of
     /// virtual time closes a Window snapshot of the RPC counters.  0 (the
     /// default) disables windowing.  Window boundaries are checked at
-    /// round boundaries, so a window closes at the first round edge past
-    /// it — deterministic, since the round-robin order is.
+    /// round boundaries (RoundRobin) or after each burst (VirtualClock),
+    /// so a window closes at the first such edge past it — deterministic,
+    /// since the dispatch order is.
     void set_window_us(std::uint64_t w) { window_us_ = w; }
 
     /// Client pipelining (DESIGN.md §17): each round a client issues up
@@ -104,9 +140,14 @@ public:
         pipeline_depth_ = depth ? depth : 1;
     }
 
-    /// Runs every queue to exhaustion, one invocation per client per
-    /// round.  Can be called again after queueing more work; clocks carry
-    /// over (virtual time never rewinds).
+    /// Selects the event-key policy for subsequent run() calls.  The
+    /// default, RoundRobin, reproduces the legacy interleaving exactly.
+    void set_fairness(Fairness f) { fairness_ = f; }
+    Fairness fairness() const noexcept { return fairness_; }
+
+    /// Runs every queue to exhaustion through the event heap.  Can be
+    /// called again after queueing more work; clocks carry over (virtual
+    /// time never rewinds).
     Report run();
 
 private:
@@ -114,14 +155,22 @@ private:
         net::NodeId node = 0;
         std::vector<Task> tasks;
         std::size_t next = 0;
-        std::size_t faults = 0;
-        std::size_t recovered = 0;
+        std::uint64_t faults = 0;
+        std::uint64_t recovered = 0;
+    };
+    struct Fleet {
+        std::vector<net::NodeId> nodes;
+        std::uint64_t clients = 0;
+        std::uint32_t tasks_each = 0;
+        Task task;
     };
 
     System* system_;
     std::vector<Client> clients_;
+    std::vector<Fleet> fleets_;
     std::uint64_t window_us_ = 0;
     std::size_t pipeline_depth_ = 1;
+    Fairness fairness_ = Fairness::RoundRobin;
 };
 
 }  // namespace rafda::runtime

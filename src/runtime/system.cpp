@@ -53,6 +53,7 @@ System::System(const model::ClassPool& original, SystemOptions options)
       network_(options.network_seed),
       reliability_(options.reliability),
       batching_(options.batching),
+      class_matrix_cap_(options.class_matrix_cap),
       retry_jitter_rng_(Rng::mix(options.network_seed, 0x6a697474ULL)) {
     network_.set_default_link(options.default_link);
     network_.attach_metrics(&metrics_);
@@ -565,7 +566,12 @@ void System::wire_node(Node& n) {
             naming::c_factory(cls), "discover", "()" + c_int_desc,
             [this, cls, node_id, lat = static_cast<obs::Histogram*>(nullptr)](
                 vm::Interpreter&, const Value&, std::vector<Value>) mutable {
-                Placement p = policy_.singleton_placement(cls, node_id);
+                // With the sharded directory enabled the singleton home is
+                // resolved through the owning shard (a modelled control
+                // round-trip) instead of the free host-side policy oracle.
+                Placement p = directory_.enabled()
+                                  ? directory_discover(cls, node_id)
+                                  : policy_.singleton_placement(cls, node_id);
                 if (p.node == node_id) return node(node_id).local_singleton(cls);
                 obs::ScopedSpan span;
                 if (tracer_.enabled())
@@ -634,16 +640,17 @@ void System::wire_node(Node& n) {
                                            m.descriptor(), std::move(args));
                 }
                 obs::Counter*& edge = edge_counters[target_node];
-                if (!edge)
-                    edge = &metrics_.counter("rpc.class_calls." + cls + "." +
-                                             std::to_string(node_id) + "." +
-                                             std::to_string(target_node));
-                edge->add();
                 obs::Counter*& edge_bytes = byte_counters[target_node];
-                if (!edge_bytes)
-                    edge_bytes = &metrics_.counter("rpc.class_bytes." + cls + "." +
-                                                   std::to_string(node_id) + "." +
-                                                   std::to_string(target_node));
+                if (!edge) {
+                    // Resolved through the matrix cap: past
+                    // class_matrix_cap distinct edges these point at the
+                    // overflow aggregates instead of named counters.
+                    auto [calls_ctr, bytes_ctr] =
+                        matrix_counters(cls, node_id, target_node);
+                    edge = calls_ctr;
+                    edge_bytes = bytes_ctr;
+                }
+                edge->add();
                 obs::Histogram*& lat = latency_hists[m.name];
                 if (!lat)
                     lat = &metrics_.histogram("rpc.latency." + cls + "." + m.name);
@@ -755,6 +762,16 @@ vm::ObjId System::migrate_instance(net::NodeId from, vm::ObjId oid, net::NodeId 
 
     migrations_counter_->add();
     migration_bytes_counter_->add(payload.size());
+    if (directory_.enabled()) {
+        // The owning shard learns the relocation, so directory lookups for
+        // (from, oid) resolve straight to the new home instead of chasing
+        // the proxy chain; stale per-node caches are shed at the same
+        // barrier the migration already imposes.
+        directory_.put_object(from, oid, to, new_oid);
+        directory_.invalidate_caches();
+        dir_updates_->add();
+        dir_entries_->set(static_cast<std::int64_t>(directory_.total_entries()));
+    }
     if (journal_.enabled())
         journal_.record(obs::JournalEvent::Kind::Migrate, landed.at_us, from, to,
                         oid, new_oid, cls_name);
@@ -770,6 +787,12 @@ void System::migrate_singleton(const std::string& cls, net::NodeId to,
     const std::string proto = protocol.empty() ? policy_.default_protocol() : protocol;
     Placement current = policy_.singleton_placement(cls, to);
     policy_.set_singleton_home(cls, to, proto);
+    if (directory_.enabled()) {
+        directory_.put_singleton(cls, to, proto);
+        directory_.invalidate_caches();
+        dir_updates_->add();
+        dir_entries_->set(static_cast<std::int64_t>(directory_.total_entries()));
+    }
     if (current.node == to) return;
     Node& home = node(current.node);
     auto it = home.singletons_.find(cls);
@@ -928,6 +951,101 @@ const std::map<std::string, System::ClassTraffic>& System::class_traffic() const
         (is_calls ? ct.calls : ct.bytes)[{src, dst}] += value;
     });
     return class_traffic_view_;
+}
+
+void System::enable_directory(DirectoryPolicy policy) {
+    const std::size_t shards =
+        policy.shards == 0
+            ? nodes_.size()
+            : std::min<std::size_t>(policy.shards, nodes_.size());
+    if (shards == 0)
+        throw RuntimeError("enable_directory requires at least one node");
+    std::vector<net::NodeId> owners;
+    owners.reserve(shards);
+    for (std::size_t k = 0; k < shards; ++k)
+        owners.push_back(static_cast<net::NodeId>(k));
+    directory_.configure(std::move(owners), policy);
+    dir_lookups_ = &metrics_.counter("directory.lookups");
+    dir_remote_ = &metrics_.counter("directory.remote");
+    dir_cache_hits_ = &metrics_.counter("directory.cache_hits");
+    dir_updates_ = &metrics_.counter("directory.updates");
+    dir_entries_ = &metrics_.gauge("directory.entries");
+}
+
+void System::directory_control_trip(net::NodeId asker, net::NodeId owner) {
+    dir_remote_->add();
+    Node& a = node(asker);
+    Node& o = node(owner);
+    const std::uint64_t bytes = directory_.policy().lookup_bytes;
+    net::Delivery query = network_.transfer_at(asker, owner, bytes, a.clock_us());
+    o.reconcile_clock(query.at_us);
+    // Serving the lookup costs the shard node CPU — the serialization a
+    // single-shard directory concentrates and the ring spreads.
+    o.advance_clock(directory_.policy().lookup_cpu_us);
+    net::Delivery answer = network_.transfer_at(owner, asker, bytes, o.clock_us());
+    a.reconcile_clock(answer.at_us);
+}
+
+Placement System::directory_discover(const std::string& cls, net::NodeId asker) {
+    dir_lookups_->add();
+    if (const DirLocation* hit = directory_.cached_singleton(asker, cls)) {
+        dir_cache_hits_->add();
+        return Placement{hit->node, hit->protocol};
+    }
+    const net::NodeId owner = directory_.singleton_owner(cls);
+    if (owner != asker) directory_control_trip(asker, owner);
+    const DirLocation* entry = directory_.find_singleton(cls);
+    if (!entry) {
+        // First demand: the shard materializes the entry from the
+        // placement policy's initial assignment.
+        Placement p = policy_.singleton_placement(cls, asker);
+        directory_.put_singleton(cls, p.node, p.protocol);
+        dir_updates_->add();
+        dir_entries_->set(static_cast<std::int64_t>(directory_.total_entries()));
+        entry = directory_.find_singleton(cls);
+    }
+    directory_.cache_singleton(asker, cls, *entry);
+    return Placement{entry->node, entry->protocol};
+}
+
+std::pair<net::NodeId, vm::ObjId> System::directory_resolve(net::NodeId asker,
+                                                            net::NodeId node_id,
+                                                            vm::ObjId oid) {
+    if (!directory_.enabled())
+        throw RuntimeError("directory_resolve requires enable_directory()");
+    dir_lookups_->add();
+    const net::NodeId owner =
+        directory_.object_owner(node_id, static_cast<std::uint64_t>(oid));
+    if (owner != asker) directory_control_trip(asker, owner);
+    auto [n, o] = directory_.chase_object(node_id, static_cast<std::uint64_t>(oid));
+    return {n, static_cast<vm::ObjId>(o)};
+}
+
+std::pair<obs::Counter*, obs::Counter*> System::matrix_counters(
+    const std::string& cls, net::NodeId src, net::NodeId dst) {
+    const std::string key =
+        cls + "." + std::to_string(src) + "." + std::to_string(dst);
+    if (matrix_keys_.find(key) == matrix_keys_.end()) {
+        if (class_matrix_cap_ != 0 && matrix_keys_.size() >= class_matrix_cap_) {
+            if (!matrix_calls_overflow_) {
+                // The aggregate bucket: traffic past the cap is exactly
+                // accounted here, just without per-edge attribution.  The
+                // class_traffic() parser skips these names (no src.dst
+                // suffix), so views stay well-formed.
+                matrix_calls_overflow_ =
+                    &metrics_.counter("rpc.class_calls.overflow");
+                matrix_bytes_overflow_ =
+                    &metrics_.counter("rpc.class_bytes.overflow");
+                matrix_overflow_entries_ =
+                    &metrics_.counter("rpc.class_matrix.overflow_entries");
+            }
+            matrix_overflow_entries_->add();
+            return {matrix_calls_overflow_, matrix_bytes_overflow_};
+        }
+        matrix_keys_.insert(key);
+    }
+    return {&metrics_.counter("rpc.class_calls." + key),
+            &metrics_.counter("rpc.class_bytes." + key)};
 }
 
 std::uint64_t System::migrations() const noexcept {

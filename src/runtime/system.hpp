@@ -13,6 +13,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/directory.hpp"
 #include "runtime/node.hpp"
 #include "runtime/policy.hpp"
 #include "runtime/reliable.hpp"
@@ -39,6 +41,12 @@ struct SystemOptions {
     RetryPolicy reliability;
     /// Per-link call batching (default off = per-frame wire schedule).
     BatchPolicy batching;
+    /// Bound on materialized per-(class, src, dst) traffic-matrix entries
+    /// (each entry is a calls + bytes counter pair).  Beyond the cap new
+    /// edges account into the `rpc.class_calls.overflow` /
+    /// `rpc.class_bytes.overflow` aggregates instead of materializing —
+    /// exact totals, bounded memory at hundreds of nodes.  0 = unbounded.
+    std::size_t class_matrix_cap = 1024;
 };
 
 /// Per-protocol accounting of remote traffic.
@@ -70,6 +78,26 @@ public:
 
     net::SimNetwork& network() noexcept { return network_; }
     DistributionPolicy& policy() noexcept { return policy_; }
+
+    /// Enables the sharded object directory (DESIGN.md §18): singleton
+    /// discover() and object-relocation lookups route to the shard node
+    /// owning the key on a consistent-hash ring instead of resolving
+    /// through the host-side policy oracle for free.  Shard owners are the
+    /// first `policy.shards` node ids (0 = every node owns a shard); call
+    /// after the nodes exist and before driving traffic.  Off by default —
+    /// legacy runs stay byte-identical.
+    void enable_directory(DirectoryPolicy policy = {});
+    ShardedDirectory& directory() noexcept { return directory_; }
+    const ShardedDirectory& directory() const noexcept { return directory_; }
+
+    /// Directory-backed object resolution: `asker` queries the shard that
+    /// owns (node, oid)'s relocation entry (a control round-trip in
+    /// virtual time unless asker owns the shard) and receives the terminal
+    /// location recorded by past migrations.  The directory analogue of
+    /// resolve_terminal, which walks the actual proxy chain instead.
+    std::pair<net::NodeId, vm::ObjId> directory_resolve(net::NodeId asker,
+                                                        net::NodeId node,
+                                                        vm::ObjId oid);
 
     /// The process-wide measurement substrate: every counter the runtime,
     /// network and VMs maintain lives here (DESIGN.md "Observability").
@@ -260,6 +288,24 @@ private:
     };
     ProtoMetrics& proto_metrics(const std::string& protocol);
 
+    /// Resolves the {calls, bytes} counter pair for one traffic-matrix
+    /// edge, enforcing SystemOptions::class_matrix_cap: the first `cap`
+    /// distinct (class, src, dst) edges materialize named counters, later
+    /// ones account into the overflow aggregates (nothing is dropped —
+    /// `rpc.class_matrix.overflow_entries` counts redirected resolutions).
+    std::pair<obs::Counter*, obs::Counter*> matrix_counters(
+        const std::string& cls, net::NodeId src, net::NodeId dst);
+
+    /// Singleton placement via the directory: per-node cache, then a
+    /// control round-trip to the owning shard (first demand materializes
+    /// the entry from the policy's initial assignment).
+    Placement directory_discover(const std::string& cls, net::NodeId asker);
+    /// Charges one lookup round-trip asker -> owner -> asker on the
+    /// simulated network plus the shard's lookup CPU.  The control channel
+    /// is modelled reliable (like migration): loss costs time, never the
+    /// outcome.
+    void directory_control_trip(net::NodeId asker, net::NodeId owner);
+
     void wire_node(Node& node);
     std::uint64_t next_request_id() { return ++request_counter_; }
 
@@ -284,6 +330,18 @@ private:
     transform::PipelineResult result_;
     net::SimNetwork network_;
     DistributionPolicy policy_;
+    ShardedDirectory directory_;
+    obs::Counter* dir_lookups_ = nullptr;
+    obs::Counter* dir_remote_ = nullptr;
+    obs::Counter* dir_cache_hits_ = nullptr;
+    obs::Counter* dir_updates_ = nullptr;
+    obs::Gauge* dir_entries_ = nullptr;
+    /// Materialized traffic-matrix edges (bounded by class_matrix_cap, so
+    /// this set is itself bounded) and the overflow aggregates beyond it.
+    std::set<std::string> matrix_keys_;
+    obs::Counter* matrix_calls_overflow_ = nullptr;
+    obs::Counter* matrix_bytes_overflow_ = nullptr;
+    obs::Counter* matrix_overflow_entries_ = nullptr;
     std::vector<std::unique_ptr<Node>> nodes_;
     std::map<std::string, std::unique_ptr<net::Codec>> codecs_;
     std::map<std::string, ProtoMetrics> proto_metrics_;
@@ -299,6 +357,7 @@ private:
     bool method_profiling_ = false;
     RetryPolicy reliability_;
     BatchPolicy batching_;
+    std::size_t class_matrix_cap_ = 1024;
     /// Per-directed-link batch lane: what frame last occupied the link
     /// and whether a same-protocol request may still append to it.  The
     /// decode side reuses the recorded BatchContext, modelling the

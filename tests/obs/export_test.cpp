@@ -93,5 +93,28 @@ TEST(ToTable, AlignsNamesAndSummarisesHistograms) {
     EXPECT_NE(table.find("count=1 sum=4 min=4 max=4 mean=4"), std::string::npos);
 }
 
+TEST(ToTable, TruncatesAfterMaxRowsWithAStableCut) {
+    Registry reg;
+    for (int k = 0; k < 30; ++k)
+        reg.counter("metric." + std::to_string(k / 10) + "." + std::to_string(k % 10))
+            .add(1);
+
+    // Samples are name-sorted, so the head is the lexicographic prefix and
+    // the marker counts exactly what was cut.
+    std::string table = to_table(reg.snapshot(), 5);
+    EXPECT_NE(table.find("metric.0.4"), std::string::npos);
+    EXPECT_EQ(table.find("metric.0.5"), std::string::npos);
+    EXPECT_NE(table.find("... 25 more sample(s) (pass --all to list every one)"),
+              std::string::npos);
+
+    // 0 = no cap: every row, no marker.
+    std::string full = to_table(reg.snapshot(), 0);
+    EXPECT_NE(full.find("metric.2.9"), std::string::npos);
+    EXPECT_EQ(full.find("more sample(s)"), std::string::npos);
+
+    // A cap at or past the row count lists everything without a marker.
+    EXPECT_EQ(to_table(reg.snapshot(), 30), full);
+}
+
 }  // namespace
 }  // namespace rafda::obs

@@ -281,6 +281,142 @@ TEST(WorkloadDriver, WindowSeriesIsDeterministic) {
     EXPECT_EQ(series(), series());
 }
 
+TEST(WorkloadDriver, FleetClientsAggregateIntoTotals) {
+    model::ClassPool pool = make_pool();
+    System system(pool);
+    system.add_node();  // server
+    std::vector<net::NodeId> client_nodes;
+    for (int k = 1; k <= 3; ++k) {
+        system.add_node();
+        client_nodes.push_back(static_cast<net::NodeId>(k));
+    }
+    system.policy().set_instance_home("Service", 0, "RMI");
+    std::vector<Value> services(4);
+    for (net::NodeId n : client_nodes)
+        services[static_cast<std::size_t>(n)] = system.construct(n, "Service", "()V");
+
+    WorkloadDriver driver(system);
+    driver.set_fairness(WorkloadDriver::Fairness::VirtualClock);
+    driver.add_fleet(client_nodes, /*clients=*/10, /*tasks_each=*/4,
+                     [&services](System& sys, net::NodeId node) {
+                         sys.node(node).interp().call_virtual(
+                             services[static_cast<std::size_t>(node)], "work",
+                             "(J)J", {Value::of_long(1)});
+                     });
+    WorkloadDriver::Report report = driver.run();
+
+    // Fleet clients have no per-client report — their whole state was the
+    // pending event — but every task they ran lands in the totals.
+    EXPECT_EQ(report.fleet_clients, 10u);
+    EXPECT_EQ(report.tasks_run, 40u);
+    EXPECT_TRUE(report.clients.empty());
+    // VirtualClock dispatches one step event per task plus the network's
+    // transfer-completion events (request + reply per RPC).
+    EXPECT_GE(report.events_dispatched, 40u);
+    EXPECT_GT(report.peak_pending_events, 0u);
+    // Pending state is one step event per live client plus in-flight
+    // arrivals — nowhere near tasks × clients.
+    EXPECT_LE(report.peak_pending_events, 30u);
+    EXPECT_NE(report.event_order_digest, 0u);
+    EXPECT_GT(report.latency_p50_us, 0u);
+}
+
+TEST(WorkloadDriver, EventOrderDigestIsReproducible) {
+    // Same seed, same workload ⇒ the popped event stream folds to the same
+    // digest in both fairness modes — the one-word determinism witness the
+    // scale bench gates on.  (Runs under any RAFDA_TRANSFORM_THREADS or
+    // ctest -j: host parallelism only affects the transform pipeline,
+    // never the virtual-time schedule.)
+    model::ClassPool pool = make_pool();
+    auto once = [&pool](WorkloadDriver::Fairness fairness) {
+        System system(pool);
+        system.add_node();
+        std::vector<net::NodeId> client_nodes;
+        for (int k = 1; k <= 4; ++k) {
+            system.add_node();
+            client_nodes.push_back(static_cast<net::NodeId>(k));
+        }
+        system.policy().set_instance_home("Service", 0, "RMI");
+        std::vector<Value> services(5);
+        for (net::NodeId n : client_nodes)
+            services[static_cast<std::size_t>(n)] =
+                system.construct(n, "Service", "()V");
+        WorkloadDriver driver(system);
+        driver.set_fairness(fairness);
+        driver.add_fleet(client_nodes, 12, 3,
+                         [&services](System& sys, net::NodeId node) {
+                             sys.node(node).interp().call_virtual(
+                                 services[static_cast<std::size_t>(node)], "work",
+                                 "(J)J", {Value::of_long(1)});
+                         });
+        WorkloadDriver::Report r = driver.run();
+        return std::tuple{r.event_order_digest, r.makespan_us, r.tasks_run,
+                          system.network().total_stats().bytes};
+    };
+    EXPECT_EQ(once(WorkloadDriver::Fairness::RoundRobin),
+              once(WorkloadDriver::Fairness::RoundRobin));
+    EXPECT_EQ(once(WorkloadDriver::Fairness::VirtualClock),
+              once(WorkloadDriver::Fairness::VirtualClock));
+}
+
+TEST(WorkloadDriver, FairnessModesAgreeOnOutcomesNotOrder) {
+    // Both modes run the same tasks to completion; only the interleaving
+    // (and therefore the latency shape) may differ.
+    model::ClassPool pool = make_pool();
+    auto totals = [&pool](WorkloadDriver::Fairness fairness) {
+        System system(pool);
+        WorkloadDriver::Report r;
+        system.add_node();
+        for (int k = 1; k <= 4; ++k) system.add_node();
+        system.policy().set_instance_home("Service", 0, "RMI");
+        WorkloadDriver driver(system);
+        driver.set_fairness(fairness);
+        for (int k = 1; k <= 4; ++k) {
+            const auto client = static_cast<net::NodeId>(k);
+            Value svc = system.construct(client, "Service", "()V");
+            driver.add_client(client, 8, [svc](System& sys, net::NodeId node) {
+                sys.node(node).interp().call_virtual(svc, "work", "(J)J",
+                                                     {Value::of_long(7)});
+            });
+        }
+        r = driver.run();
+        return std::pair{r.tasks_run, r.faults};
+    };
+    EXPECT_EQ(totals(WorkloadDriver::Fairness::RoundRobin),
+              totals(WorkloadDriver::Fairness::VirtualClock));
+}
+
+TEST(WorkloadDriver, MatrixCapOverflowPreservesTotals) {
+    // With a tiny class_matrix_cap the per-(class,src,dst) counters stop
+    // materializing past the cap, but nothing is lost: the overflow
+    // aggregates absorb the excess, so capped and uncapped runs agree on
+    // the grand totals (and on the wire — the cap is accounting only).
+    model::ClassPool pool = make_pool();
+    auto run = [&pool](std::size_t cap) {
+        SystemOptions options;
+        options.class_matrix_cap = cap;
+        auto system = std::make_unique<System>(pool, options);
+        WorkloadDriver::Report r = drive(*system, 6, 4);
+        std::uint64_t named_calls = 0;
+        for (const auto& [_, t] : system->class_traffic())
+            named_calls += t.total();
+        const std::uint64_t overflow_calls =
+            system->metrics().counter("rpc.class_calls.overflow").value();
+        const std::uint64_t redirected =
+            system->metrics().counter("rpc.class_matrix.overflow_entries").value();
+        return std::tuple{named_calls + overflow_calls, overflow_calls, redirected,
+                          system->network().total_stats().bytes, r.tasks_run};
+    };
+    const auto capped = run(2);
+    const auto uncapped = run(1024);
+    EXPECT_EQ(std::get<0>(capped), std::get<0>(uncapped));  // calls conserved
+    EXPECT_GT(std::get<1>(capped), 0u);   // the cap actually bit
+    EXPECT_GT(std::get<2>(capped), 0u);   // ...and counted its redirections
+    EXPECT_EQ(std::get<1>(uncapped), 0u);
+    EXPECT_EQ(std::get<3>(capped), std::get<3>(uncapped));  // same wire bytes
+    EXPECT_EQ(std::get<4>(capped), std::get<4>(uncapped));
+}
+
 TEST(WorkloadDriver, RerunCarriesClocksForward) {
     model::ClassPool pool = make_pool();
     System system(pool);

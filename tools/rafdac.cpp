@@ -167,9 +167,15 @@ enum class ObserveMode { Stats, Trace, Journal };
 /// point, then report from the observability layer instead of the
 /// application.  A non-empty `chrome_path` (trace mode) additionally
 /// writes the spans + journal events as Chrome trace-event JSON.
+/// Table row cap for `stats` (and link cap for `net`) unless --all: at
+/// hundreds of nodes the registry holds thousands of per-link samples,
+/// and the table is for eyes, not pipelines (use --json for those).
+constexpr std::size_t kStatsTableRows = 200;
+constexpr std::size_t kNetTableLinks = 20;
+
 int cmd_observe(const std::string& input, const std::string& config_path,
                 const std::string& main_cls, int nodes, ObserveMode mode, bool json,
-                const std::string& chrome_path = {}) {
+                bool all, const std::string& chrome_path = {}) {
     model::ClassPool pool = load_input(input);
     runtime::System system(pool);
     for (int k = 0; k < nodes; ++k) system.add_node();
@@ -197,7 +203,8 @@ int cmd_observe(const std::string& input, const std::string& config_path,
             break;
         case ObserveMode::Stats:
             std::cout << (json ? obs::to_json(system.metrics().snapshot()) + "\n"
-                               : obs::to_table(system.metrics().snapshot()));
+                               : obs::to_table(system.metrics().snapshot(),
+                                               all ? 0 : kStatsTableRows));
             break;
         case ObserveMode::Journal: {
             const obs::Journal& j = system.journal();
@@ -229,7 +236,7 @@ int cmd_observe(const std::string& input, const std::string& config_path,
 /// Per-link occupancy/utilization table (or JSON) plus per-node clocks —
 /// the contention story of a run without spelunking the raw registry.
 int cmd_net(const std::string& input, const std::string& config_path,
-            const std::string& main_cls, int nodes, bool json) {
+            const std::string& main_cls, int nodes, bool json, bool all) {
     model::ClassPool pool = load_input(input);
     runtime::System system(pool);
     for (int k = 0; k < nodes; ++k) system.add_node();
@@ -277,14 +284,34 @@ int cmd_net(const std::string& input, const std::string& config_path,
               << std::right << std::setw(10) << "messages" << std::setw(12) << "bytes"
               << std::setw(8) << "drops" << std::setw(10) << "coalesced"
               << std::setw(12) << "busy_us" << std::setw(8) << "util%" << "\n";
+    // Hot links first: visit_links walks in (src, dst) order, and the
+    // stable sort preserves that order among equal byte counts, so the
+    // table — truncated or not — is deterministic for a given run.
+    struct LinkRow {
+        net::NodeId src, dst;
+        net::LinkStats s;
+    };
+    std::vector<LinkRow> rows;
     network.visit_links([&](net::NodeId src, net::NodeId dst, const net::LinkStats& s) {
-        std::cout << std::left << std::setw(6) << src << std::setw(6) << dst
-                  << std::right << std::setw(10) << s.messages << std::setw(12)
-                  << s.bytes << std::setw(8) << s.drops << std::setw(10) << s.coalesced
-                  << std::setw(12) << s.busy_us
-                  << std::setw(8) << std::fixed << std::setprecision(1)
-                  << utilization_pct(s.busy_us) << "\n";
+        rows.push_back(LinkRow{src, dst, s});
     });
+    std::stable_sort(rows.begin(), rows.end(), [](const LinkRow& a, const LinkRow& b) {
+        return a.s.bytes > b.s.bytes;
+    });
+    const std::size_t shown = all ? rows.size()
+                                  : std::min(rows.size(), kNetTableLinks);
+    for (std::size_t k = 0; k < shown; ++k) {
+        const LinkRow& r = rows[k];
+        std::cout << std::left << std::setw(6) << r.src << std::setw(6) << r.dst
+                  << std::right << std::setw(10) << r.s.messages << std::setw(12)
+                  << r.s.bytes << std::setw(8) << r.s.drops << std::setw(10)
+                  << r.s.coalesced << std::setw(12) << r.s.busy_us
+                  << std::setw(8) << std::fixed << std::setprecision(1)
+                  << utilization_pct(r.s.busy_us) << "\n";
+    }
+    if (shown < rows.size())
+        std::cout << "... " << rows.size() - shown
+                  << " more link(s) (pass --all to list every one)\n";
     const net::LinkStats total = network.total_stats();
     std::cout << std::left << std::setw(12) << "total" << std::right << std::setw(10)
               << total.messages << std::setw(12) << total.bytes << std::setw(8)
@@ -296,9 +323,14 @@ int cmd_net(const std::string& input, const std::string& config_path,
                   << " coalesced call(s), "
                   << system.metrics().counter("rpc.batch.latency_saved_us").value()
                   << "us latency saved\n";
-    for (int k = 0; k < nodes; ++k)
+    const int shown_nodes =
+        all ? nodes : std::min(nodes, static_cast<int>(kNetTableLinks));
+    for (int k = 0; k < shown_nodes; ++k)
         std::cout << "node " << k << " clock "
                   << system.node(static_cast<net::NodeId>(k)).clock_us() << "us\n";
+    if (shown_nodes < nodes)
+        std::cout << "... " << nodes - shown_nodes
+                  << " more node(s) (pass --all to list every one)\n";
     return 0;
 }
 
@@ -398,11 +430,16 @@ int usage() {
               << "  rafdac run       <app.rir> <MainClass>\n"
               << "  rafdac deploy    <app.rir> <policy.cfg> <MainClass> [nodes=2]\n"
               << "  rafdac stats     <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n"
+              << "                   [--all]\n"
               << "  rafdac trace     <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n"
               << "                   [--chrome <out.json>]\n"
               << "  rafdac journal   <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n"
               << "  rafdac net       <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n"
+              << "                   [--all]\n"
               << "  rafdac faults    <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n"
+              << "\n"
+              << "stats/net tables list the top samples/links (by name / by bytes);\n"
+              << "--all lifts the cap.  JSON output is always complete.\n"
               << "\n"
               << "environment:\n"
               << "  RAFDA_TRANSFORM_THREADS  worker threads for transform/deploy\n"
@@ -418,6 +455,11 @@ int main(int argc, char** argv) {
     bool json = false;
     if (auto it = std::find(args.begin(), args.end(), "--json"); it != args.end()) {
         json = true;
+        args.erase(it);
+    }
+    bool all = false;
+    if (auto it = std::find(args.begin(), args.end(), "--all"); it != args.end()) {
+        all = true;
         args.erase(it);
     }
     std::string chrome_path;
@@ -442,10 +484,11 @@ int main(int argc, char** argv) {
                                args[0] == "trace"     ? ObserveMode::Trace
                                : args[0] == "journal" ? ObserveMode::Journal
                                                       : ObserveMode::Stats,
-                               json, args[0] == "trace" ? chrome_path : "");
+                               json, all, args[0] == "trace" ? chrome_path : "");
         if ((args.size() == 4 || args.size() == 5) && args[0] == "net")
             return cmd_net(args[1], args[2], args[3],
-                           args.size() == 5 ? std::atoi(args[4].c_str()) : 2, json);
+                           args.size() == 5 ? std::atoi(args[4].c_str()) : 2, json,
+                           all);
         if ((args.size() == 4 || args.size() == 5) && args[0] == "faults")
             return cmd_faults(args[1], args[2], args[3],
                               args.size() == 5 ? std::atoi(args[4].c_str()) : 2, json);
