@@ -19,6 +19,7 @@ const char* journal_kind_name(JournalEvent::Kind kind) {
         case JournalEvent::Kind::Breaker: return "breaker";
         case JournalEvent::Kind::FaultEdge: return "fault";
         case JournalEvent::Kind::Migrate: return "migrate";
+        case JournalEvent::Kind::Adapt: return "adapt";
     }
     return "?";
 }

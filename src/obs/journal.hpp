@@ -48,6 +48,10 @@ struct JournalEvent {
         Breaker,      // node=dst, a=new state (0 closed / 1 open / 2 half-open)
         FaultEdge,    // node=src, peer=dst (peer=-1: node fault), a=1 down/0 up
         Migrate,      // node=from, peer=to, a=old oid, b=new oid
+        Adapt,        // adaptation-engine decision (DESIGN.md §19):
+                      // node=from/home, peer=to (-1 when n/a), a=action
+                      // (0 migrate / 1 replicate / 2 defer / 3 invalidate /
+                      // 4 refresh), b=bytes involved, detail=class
     };
 
     Kind kind = Kind::RpcSend;

@@ -191,6 +191,25 @@ WorkloadDriver::Report WorkloadDriver::run() {
     // completions into the same popped stream (and digest) as client work.
     const std::uint32_t kNetArrival = heap.register_handler([](const Event&) {});
 
+    // Controller heartbeat for the adaptation engine (DESIGN.md §19): an
+    // ordinary heap event, so adaptation decisions sit at deterministic
+    // points of the same popped stream as client work in either fairness
+    // mode.  The engine's own interval gate decides whether a heartbeat
+    // becomes a tick, so the RoundRobin cadence (one heartbeat per round)
+    // and the VirtualClock cadence (one per interval) behave identically
+    // in watermark terms.  Never posted while adaptation is off — the
+    // event stream, digest and wire schedule stay byte-identical.
+    const std::uint64_t adapt_interval =
+        system_->adaptation_enabled()
+            ? system_->adaptation()->policy().interval_us
+            : 0;
+    const std::uint32_t kAdaptTick = heap.register_handler([&](const Event& e) {
+        system_->adaptation_tick();
+        if (!heap.empty())
+            heap.post(vclock ? e.at_us + adapt_interval : e.at_us + 1, e.node,
+                      e.kind);
+    });
+
     // Seed the heap: explicit clients in registration order, then fleet
     // clients in index order.  In RoundRobin mode every initial event is
     // at round 0 and the tie-break sequence reproduces the legacy
@@ -209,6 +228,10 @@ WorkloadDriver::Report WorkloadDriver::run() {
                       f.tasks_each);
         }
     }
+
+    if (adapt_interval)
+        heap.post(vclock ? system_->network().now_us() + adapt_interval : 1, 0,
+                  kAdaptTick);
 
     if (vclock)
         system_->network().set_completion_sink(
@@ -231,6 +254,9 @@ WorkloadDriver::Report WorkloadDriver::run() {
         if (vclock && window_us_) close_whole_windows();
     }
     if (vclock) system_->network().set_completion_sink(nullptr);
+    // Close the observation loop: backfill realized savings for decisions
+    // from the final window (observe-only; the makespan is already set).
+    if (adapt_interval) system_->adaptation_finalize();
 
     if (window_us_) {
         close_whole_windows();

@@ -66,7 +66,7 @@ void parse_fault_window(const std::vector<std::string>& toks, std::size_t t,
 
 void apply_policy_config(std::string_view text, DistributionPolicy& policy,
                          net::SimNetwork* network, RetryPolicy* reliability,
-                         BatchPolicy* batching) {
+                         BatchPolicy* batching, AdaptPolicy* adaptation) {
     int lineno = 0;
     for (const std::string& raw : split(text, '\n')) {
         ++lineno;
@@ -194,6 +194,38 @@ void apply_policy_config(std::string_view text, DistributionPolicy& policy,
                 if (max_calls < 2)
                     throw ParseError("batch max must be >= 2 (opener + entry)", lineno);
                 batching->max_frame_calls = static_cast<std::uint32_t>(max_calls);
+            }
+        } else if (head == "adapt") {
+            // adapt on|off [interval N] [migrate-threshold B]
+            //              [replicate-ratio R] [min-calls N]
+            if (!adaptation)
+                throw ParseError("'adapt' line given but no adaptation policy",
+                                 lineno);
+            if (toks.size() < 2 || toks.size() % 2 != 0)
+                throw ParseError(
+                    "syntax: adapt on|off [interval N] [migrate-threshold B] "
+                    "[replicate-ratio R] [min-calls N]",
+                    lineno);
+            if (toks[1] != "on" && toks[1] != "off")
+                throw ParseError("adapt must be 'on' or 'off'", lineno);
+            adaptation->enabled = toks[1] == "on";
+            for (std::size_t t = 2; t + 1 < toks.size(); t += 2) {
+                const std::string& key = toks[t];
+                const std::string& val = toks[t + 1];
+                if (key == "interval") {
+                    adaptation->interval_us = parse_u64(val, lineno);
+                    if (adaptation->interval_us == 0)
+                        throw ParseError("interval must be > 0", lineno);
+                } else if (key == "migrate-threshold") {
+                    adaptation->migrate_threshold_bytes = parse_u64(val, lineno);
+                } else if (key == "replicate-ratio") {
+                    adaptation->replicate_ratio = parse_prob(val, lineno);
+                } else if (key == "min-calls") {
+                    adaptation->min_window_calls = parse_u64(val, lineno);
+                } else {
+                    throw ParseError("unknown adapt attribute '" + key + "'",
+                                     lineno);
+                }
             }
         } else if (head == "fault") {
             // fault link SRC -> DST down|flap from T until T [period P]

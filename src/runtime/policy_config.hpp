@@ -19,6 +19,7 @@
 //   dedup on capacity 1024
 //   breaker threshold 5 cooldown 10000
 //   batch on max 32                      # per-link call batching (§17)
+//   adapt on interval 2000 migrate-threshold 256 replicate-ratio 0.9  # §19
 //   fault link 0 -> 1 down from 5000 until 9000
 //   fault link 0 -> 1 flap from 5000 until 9000 period 500
 //   fault link 0 -> 1 drop 0.25 from 5000 until 9000
@@ -28,6 +29,7 @@
 #include <string_view>
 
 #include "net/network.hpp"
+#include "runtime/adapt.hpp"
 #include "runtime/policy.hpp"
 #include "runtime/reliable.hpp"
 
@@ -35,12 +37,13 @@ namespace rafda::runtime {
 
 /// Parses `text` and applies it to `policy` (and, for `link`/`fault`
 /// lines, to `network`; for `retry`/`dedup`/`breaker` lines, to
-/// `reliability`; for `batch` lines, to `batching` — each when given).
-/// Throws ParseError with a line number on malformed input, including
-/// unknown protocols.
+/// `reliability`; for `batch` lines, to `batching`; for `adapt` lines,
+/// to `adaptation` — each when given).  Throws ParseError with a line
+/// number on malformed input, including unknown protocols.
 void apply_policy_config(std::string_view text, DistributionPolicy& policy,
                          net::SimNetwork* network = nullptr,
                          RetryPolicy* reliability = nullptr,
-                         BatchPolicy* batching = nullptr);
+                         BatchPolicy* batching = nullptr,
+                         AdaptPolicy* adaptation = nullptr);
 
 }  // namespace rafda::runtime

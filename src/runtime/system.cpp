@@ -87,6 +87,9 @@ System::System(const model::ClassPool& original, SystemOptions options)
     });
     for (const std::string& proto : result_.report.protocols())
         codecs_[proto] = net::make_codec(proto);
+    // The read/write classifier judges ORIGINAL bytecode — the
+    // pre-transformation truth about what each method touches.
+    replicas_.configure(original_);
 }
 
 System::~System() { clear_log_time_source(this); }
@@ -572,7 +575,15 @@ void System::wire_node(Node& n) {
                 Placement p = directory_.enabled()
                                   ? directory_discover(cls, node_id)
                                   : policy_.singleton_placement(cls, node_id);
-                if (p.node == node_id) return node(node_id).local_singleton(cls);
+                if (p.node == node_id) {
+                    // A raw local reference is about to escape the dispatch
+                    // seam: the adaptation engine's replication gate needs
+                    // to know (DESIGN.md §19), and existing replicas of a
+                    // local primary must be conservatively invalidated.
+                    if (adapt_ || replicas_.active())
+                        note_local_discover(cls, node_id);
+                    return node(node_id).local_singleton(cls);
+                }
                 obs::ScopedSpan span;
                 if (tracer_.enabled())
                     span = obs::ScopedSpan(tracer_, "rpc.discover " + cls, node_id);
@@ -627,6 +638,29 @@ void System::wire_node(Node& n) {
                     span = obs::ScopedSpan(tracer_, "rpc.invoke " + cls + "." + m.name,
                                            node_id);
                     tracer_.note("target_node", std::to_string(target_node));
+                }
+                // Read-mostly replication (DESIGN.md §19): a node-local
+                // copy of the target serves read-only methods without
+                // touching the wire; anything else aimed at a replicated
+                // primary invalidates every copy up front (conservative —
+                // charged even if the write then faults), then proceeds on
+                // the normal path.
+                if (replicas_.active() &&
+                    replicas_.has_replicas(target_node, req.target_oid)) {
+                    if (replicas_.method_is_readonly(cls, m.name)) {
+                        if (Replica* rep = replicas_.find(
+                                target_node, req.target_oid, node_id)) {
+                            if (!rep->valid)
+                                refresh_replica(cls, target_node,
+                                                req.target_oid, *rep);
+                            adapt_replica_reads_->add();
+                            return vm.call_virtual(Value::of_ref(rep->oid),
+                                                   m.name, m.descriptor(),
+                                                   std::move(args));
+                        }
+                    } else {
+                        invalidate_replicas(target_node, req.target_oid, cls);
+                    }
                 }
                 // Loopback: a proxy whose target lives on this node (e.g.
                 // after shorten_chain collapsed a cycle) dispatches
@@ -746,6 +780,15 @@ vm::ObjId System::migrate_instance(net::NodeId from, vm::ObjId oid, net::NodeId 
     net::Delivery landed = network_.transfer_at(from, to, payload.size(), f.clock_us());
     for (const auto& n : nodes_) n->reconcile_clock(landed.at_us);
 
+    // The barrier also quiesces the wire model: any batch lane still
+    // marked joinable refers to a frame opened before the migration, and a
+    // post-migration call must never coalesce onto a frame addressed to
+    // the old home (§17 composed with migration; regression-tested).
+    for (auto& [_, lane] : batch_lanes_) lane.joinable = false;
+    // Replicas of the moved object lose their provenance at the same
+    // barrier — the primary no longer lives at (from, oid).
+    if (replicas_.active()) replicas_.drop_primary(from, oid);
+
     // Materialise on the target node.
     vm::ObjId new_oid = t.interp().allocate(cls_name);
     for (std::size_t k = 0; k < layout.slots.size(); ++k)
@@ -800,6 +843,150 @@ void System::migrate_singleton(const std::string& cls, net::NodeId to,
     vm::ObjId new_oid = migrate_instance(current.node, it->second, to, proto);
     node(to).singletons_[cls] = new_oid;
     home.singletons_.erase(cls);
+}
+
+void System::enable_adaptation(AdaptPolicy policy) {
+    policy.enabled = true;
+    ensure_replica_counters();
+    adapt_ = std::make_unique<AdaptationEngine>(*this, policy);
+}
+
+bool System::adaptation_tick(bool force) {
+    return adapt_ ? adapt_->tick(network_.now_us(), force) : false;
+}
+
+void System::adaptation_finalize() {
+    if (adapt_) adapt_->finalize();
+}
+
+std::pair<net::NodeId, vm::ObjId> System::find_singleton(const std::string& cls) {
+    for (const auto& n : nodes_) {
+        auto it = n->singletons_.find(cls);
+        if (it != n->singletons_.end()) return {n->id(), it->second};
+    }
+    return {-1, 0};
+}
+
+void System::ensure_replica_counters() {
+    if (adapt_invalidations_) return;
+    adapt_invalidations_ = &metrics_.counter("adapt.invalidations");
+    adapt_replica_reads_ = &metrics_.counter("adapt.replica_reads");
+    adapt_replica_refreshes_ = &metrics_.counter("adapt.replica_refreshes");
+}
+
+vm::ObjId System::create_replica(net::NodeId primary, vm::ObjId oid,
+                                 const std::string& cls, net::NodeId reader) {
+    if (primary == reader)
+        throw RuntimeError("replica reader is the primary's own node");
+    ensure_replica_counters();
+    Node& p = node(primary);
+    Node& r = node(reader);
+    const std::string& impl = p.interp().class_of(oid).name;
+    const model::Layout& layout = result_.pool.layout_of(impl);
+    const std::string proto = policy_.default_protocol();
+
+    net::CallRequest msg;
+    msg.kind = net::RequestKind::Create;
+    msg.request_id = next_request_id();
+    msg.src_node = primary;
+    msg.cls = impl;
+    for (const model::FieldSlot& slot : layout.slots)
+        msg.args.push_back(p.export_value(p.interp().get_field(oid, slot.name)));
+    Bytes payload = codec(proto).encode_request(msg);
+    // Reliable control channel, like migration — but NOT a barrier: only
+    // the reader learns (its clock reconciles to the landing).
+    net::Delivery landed =
+        network_.transfer_at(primary, reader, payload.size(), p.clock_us());
+    r.reconcile_clock(landed.at_us);
+
+    vm::ObjId copy = r.interp().allocate(impl);
+    for (std::size_t k = 0; k < layout.slots.size(); ++k)
+        r.interp().set_field(copy, layout.slots[k].name,
+                             r.import_value(msg.args[k], proto));
+    replicas_.put(primary, oid, cls, Replica{reader, copy, true});
+    r.sync_guest_time();
+    log_info("runtime", "replicated ", cls, " (", primary, ",", oid, ") -> node ",
+             reader);
+    return copy;
+}
+
+void System::refresh_replica(const std::string& cls, net::NodeId primary,
+                             vm::ObjId oid, Replica& r) {
+    ensure_replica_counters();
+    Node& p = node(primary);
+    Node& reader = node(r.node);
+    const std::string& impl = p.interp().class_of(oid).name;
+    const model::Layout& layout = result_.pool.layout_of(impl);
+    const std::string proto = policy_.default_protocol();
+
+    net::CallRequest msg;
+    msg.kind = net::RequestKind::Create;
+    msg.request_id = next_request_id();
+    msg.src_node = primary;
+    msg.cls = impl;
+    for (const model::FieldSlot& slot : layout.slots)
+        msg.args.push_back(p.export_value(p.interp().get_field(oid, slot.name)));
+    Bytes payload = codec(proto).encode_request(msg);
+    net::Delivery landed =
+        network_.transfer_at(primary, r.node, payload.size(), p.clock_us());
+    reader.reconcile_clock(landed.at_us);
+
+    for (std::size_t k = 0; k < layout.slots.size(); ++k)
+        reader.interp().set_field(r.oid, layout.slots[k].name,
+                                  reader.import_value(msg.args[k], proto));
+    r.valid = true;
+    adapt_replica_refreshes_->add();
+    if (journal_.enabled())
+        journal_.record(obs::JournalEvent::Kind::Adapt, landed.at_us, primary,
+                        r.node, 4, payload.size(), cls);
+}
+
+void System::invalidate_replicas(net::NodeId primary, vm::ObjId oid,
+                                 const std::string& cls) {
+    const std::vector<Replica*> flipped = replicas_.invalidate(primary, oid);
+    if (flipped.empty()) return;
+    ensure_replica_counters();
+    const std::uint64_t msg_bytes =
+        directory_.enabled() ? directory_.policy().lookup_bytes : 48;
+    Node& p = node(primary);
+
+    // Write-invalidate routes through the shard owning the object's
+    // directory entry when the directory is on; the writer is not stalled
+    // (invalidations are asynchronous control messages), but each
+    // recipient reconciles to the arrival — it processed the message.
+    net::NodeId origin = primary;
+    std::uint64_t origin_clock = p.clock_us();
+    if (directory_.enabled()) {
+        const net::NodeId owner = directory_.object_owner(primary, oid);
+        if (owner != primary) {
+            net::Delivery hop =
+                network_.transfer_at(primary, owner, msg_bytes, origin_clock);
+            node(owner).reconcile_clock(hop.at_us);
+            origin = owner;
+            origin_clock = node(owner).clock_us();
+        }
+    }
+    std::uint64_t last_t = origin_clock;
+    for (Replica* rep : flipped) {
+        if (rep->node == origin) continue;  // colocated with the origin
+        net::Delivery d =
+            network_.transfer_at(origin, rep->node, msg_bytes, origin_clock);
+        node(rep->node).reconcile_clock(d.at_us);
+        last_t = d.at_us;
+    }
+    adapt_invalidations_->add(flipped.size());
+    if (journal_.enabled())
+        journal_.record(obs::JournalEvent::Kind::Adapt, last_t, primary, -1, 3,
+                        flipped.size(), cls);
+}
+
+void System::note_local_discover(const std::string& cls, net::NodeId node_id) {
+    metrics_.counter("runtime.local_discovers." + cls).add();
+    if (!replicas_.active()) return;
+    // A raw local reference just escaped the dispatch seam on this node;
+    // conservatively assume the holder may write through it.
+    for (const auto& [pn, poid] : replicas_.primaries_of_class(cls))
+        if (pn == node_id) invalidate_replicas(pn, poid, cls);
 }
 
 std::size_t System::migrate_closure(net::NodeId from, vm::ObjId oid, net::NodeId to,

@@ -22,10 +22,12 @@
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/adapt.hpp"
 #include "runtime/directory.hpp"
 #include "runtime/node.hpp"
 #include "runtime/policy.hpp"
 #include "runtime/reliable.hpp"
+#include "runtime/replica.hpp"
 #include "support/pool.hpp"
 #include "support/rng.hpp"
 #include "transform/pipeline.hpp"
@@ -116,6 +118,42 @@ public:
     /// Recording is passive — enabling it cannot perturb a seeded run.
     obs::Journal& journal() noexcept { return journal_; }
     const obs::Journal& journal() const noexcept { return journal_; }
+
+    /// Closed-loop adaptation (DESIGN.md §19): installs the
+    /// AdaptationEngine with `policy` (enabled is forced on).  The
+    /// WorkloadDriver schedules its ticks as EventHeap events; outside a
+    /// driver, call adaptation_tick() at whatever cadence suits — the
+    /// engine gates itself on the policy interval.  Off by default: a run
+    /// that never calls this is byte-identical to one built before the
+    /// engine existed.
+    void enable_adaptation(AdaptPolicy policy = {});
+    bool adaptation_enabled() const noexcept { return adapt_ != nullptr; }
+    AdaptationEngine* adaptation() noexcept { return adapt_.get(); }
+    const AdaptationEngine* adaptation() const noexcept { return adapt_.get(); }
+    /// One controller tick at the current watermark (interval-gated unless
+    /// `force`); no-op when adaptation is off.  Returns true if it ran.
+    bool adaptation_tick(bool force = false);
+    /// Backfills realized savings for still-pending decisions (the driver
+    /// calls this once after the workload drains).
+    void adaptation_finalize();
+
+    /// Actual home of the instantiated `cls` singleton: scans the node
+    /// set for its C_Local instance.  {-1, 0} when never discovered.
+    std::pair<net::NodeId, vm::ObjId> find_singleton(const std::string& cls);
+
+    /// Installs a node-local read replica of the object at (primary, oid)
+    /// — original class `cls` — on `reader`: state is marshalled and
+    /// charged as a real transfer primary -> reader, then materialized as
+    /// a copy the dispatch path serves read-only methods from
+    /// (DESIGN.md §19).  Unlike migration this is not a barrier: only the
+    /// reader's clock reconciles.  Returns the copy's object id.
+    vm::ObjId create_replica(net::NodeId primary, vm::ObjId oid,
+                             const std::string& cls, net::NodeId reader);
+
+    /// Replication state (inspectable; mutate via create_replica and the
+    /// write-invalidate path, not directly).
+    ReplicaManager& replicas() noexcept { return replicas_; }
+    const ReplicaManager& replicas() const noexcept { return replicas_; }
 
     /// Turns per-method instruction histograms on/off in every node's VM
     /// (`vm.node<N>.method_instr.<Cls>.<method>`); applies to nodes added
@@ -319,6 +357,23 @@ private:
     /// (peer=-1) when `down` differs from the last observation for `dst`.
     void note_node_fault(net::NodeId dst, bool down, std::uint64_t t_us);
 
+    /// Write-invalidate (DESIGN.md §19): marks every copy of the primary
+    /// stale and charges one control message per freshly invalidated copy
+    /// — through the owning directory shard when the directory is on,
+    /// directly otherwise.  Already-stale copies cost nothing.
+    void invalidate_replicas(net::NodeId primary, vm::ObjId oid,
+                             const std::string& cls);
+    /// Re-copies the primary's state into a stale replica (charged as a
+    /// primary -> reader transfer) and marks it valid.
+    void refresh_replica(const std::string& cls, net::NodeId primary,
+                         vm::ObjId oid, Replica& r);
+    /// Local singleton access the dispatch seam cannot see: counted for
+    /// the engine's replication gate, and conservatively invalidates any
+    /// replicas whose primary lives on `node_id` (the local caller may be
+    /// about to write through its raw reference).
+    void note_local_discover(const std::string& cls, net::NodeId node_id);
+    void ensure_replica_counters();
+
     // The registry, tracer and journal are declared first so they outlive
     // the nodes (interpreter destructors deregister their probes) and the
     // network (which holds cached counter and journal handles).
@@ -384,6 +439,14 @@ private:
     /// retry schedule can never perturb drop decisions — and vice versa.
     Rng retry_jitter_rng_;
     std::uint64_t retries_spent_ = 0;  // against RetryPolicy::retry_budget
+    /// Closed-loop adaptation (DESIGN.md §19).  The engine is only
+    /// constructed by enable_adaptation(); the replica registry is always
+    /// present but costs one empty-map check until the first replica.
+    std::unique_ptr<AdaptationEngine> adapt_;
+    ReplicaManager replicas_;
+    obs::Counter* adapt_invalidations_ = nullptr;
+    obs::Counter* adapt_replica_reads_ = nullptr;
+    obs::Counter* adapt_replica_refreshes_ = nullptr;
     obs::Counter* rpc_retries_ = nullptr;
     obs::Counter* rpc_retries_reply_loss_ = nullptr;
     obs::Counter* rpc_timeouts_ = nullptr;

@@ -252,6 +252,66 @@ TEST(Batching, DeterministicFromSeedWhenEnabled) {
     EXPECT_EQ(a.results, b.results);
 }
 
+TEST(Batching, MigrationMidBurstInvalidatesOpenLanes) {
+    // A migration is a time barrier: every clock reconciles to the
+    // hand-off.  Any batch frame opened before the barrier belongs to the
+    // pre-migration schedule — coalescing a post-migration call onto it
+    // would deliver that call into the past, addressed to the old home.
+    // migrate_instance must therefore cut every open lane; the calls
+    // after the move open fresh frames (and still execute exactly once,
+    // through the forwarding chain).
+    model::ClassPool pool;
+    vm::install_prelude(pool);
+    model::assemble_into(pool, kApp);
+    model::verify_pool(pool);
+
+    SystemOptions options;
+    options.network_seed = 7;
+    options.default_link = net::LinkParams{500, 10.0, 0.0};
+    options.batching.enabled = true;
+    System system(pool, options);
+    system.add_node();  // 0: client
+    system.add_node();  // 1: first home
+    system.add_node();  // 2: home after the mid-burst migration
+
+    Value svc = system.construct(0, "Service", "()V");
+    vm::ObjId on1 = system.migrate_instance(0, svc.as_ref(), 1, "RMI");
+
+    constexpr int kCalls = 12;
+    RunOutcome out;
+    WorkloadDriver driver(system);
+    std::vector<WorkloadDriver::Task> tasks;
+    for (int k = 0; k < kCalls; ++k) {
+        if (k == kCalls / 2)
+            tasks.push_back([on1](System& sys, net::NodeId) {
+                sys.migrate_instance(1, on1, 2, "RMI");
+            });
+        tasks.push_back([svc, k, &out](System& sys, net::NodeId node) {
+            Value v = sys.node(node).interp().call_virtual(
+                svc, "work", "(J)J", {Value::of_long(k + 1)});
+            out.results.push_back(v.as_long());
+        });
+    }
+    driver.set_pipeline_depth(tasks.size());  // the whole queue is one burst
+    driver.add_client(0, std::move(tasks));
+    WorkloadDriver::Report report = driver.run();
+
+    EXPECT_EQ(report.faults, 0u);
+    EXPECT_EQ(out.results, expected_results(kCalls));
+    EXPECT_EQ(system.node(0).interp().call_virtual(svc, "calls", "()I").as_int(),
+              kCalls);
+
+    // The burst was split at the barrier: at least two frames on the
+    // wire, and strictly fewer coalesced entries than one uncut frame
+    // (kCalls - 1) would have carried.
+    const std::uint64_t frames = system.metrics().counter("rpc.batch.frames").value();
+    const std::uint64_t coalesced =
+        system.metrics().counter("rpc.batch.coalesced").value();
+    EXPECT_GE(frames, 2u);
+    EXPECT_GT(coalesced, 0u);
+    EXPECT_LE(coalesced, static_cast<std::uint64_t>(kCalls) - 2);
+}
+
 TEST(Batching, ExactlyOnceSurvivesBatchingUnderFaults) {
     // The E10 invariant with the new machinery stacked on top: scheduled
     // drops on both directions, retries + dedup, pipelining + batching.

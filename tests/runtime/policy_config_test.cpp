@@ -194,6 +194,47 @@ TEST(PolicyConfig, BatchDirectiveNeedsItsTargetAndValidShape) {
     bad("batch on max 0");
 }
 
+TEST(PolicyConfig, ParsesAdaptDirective) {
+    DistributionPolicy policy;
+    AdaptPolicy adaptation;
+    apply_policy_config(
+        "adapt on interval 1500 migrate-threshold 128 replicate-ratio 0.8 "
+        "min-calls 6",
+        policy, nullptr, nullptr, nullptr, &adaptation);
+    EXPECT_TRUE(adaptation.enabled);
+    EXPECT_EQ(adaptation.interval_us, 1500u);
+    EXPECT_EQ(adaptation.migrate_threshold_bytes, 128u);
+    EXPECT_DOUBLE_EQ(adaptation.replicate_ratio, 0.8);
+    EXPECT_EQ(adaptation.min_window_calls, 6u);
+
+    // Knobs survive an off toggle (only the switch flips).
+    apply_policy_config("adapt off", policy, nullptr, nullptr, nullptr,
+                        &adaptation);
+    EXPECT_FALSE(adaptation.enabled);
+    EXPECT_EQ(adaptation.interval_us, 1500u);
+}
+
+TEST(PolicyConfig, AdaptDirectiveNeedsItsTargetAndValidShape) {
+    DistributionPolicy policy;
+    // No AdaptPolicy given: an adapt line is an error.
+    EXPECT_THROW(apply_policy_config("adapt on", policy), ParseError);
+
+    AdaptPolicy adaptation;
+    auto bad = [&](const char* text) {
+        EXPECT_THROW(apply_policy_config(text, policy, nullptr, nullptr, nullptr,
+                                         &adaptation),
+                     ParseError)
+            << text;
+    };
+    bad("adapt");
+    bad("adapt maybe");
+    bad("adapt on interval");
+    bad("adapt on interval 0");
+    bad("adapt on cadence 100");
+    bad("adapt on replicate-ratio 1.5");  // a ratio is a probability
+    bad("adapt on replicate-ratio -0.1");
+}
+
 TEST(PolicyConfig, LaterLinesOverrideEarlier) {
     DistributionPolicy policy;
     apply_policy_config(R"(

@@ -1,0 +1,250 @@
+// Read-mostly replication (DESIGN.md §19), end to end.
+//
+// The invariants under test, in rough order of importance:
+//   - the bytecode classifier is conservative: only provably read-only
+//     methods (against the ORIGINAL class) qualify, accessors classify by
+//     prefix against the original field table, everything unknown is a
+//     write;
+//   - a read-mostly window replicates the singleton to its readers, after
+//     which reads are served node-locally and the wire quiets down — with
+//     every read still returning the right value;
+//   - write-invalidate coherence: a write through the dispatch seam
+//     invalidates every copy first, and the next read refreshes from the
+//     primary before answering;
+//   - migration is a replica barrier: the moved primary's copies are
+//     forgotten, not served stale;
+//   - a raw local reference escaping the dispatch seam on the home node
+//     (local discover) conservatively invalidates — the one access the
+//     middleware cannot see must not leave replicas lying about state.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/assembler.hpp"
+#include "model/verifier.hpp"
+#include "runtime/driver.hpp"
+#include "runtime/system.hpp"
+#include "vm/prelude.hpp"
+
+namespace rafda::runtime {
+namespace {
+
+using vm::Value;
+
+constexpr const char* kApp = R"(
+class Table {
+  static field a I
+  static field b I
+  static method seed (II)V {
+    load 0
+    putstatic Table.a I
+    load 1
+    putstatic Table.b I
+    return
+  }
+  static method lookup ()I {
+    getstatic Table.a I
+    getstatic Table.b I
+    add
+    returnvalue
+  }
+  static method update (I)V {
+    load 0
+    putstatic Table.a I
+    return
+  }
+  static method churn ()I {
+    getstatic Table.a I
+    const 1
+    add
+    dup
+    putstatic Table.a I
+    returnvalue
+  }
+}
+class Rec {
+  field v I
+  ctor ()V {
+    return
+  }
+}
+)";
+
+std::unique_ptr<System> make_system(model::ClassPool& pool,
+                                    bool adapt = false,
+                                    AdaptPolicy policy = {}) {
+    vm::install_prelude(pool);
+    model::assemble_into(pool, kApp);
+    model::verify_pool(pool);
+    SystemOptions options;
+    options.network_seed = 23;
+    options.default_link = net::LinkParams{20, 0.0, 0.0};
+    auto system = std::make_unique<System>(pool, options);
+    system->add_node();  // 0: singleton home, no local callers
+    system->add_node();  // 1: reader
+    system->add_node();  // 2: reader
+    system->policy().set_singleton_home("Table", 0, "RMI");
+    if (adapt) system->enable_adaptation(policy);
+    return system;
+}
+
+AdaptPolicy replicate_policy() {
+    AdaptPolicy p;
+    p.interval_us = 600;
+    p.min_window_calls = 4;
+    p.replicate_ratio = 0.85;
+    return p;
+}
+
+TEST(ReplicaClassifier, ReadOnlyIsProvedAgainstOriginalBytecode) {
+    model::ClassPool pool;
+    auto system = make_system(pool);
+    const ReplicaManager& replicas = system->replicas();
+
+    // Explicit bodies: a pure field read qualifies, any putstatic doesn't.
+    EXPECT_TRUE(replicas.method_is_readonly("Table", "lookup"));
+    EXPECT_FALSE(replicas.method_is_readonly("Table", "seed"));
+    EXPECT_FALSE(replicas.method_is_readonly("Table", "update"));
+    EXPECT_FALSE(replicas.method_is_readonly("Table", "churn"));
+
+    // Generated accessors classify by prefix against the original field
+    // table; the singleton getter and unknown names are writes.
+    EXPECT_TRUE(replicas.method_is_readonly("Rec", "get_v"));
+    EXPECT_FALSE(replicas.method_is_readonly("Rec", "set_v"));
+    EXPECT_FALSE(replicas.method_is_readonly("Rec", "get_me"));
+    EXPECT_FALSE(replicas.method_is_readonly("Rec", "frobnicate"));
+    EXPECT_FALSE(replicas.method_is_readonly("NoSuchClass", "get_v"));
+}
+
+struct ReplicaOutcome {
+    std::uint64_t wire_bytes = 0;
+    std::uint64_t makespan_us = 0;
+    std::uint64_t digest = 0;
+    std::uint64_t replications = 0;
+    std::uint64_t replica_reads = 0;
+    std::vector<std::int32_t> results;
+};
+
+ReplicaOutcome run_readers(bool adapt, int calls_each = 20) {
+    model::ClassPool pool;
+    auto system = make_system(pool, adapt, replicate_policy());
+    system->call_static(1, "Table", "seed", "(II)V",
+                        {Value::of_int(3), Value::of_int(4)});
+
+    ReplicaOutcome out;
+    WorkloadDriver driver(*system);
+    auto reader = [&out](System& sys, net::NodeId node) {
+        out.results.push_back(
+            sys.call_static(node, "Table", "lookup", "()I").as_int());
+    };
+    driver.add_client(1, static_cast<std::size_t>(calls_each), reader);
+    driver.add_client(2, static_cast<std::size_t>(calls_each), reader);
+    WorkloadDriver::Report report = driver.run();
+
+    out.wire_bytes = system->network().total_stats().bytes;
+    out.makespan_us = report.makespan_us;
+    out.digest = report.event_order_digest;
+    if (adapt) {
+        out.replications = system->metrics().counter("adapt.replications").value();
+        out.replica_reads = system->metrics().counter("adapt.replica_reads").value();
+    }
+    return out;
+}
+
+TEST(Replica, ReadMostlyWindowReplicatesToReaders) {
+    ReplicaOutcome base = run_readers(false);
+    ReplicaOutcome rep = run_readers(true);
+
+    // Both readers got a copy, later reads were served node-locally, and
+    // every read — before and after the switch — returned the truth.
+    EXPECT_GE(rep.replications, 2u);
+    EXPECT_GT(rep.replica_reads, 0u);
+    ASSERT_EQ(rep.results.size(), base.results.size());
+    for (std::int32_t v : rep.results) EXPECT_EQ(v, 7);
+
+    // The payoff the engine exists for: fewer bytes end to end, no later
+    // finish (replica-state transfers included).
+    EXPECT_LT(rep.wire_bytes, base.wire_bytes);
+    EXPECT_LE(rep.makespan_us, base.makespan_us);
+}
+
+TEST(Replica, ReplicationIsDeterministicFromTheSeed) {
+    ReplicaOutcome a = run_readers(true);
+    ReplicaOutcome b = run_readers(true);
+    EXPECT_EQ(a.wire_bytes, b.wire_bytes);
+    EXPECT_EQ(a.makespan_us, b.makespan_us);
+    EXPECT_EQ(a.digest, b.digest);
+    EXPECT_EQ(a.replications, b.replications);
+    EXPECT_EQ(a.replica_reads, b.replica_reads);
+    EXPECT_EQ(a.results, b.results);
+}
+
+TEST(Replica, WriteInvalidatesEveryCopyAndReadsRefresh) {
+    model::ClassPool pool;
+    auto system = make_system(pool, true, replicate_policy());
+    system->call_static(1, "Table", "seed", "(II)V",
+                        {Value::of_int(3), Value::of_int(4)});
+
+    WorkloadDriver driver(*system);
+    auto reader = [](System& sys, net::NodeId node) {
+        sys.call_static(node, "Table", "lookup", "()I");
+    };
+    driver.add_client(1, 20, reader);
+    driver.add_client(2, 20, reader);
+    driver.run();
+    ASSERT_GE(system->metrics().counter("adapt.replications").value(), 2u);
+
+    // A remote write through the dispatch seam: every copy flips stale
+    // before the write lands on the primary.
+    system->call_static(1, "Table", "update", "(I)V", {Value::of_int(10)});
+    EXPECT_GE(system->metrics().counter("adapt.invalidations").value(), 2u);
+
+    // The next read on each reader refreshes from the primary first.
+    EXPECT_EQ(system->call_static(2, "Table", "lookup", "()I").as_int(), 14);
+    EXPECT_EQ(system->call_static(1, "Table", "lookup", "()I").as_int(), 14);
+    EXPECT_GE(system->metrics().counter("adapt.replica_refreshes").value(), 2u);
+}
+
+TEST(Replica, MigrationDropsTheMovedPrimarysCopies) {
+    model::ClassPool pool;
+    auto system = make_system(pool);
+    system->call_static(1, "Table", "seed", "(II)V",
+                        {Value::of_int(3), Value::of_int(4)});
+    const auto [home, oid] = system->find_singleton("Table");
+    ASSERT_EQ(home, 0);
+
+    system->create_replica(0, oid, "Table", 1);
+    ASSERT_TRUE(system->replicas().has_replicas(0, oid));
+    EXPECT_EQ(system->call_static(1, "Table", "lookup", "()I").as_int(), 7);
+
+    // The barrier: the primary moved, its copies' provenance is gone.
+    system->migrate_singleton("Table", 2);
+    EXPECT_FALSE(system->replicas().has_replicas(0, oid));
+    EXPECT_EQ(system->call_static(1, "Table", "lookup", "()I").as_int(), 7);
+}
+
+TEST(Replica, LocalDiscoverOnTheHomeInvalidatesConservatively) {
+    model::ClassPool pool;
+    auto system = make_system(pool);
+    system->call_static(1, "Table", "seed", "(II)V",
+                        {Value::of_int(3), Value::of_int(4)});
+    const auto [home, oid] = system->find_singleton("Table");
+    ASSERT_EQ(home, 0);
+    system->create_replica(0, oid, "Table", 1);
+    EXPECT_EQ(system->call_static(1, "Table", "lookup", "()I").as_int(), 7);
+
+    // A raw local reference escapes the seam on the home node and writes
+    // through it.  The middleware cannot intercept the write itself — the
+    // discover is the signal, and it must be enough.
+    system->call_static(0, "Table", "update", "(I)V", {Value::of_int(9)});
+    EXPECT_GE(system->metrics().counter("adapt.invalidations").value(), 1u);
+
+    // The reader's next lookup refreshes and sees the local write.
+    EXPECT_EQ(system->call_static(1, "Table", "lookup", "()I").as_int(), 13);
+    EXPECT_GE(system->metrics().counter("adapt.replica_refreshes").value(), 1u);
+}
+
+}  // namespace
+}  // namespace rafda::runtime

@@ -386,6 +386,53 @@ TEST_F(RafdacFaultsCli, RetryPolicyFromConfigRecoversInjectedLoss) {
     EXPECT_EQ(faults.output.find("\"retries\":0"), std::string::npos) << faults.output;
 }
 
+class RafdacAdaptCli : public RafdacCli {
+protected:
+    std::string adapt_cfg_;
+
+    void SetUp() override {
+        RafdacCli::SetUp();
+        adapt_cfg_ = cfg_ + ".adapt";
+        std::ofstream(adapt_cfg_)
+            << "protocol default SOAP\n"
+               "instance Greeter on 1 via SOAP\n"
+               "adapt on interval 500 migrate-threshold 64 replicate-ratio 0.9\n";
+    }
+};
+
+TEST_F(RafdacAdaptCli, AdaptConfigGrammarIsAcceptedByDeploy) {
+    // The `adapt` directive is part of the shared policy grammar: every
+    // deploy-style subcommand must accept a config that uses it.
+    RunResult r = run_cli("deploy " + app_ + " " + adapt_cfg_ + " Main 2");
+    EXPECT_EQ(r.status, 0);
+    EXPECT_EQ(r.output, "hello, cli\n");
+}
+
+TEST_F(RafdacAdaptCli, AdaptPrintsDecisionTableAndCounters) {
+    RunResult r = run_cli("adapt " + app_ + " " + adapt_cfg_ + " Main 2");
+    EXPECT_EQ(r.status, 0);
+    EXPECT_NE(r.output.find("controller tick(s)"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("seq"), std::string::npos);
+    EXPECT_NE(r.output.find("projected"), std::string::npos);
+    EXPECT_NE(r.output.find("adapt: "), std::string::npos);
+    // Application output stays on stderr.
+    EXPECT_EQ(r.output.find("hello, cli"), std::string::npos);
+}
+
+TEST_F(RafdacAdaptCli, AdaptJsonRoundTripsThroughParser) {
+    // A config without an adapt line still reports (engine at defaults).
+    RunResult r = run_cli("adapt " + app_ + " " + cfg_ + " Main 2 --json");
+    EXPECT_EQ(r.status, 0);
+    ASSERT_FALSE(r.output.empty());
+    EXPECT_EQ(r.output.find('\n'), r.output.size() - 1);
+    EXPECT_TRUE(json_parses(r.output)) << r.output;
+    EXPECT_NE(r.output.find("\"ticks\":"), std::string::npos);
+    EXPECT_NE(r.output.find("\"decisions\":"), std::string::npos);
+    EXPECT_NE(r.output.find("\"migrations\":"), std::string::npos);
+    EXPECT_NE(r.output.find("\"replications\":"), std::string::npos);
+    EXPECT_NE(r.output.find("\"bytes_saved_est\":"), std::string::npos);
+}
+
 TEST_F(RafdacCli, UsageAndErrors) {
     EXPECT_EQ(run_cli("").status, 1);
     EXPECT_EQ(run_cli("frobnicate x").status, 1);
@@ -393,6 +440,7 @@ TEST_F(RafdacCli, UsageAndErrors) {
     EXPECT_EQ(run_cli("run " + app_ + "b Main").status, 2);  // needs .rir
     EXPECT_EQ(run_cli("stats /nonexistent/x.rir " + cfg_ + " Main").status, 2);
     EXPECT_EQ(run_cli("faults " + app_).status, 1);  // missing config/main
+    EXPECT_EQ(run_cli("adapt " + app_).status, 1);   // missing config/main
     // --chrome needs a path operand.
     EXPECT_EQ(run_cli("trace " + app_ + " " + cfg_ + " Main 2 --chrome").status, 1);
 }

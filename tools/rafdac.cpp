@@ -34,6 +34,13 @@
 //                                         active fault plan, the circuit
 //                                         breaker states and the rpc
 //                                         reliability counters
+//   rafdac adapt     app.rir policy.cfg Main [nodes] [--json]
+//                                         deploy, run under the adaptation
+//                                         engine (DESIGN.md §19), then
+//                                         print its decision log —
+//                                         migrations, replications,
+//                                         deferrals, projected vs realized
+//                                         savings — and the adapt counters
 //
 // stats/trace print the application's own output on stderr so stdout
 // stays machine-readable.
@@ -51,6 +58,7 @@
 #include "model/verifier.hpp"
 #include "obs/chrome.hpp"
 #include "obs/export.hpp"
+#include "runtime/driver.hpp"
 #include "runtime/policy_config.hpp"
 #include "runtime/system.hpp"
 #include "support/strings.hpp"
@@ -143,14 +151,24 @@ int cmd_run(const std::string& input, const std::string& main_cls) {
     return 0;
 }
 
+/// Shared deploy-style setup: add the nodes, apply the policy
+/// configuration (every grammar, the `adapt` directive included), and
+/// bring up the adaptation engine when the config asks for it.
+void configure_system(runtime::System& system, const std::string& config_path,
+                      int nodes) {
+    for (int k = 0; k < nodes; ++k) system.add_node();
+    runtime::AdaptPolicy adaptation;
+    runtime::apply_policy_config(read_file(config_path), system.policy(),
+                                 &system.network(), &system.reliability(),
+                                 &system.batching(), &adaptation);
+    if (adaptation.enabled) system.enable_adaptation(adaptation);
+}
+
 int cmd_deploy(const std::string& input, const std::string& config_path,
                const std::string& main_cls, int nodes) {
     model::ClassPool pool = load_input(input);
     runtime::System system(pool);
-    for (int k = 0; k < nodes; ++k) system.add_node();
-    runtime::apply_policy_config(read_file(config_path), system.policy(),
-                                 &system.network(), &system.reliability(),
-                                 &system.batching());
+    configure_system(system, config_path, nodes);
     system.call_static(0, main_cls, "main", "()V");
     std::cout << system.node(0).interp().output();
     std::cerr << "[rafdac] virtual time " << system.network().now_us() << "us";
@@ -178,10 +196,7 @@ int cmd_observe(const std::string& input, const std::string& config_path,
                 bool all, const std::string& chrome_path = {}) {
     model::ClassPool pool = load_input(input);
     runtime::System system(pool);
-    for (int k = 0; k < nodes; ++k) system.add_node();
-    runtime::apply_policy_config(read_file(config_path), system.policy(),
-                                 &system.network(), &system.reliability(),
-                                 &system.batching());
+    configure_system(system, config_path, nodes);
     if (mode == ObserveMode::Trace) system.tracer().set_enabled(true);
     // The journal feeds both the `journal` report and the Chrome export's
     // instant events (fault edges, drops, retries on the timeline).
@@ -239,10 +254,7 @@ int cmd_net(const std::string& input, const std::string& config_path,
             const std::string& main_cls, int nodes, bool json, bool all) {
     model::ClassPool pool = load_input(input);
     runtime::System system(pool);
-    for (int k = 0; k < nodes; ++k) system.add_node();
-    runtime::apply_policy_config(read_file(config_path), system.policy(),
-                                 &system.network(), &system.reliability(),
-                                 &system.batching());
+    configure_system(system, config_path, nodes);
     system.call_static(0, main_cls, "main", "()V");
     std::cerr << system.node(0).interp().output();
 
@@ -340,10 +352,7 @@ int cmd_faults(const std::string& input, const std::string& config_path,
                const std::string& main_cls, int nodes, bool json) {
     model::ClassPool pool = load_input(input);
     runtime::System system(pool);
-    for (int k = 0; k < nodes; ++k) system.add_node();
-    runtime::apply_policy_config(read_file(config_path), system.policy(),
-                                 &system.network(), &system.reliability(),
-                                 &system.batching());
+    configure_system(system, config_path, nodes);
     system.call_static(0, main_cls, "main", "()V");
     std::cerr << system.node(0).interp().output();
 
@@ -422,6 +431,87 @@ int cmd_faults(const std::string& input, const std::string& config_path,
     return 0;
 }
 
+/// The adaptation engine's decision log after a run (DESIGN.md §19):
+/// what moved or replicated where, why (window traffic), and how the
+/// projection compared to the realized window-over-window saving.  The
+/// entry point runs under a WorkloadDriver so the controller heartbeat
+/// is scheduled; a config without an `adapt` line still gets the engine
+/// at defaults — the subcommand's whole point is the report.
+int cmd_adapt(const std::string& input, const std::string& config_path,
+              const std::string& main_cls, int nodes, bool json) {
+    model::ClassPool pool = load_input(input);
+    runtime::System system(pool);
+    configure_system(system, config_path, nodes);
+    if (!system.adaptation_enabled()) system.enable_adaptation();
+    runtime::WorkloadDriver driver(system);
+    driver.add_client(0, 1, [&main_cls](runtime::System& s, net::NodeId n) {
+        s.call_static(n, main_cls, "main", "()V");
+    });
+    driver.run();
+    std::cerr << system.node(0).interp().output();
+
+    const runtime::AdaptationEngine* engine = system.adaptation();
+    auto counter = [&](const char* name) {
+        return system.metrics().counter(name).value();
+    };
+    if (json) {
+        std::ostringstream os;
+        os << "{\"virtual_time_us\":" << system.network().now_us()
+           << ",\"ticks\":" << engine->ticks_run() << ",\"decisions\":[";
+        bool first = true;
+        for (const runtime::AdaptDecision& d : engine->decisions()) {
+            if (!first) os << ",";
+            first = false;
+            os << "{\"seq\":" << d.seq << ",\"t_us\":" << d.t_us
+               << ",\"class\":\"" << d.cls << "\",\"action\":\""
+               << runtime::adapt_action_name(d.action) << "\",\"from\":" << d.from
+               << ",\"to\":" << d.to << ",\"window_calls\":" << d.window_calls
+               << ",\"window_bytes\":" << d.window_bytes
+               << ",\"projected_saved_bytes\":" << d.projected_saved_bytes;
+            if (d.realized_known)
+                os << ",\"realized_saved_bytes\":" << d.realized_saved_bytes;
+            os << "}";
+        }
+        os << "],\"counters\":{\"decisions\":" << counter("adapt.decisions")
+           << ",\"migrations\":" << counter("adapt.migrations")
+           << ",\"replications\":" << counter("adapt.replications")
+           << ",\"invalidations\":" << counter("adapt.invalidations")
+           << ",\"replica_reads\":" << counter("adapt.replica_reads")
+           << ",\"bytes_saved_est\":" << counter("adapt.bytes_saved_est")
+           << "}}";
+        std::cout << os.str() << "\n";
+        return 0;
+    }
+    std::cout << "virtual time: " << system.network().now_us() << "us; "
+              << engine->ticks_run() << " controller tick(s), "
+              << engine->decisions().size() << " decision(s)\n"
+              << std::left << std::setw(6) << "seq" << std::setw(10) << "t_us"
+              << std::setw(11) << "action" << std::setw(16) << "class"
+              << std::setw(10) << "move" << std::right << std::setw(8) << "calls"
+              << std::setw(12) << "projected" << std::setw(12) << "realized"
+              << "\n";
+    for (const runtime::AdaptDecision& d : engine->decisions()) {
+        std::ostringstream move;
+        move << d.from << " -> " << d.to;
+        std::cout << std::left << std::setw(6) << d.seq << std::setw(10) << d.t_us
+                  << std::setw(11) << runtime::adapt_action_name(d.action)
+                  << std::setw(16) << d.cls << std::setw(10) << move.str()
+                  << std::right << std::setw(8) << d.window_calls << std::setw(12)
+                  << d.projected_saved_bytes << std::setw(12);
+        if (d.realized_known)
+            std::cout << d.realized_saved_bytes;
+        else
+            std::cout << "?";
+        std::cout << "\n";
+    }
+    std::cout << "adapt: " << counter("adapt.migrations") << " migration(s), "
+              << counter("adapt.replications") << " replication(s), "
+              << counter("adapt.invalidations") << " invalidation(s), "
+              << counter("adapt.replica_reads") << " replica read(s), est. "
+              << counter("adapt.bytes_saved_est") << " bytes saved\n";
+    return 0;
+}
+
 int usage() {
     std::cerr << "usage:\n"
               << "  rafdac analyze   <app.rir[b]>\n"
@@ -437,6 +527,7 @@ int usage() {
               << "  rafdac net       <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n"
               << "                   [--all]\n"
               << "  rafdac faults    <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n"
+              << "  rafdac adapt     <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n"
               << "\n"
               << "stats/net tables list the top samples/links (by name / by bytes);\n"
               << "--all lifts the cap.  JSON output is always complete.\n"
@@ -492,6 +583,9 @@ int main(int argc, char** argv) {
         if ((args.size() == 4 || args.size() == 5) && args[0] == "faults")
             return cmd_faults(args[1], args[2], args[3],
                               args.size() == 5 ? std::atoi(args[4].c_str()) : 2, json);
+        if ((args.size() == 4 || args.size() == 5) && args[0] == "adapt")
+            return cmd_adapt(args[1], args[2], args[3],
+                             args.size() == 5 ? std::atoi(args[4].c_str()) : 2, json);
         return usage();
     } catch (const std::exception& e) {
         std::cerr << "rafdac: " << e.what() << "\n";
