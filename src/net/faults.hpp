@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -28,9 +29,12 @@ enum class FaultKind {
     /// window (overrides the LinkParams setting).
     DropRate,
     /// Node is crashed inside the window: calls to it (and from it) fail
-    /// fast, and when the window ends the node restarts having lost its
+    /// fast.  When the window ends the node restarts; what survives
+    /// depends on the durability policy — by default the node loses its
     /// soft state (reply cache; heap and singletons are modelled as
-    /// durable — see DESIGN.md §15).
+    /// durable — see DESIGN.md §15), while `durable on` replays the
+    /// node's WAL + snapshot so reply cache and heap both come back
+    /// (DESIGN.md §20).
     NodeCrash,
 };
 
@@ -77,11 +81,28 @@ public:
     /// request" by comparing against a remembered value.
     std::uint64_t restarts_before(NodeId node, std::uint64_t t) const;
 
+    /// Restart observation callback: `fn(node, restarts, t_us)` fires from
+    /// notify_restarts whenever the restart count observed for a node
+    /// increases.  The runtime installs the node-recovery hook here so
+    /// restart detection stays pull-based (no event is scheduled for the
+    /// window edge itself) but flows through one seam.
+    using RestartCallback =
+        std::function<void(NodeId, std::uint64_t restarts, std::uint64_t t_us)>;
+    void set_restart_callback(RestartCallback fn) { on_restart_ = std::move(fn); }
+
+    /// Computes restarts_before(node, t) and fires the restart callback if
+    /// the count rose since the last notification for `node`.  Const —
+    /// observation must stay legal anywhere the plan is visible — with the
+    /// last-notified memo mutable for exactly that reason.
+    void notify_restarts(NodeId node, std::uint64_t t) const;
+
     /// Windows in insertion order, for tables and exports.
     void visit(const std::function<void(const FaultWindow&)>& fn) const;
 
 private:
     std::vector<FaultWindow> windows_;
+    RestartCallback on_restart_;
+    mutable std::map<NodeId, std::uint64_t> notified_restarts_;
 };
 
 /// Human-readable name of a fault kind ("down", "flap", "drop", "crash").

@@ -20,6 +20,7 @@ const char* journal_kind_name(JournalEvent::Kind kind) {
         case JournalEvent::Kind::FaultEdge: return "fault";
         case JournalEvent::Kind::Migrate: return "migrate";
         case JournalEvent::Kind::Adapt: return "adapt";
+        case JournalEvent::Kind::Recover: return "recover";
     }
     return "?";
 }

@@ -51,7 +51,11 @@ struct JournalEvent {
         Adapt,        // adaptation-engine decision (DESIGN.md §19):
                       // node=from/home, peer=to (-1 when n/a), a=action
                       // (0 migrate / 1 replicate / 2 defer / 3 invalidate /
-                      // 4 refresh), b=bytes involved, detail=class
+                      // 4 refresh / 5 recover), b=bytes involved, detail=class
+        Recover,      // durable restart or migration-by-recovery
+                      // (DESIGN.md §20): node=recovered/crashed node,
+                      // peer=target (-1 = in-place restart), a=records
+                      // replayed, b=bytes replayed
     };
 
     Kind kind = Kind::RpcSend;

@@ -25,6 +25,7 @@ const char* adapt_action_name(AdaptDecision::Action a) {
         case AdaptDecision::Action::Migrate: return "migrate";
         case AdaptDecision::Action::Replicate: return "replicate";
         case AdaptDecision::Action::Defer: return "defer";
+        case AdaptDecision::Action::Recover: return "recover";
     }
     return "?";
 }
@@ -249,6 +250,41 @@ void AdaptationEngine::decide_class(
     d.window_calls = w.calls;
     d.window_bytes = w.bytes;
     d.projected_saved_bytes = static_cast<std::uint64_t>(saving);
+
+    // Home inside a crash window: a live migration cannot run (the state
+    // to copy is on a dead node), but its WAL + snapshot can — with
+    // durability on, migration-by-recovery rebuilds the class on `best`
+    // from the durable image (DESIGN.md §20), a defer-free path around the
+    // crash.  The whole branch is gated on durability so legacy adaptive
+    // runs never even evaluate the home's fault state.
+    if (system_->durability_enabled() &&
+        system_->network().fault_plan().node_down(home, now_us)) {
+        if (system_->node(home).durable() && !system_->node(home).wal()->empty() &&
+            !system_->network().fault_plan().node_down(best, now_us)) {
+            system_->recover_node_onto(home, best);
+            // The whole image may already have been relocated by an earlier
+            // decision this crash; either way relocation_of says where this
+            // class's instance now lives.
+            const System::Relocation* rel = system_->relocation_of(home);
+            const net::NodeId where = rel ? rel->target : best;
+            if (!is_singleton && rel) {
+                const auto it = rel->remap.find(oid);
+                if (it != rel->remap.end()) tracked_[cls] = {where, it->second};
+            }
+            migrations_ctr_->add();
+            bytes_saved_ctr_->add(d.projected_saved_bytes);
+            d.action = AdaptDecision::Action::Recover;
+            d.to = where;
+            pending_.push_back(decisions_.size());
+            record(std::move(d));
+            log_info("adapt", "recovered ", cls, " from crashed node ", home,
+                     " onto ", where);
+        } else {
+            d.action = AdaptDecision::Action::Defer;
+            record(std::move(d));
+        }
+        return;
+    }
 
     // Destination inside a crash window: defer rather than stall the
     // reliable control channel against a dead node; the skew is still

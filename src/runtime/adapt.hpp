@@ -71,7 +71,17 @@ struct AdaptPolicy {
 
 /// One controller decision, kept for `rafdac adapt` and the benches.
 struct AdaptDecision {
-    enum class Action : std::uint8_t { Migrate, Replicate, Defer };
+    /// Explicit values: the journal's Adapt events encode the action in
+    /// `a` with 3/4 reserved for invalidate/refresh, so Recover is 5.
+    enum class Action : std::uint8_t {
+        Migrate = 0,
+        Replicate = 1,
+        Defer = 2,
+        /// Home node was inside a crash window: migration-by-recovery
+        /// rebuilt its durable image on the chosen destination instead of
+        /// deferring (DESIGN.md §20; requires `durable on`).
+        Recover = 5,
+    };
 
     std::uint64_t seq = 0;   // decision order, 1-based
     std::uint64_t t_us = 0;  // watermark at the tick that decided
@@ -89,7 +99,7 @@ struct AdaptDecision {
     bool realized_known = false;
 };
 
-/// "migrate" / "replicate" / "defer".
+/// "migrate" / "replicate" / "defer" / "recover".
 const char* adapt_action_name(AdaptDecision::Action a);
 
 class AdaptationEngine {

@@ -245,12 +245,18 @@ WorkloadDriver::Report WorkloadDriver::run() {
     // Dispatch loop.  RoundRobin keys are round numbers: a popped key
     // change is a round boundary, the legacy window-check point.
     // VirtualClock keys are clocks; windows are checked after each burst.
+    // With durability on, the watermark sweep after each burst lets idle
+    // crashed nodes recover as soon as their window ends instead of
+    // waiting for the next request to land on them (DESIGN.md §20); the
+    // flag is hoisted so the legacy loop body is untouched when off.
+    const bool durable = system_->durability_enabled();
     std::uint64_t cur_key = 0;
     while (!heap.empty()) {
         Event e = heap.pop();
         if (!vclock && window_us_ && e.at_us != cur_key) close_whole_windows();
         cur_key = e.at_us;
         heap.dispatch(e);
+        if (durable) system_->observe_restarts();
         if (vclock && window_us_) close_whole_windows();
     }
     if (vclock) system_->network().set_completion_sink(nullptr);

@@ -115,6 +115,9 @@ Value Node::import_ref(net::NodeId node, std::uint64_t oid, const std::string& i
     interp_.set_field(proxy.as_ref(), kProxyOidField,
                       Value::of_long(static_cast<std::int64_t>(oid)));
     imported_.emplace(std::move(key), proxy.as_ref());
+    if (wal_)
+        wal_->append_proxy_import(clock_us_, node, oid, iface, protocol,
+                                  proxy.as_ref());
     log_debug("node", "node ", id_, " imported proxy ", proxy_cls, " for (", node, ",",
               oid, ")");
     return proxy;
@@ -128,6 +131,7 @@ Value Node::local_singleton(const std::string& cls) {
                                    transform::naming::kSingletonGetter, "()" + c_int_desc);
     // Record before clinit so initialisation cycles terminate (JVM-style).
     singletons_[cls] = me.as_ref();
+    if (wal_) wal_->append_singleton(clock_us_, cls, me.as_ref());
     interp_.call_static(transform::naming::c_factory(cls), "clinit",
                         "(" + c_int_desc + ")V", {me});
     return me;
@@ -152,11 +156,193 @@ void Node::rethrow_fault(const net::CallReply& reply) {
 void Node::apply_restarts(std::uint64_t restarts) {
     if (restarts <= restarts_seen_) return;
     restarts_seen_ = restarts;
+    if (wal_) {
+        recover_from_wal();
+        return;
+    }
     if (!reply_cache_.empty())
         log_info("node", "node ", id_, " restarted: dropping ", reply_cache_.size(),
                  " cached replies");
     reply_cache_.clear();
     reply_cache_order_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Durability (DESIGN.md §20)
+
+void Node::enable_durability(const DurabilityPolicy& policy) {
+    if (wal_) return;
+    durability_ = policy;
+    wal_ = std::make_unique<Wal>();
+    last_snapshot_us_ = clock_us_;
+    interp_.set_observer(this);
+}
+
+void Node::on_alloc(vm::ObjId, const std::string& cls) {
+    wal_->append_alloc(clock_us_, cls);
+}
+
+void Node::on_alloc_array(vm::ObjId, const std::string& elem_desc, std::size_t length) {
+    wal_->append_alloc_array(clock_us_, elem_desc, length);
+}
+
+void Node::on_field_put(vm::ObjId id, std::size_t slot, const vm::Value& v) {
+    wal_->append_field_put(clock_us_, id, slot, v);
+}
+
+void Node::on_array_put(vm::ObjId id, std::size_t index, const vm::Value& v) {
+    wal_->append_array_put(clock_us_, id, index, v);
+}
+
+void Node::on_static_put(const std::string& cls, const std::string& field,
+                         const vm::Value& v) {
+    wal_->append_static_put(clock_us_, cls, field, v);
+}
+
+void Node::on_class_init(const std::string& cls) {
+    wal_->append_class_init(clock_us_, cls);
+}
+
+void Node::cache_reply(std::uint64_t request_id, const net::CallReply& reply,
+                       bool journal) {
+    const RetryPolicy& rp = system_->reliability();
+    while (reply_cache_order_.size() >= rp.dedup_capacity) {
+        reply_cache_.erase(reply_cache_order_.front());
+        reply_cache_order_.pop_front();
+    }
+    reply_cache_.emplace(request_id, reply);
+    reply_cache_order_.push_back(request_id);
+    if (journal && wal_) wal_->append_reply(clock_us_, request_id, reply);
+}
+
+void Node::maybe_snapshot() {
+    if (!wal_ || !durability_.snapshot_interval_us) return;
+    if (clock_us_ - last_snapshot_us_ < durability_.snapshot_interval_us) return;
+    take_snapshot();
+}
+
+void Node::take_snapshot() {
+    if (!wal_) return;
+    const std::uint64_t t = clock_us_;
+    wal_->begin_snapshot();
+    // Heap, in id order: the arena allocates ids sequentially, so replaying
+    // these allocations verbatim reproduces every id.  Transmuted objects
+    // are checkpointed under their *current* class (a proxy), which is
+    // exactly the state a restart must come back to.
+    const vm::Heap& heap = interp_.heap();
+    for (vm::ObjId id = 1; id <= heap.size(); ++id) {
+        const vm::Object& o = heap.get(id);
+        if (o.is_array) {
+            wal_->append_alloc_array(t, o.elem_type.descriptor(), o.fields.size());
+            for (std::size_t i = 0; i < o.fields.size(); ++i)
+                wal_->append_array_put(t, id, i, o.fields[i]);
+        } else {
+            wal_->append_alloc(t, o.cls->name);
+            for (std::size_t i = 0; i < o.fields.size(); ++i)
+                wal_->append_field_put(t, id, i, o.fields[i]);
+        }
+    }
+    interp_.visit_statics(
+        [&](const std::string& cls, const std::string& field, const vm::Value& v) {
+            wal_->append_static_put(t, cls, field, v);
+        });
+    interp_.visit_initialized(
+        [&](const std::string& cls) { wal_->append_class_init(t, cls); });
+    for (const auto& [cls, oid] : singletons_) wal_->append_singleton(t, cls, oid);
+    for (const auto& [key, local_oid] : imported_)
+        wal_->append_proxy_import(t, std::get<0>(key), std::get<1>(key),
+                                  std::get<2>(key), std::get<3>(key), local_oid);
+    // Reply cache in FIFO order so replay reproduces the eviction queue.
+    for (std::uint64_t rid : reply_cache_order_)
+        wal_->append_reply(t, rid, reply_cache_.at(rid));
+    wal_->commit_snapshot();
+    last_snapshot_us_ = clock_us_;
+    log_debug("node", "node ", id_, " checkpoint: ", wal_->snapshot().size(),
+              " bytes, log truncated");
+}
+
+/// Applies replayed records to a node being recovered.  Heap records go
+/// through the interpreter's restore API (no guest code, no observer —
+/// the observer is detached during recovery); bookkeeping records rebuild
+/// the node-level maps directly.
+struct NodeRecovery final : WalVisitor {
+    explicit NodeRecovery(Node& node) : n(node) {}
+    Node& n;
+
+    void on_alloc(std::uint64_t, const std::string& cls) override {
+        n.interp_.restore_object(cls);
+    }
+    void on_alloc_array(std::uint64_t, const std::string& elem_desc,
+                        std::uint64_t length) override {
+        n.interp_.restore_array(elem_desc, static_cast<std::size_t>(length));
+    }
+    void on_field_put(std::uint64_t, std::uint64_t oid, std::uint64_t slot,
+                      const vm::Value& v) override {
+        n.interp_.restore_field(static_cast<vm::ObjId>(oid),
+                                static_cast<std::size_t>(slot), v);
+    }
+    void on_array_put(std::uint64_t, std::uint64_t oid, std::uint64_t index,
+                      const vm::Value& v) override {
+        n.interp_.restore_field(static_cast<vm::ObjId>(oid),
+                                static_cast<std::size_t>(index), v);
+    }
+    void on_static_put(std::uint64_t, const std::string& cls, const std::string& field,
+                       const vm::Value& v) override {
+        n.interp_.restore_static(cls, field, v);
+    }
+    void on_class_init(std::uint64_t, const std::string& cls) override {
+        n.interp_.mark_initialized(cls);
+    }
+    void on_singleton(std::uint64_t, const std::string& cls, std::uint64_t oid) override {
+        n.singletons_[cls] = static_cast<vm::ObjId>(oid);
+    }
+    void on_singleton_drop(std::uint64_t, const std::string& cls) override {
+        n.singletons_.erase(cls);
+    }
+    void on_proxy_import(std::uint64_t, std::int32_t origin_node,
+                         std::uint64_t origin_oid, const std::string& iface,
+                         const std::string& protocol, std::uint64_t local_oid) override {
+        n.imported_[std::make_tuple(static_cast<net::NodeId>(origin_node), origin_oid,
+                                    iface, protocol)] = static_cast<vm::ObjId>(local_oid);
+    }
+    void on_reply(std::uint64_t, std::uint64_t request_id,
+                  const net::CallReply& reply) override {
+        n.cache_reply(request_id, reply, /*journal=*/false);
+    }
+    void on_transmute(std::uint64_t, std::uint64_t oid, const std::string& proxy_cls,
+                      std::int32_t node, std::uint64_t remote_oid) override {
+        // Re-applies the Figure 1 substitution a live migration performed:
+        // the slot becomes a proxy to the object's new home.
+        n.interp_.heap().transmute(
+            static_cast<vm::ObjId>(oid), n.interp_.pool().get(proxy_cls),
+            {Value::of_int(node),
+             Value::of_long(static_cast<std::int64_t>(remote_oid))});
+    }
+    void on_relocate(std::uint64_t t, std::uint64_t oid, const std::string& proxy_cls,
+                     std::int32_t node, std::uint64_t remote_oid) override {
+        // Migration-by-recovery moved the object while this node was down;
+        // the substitution is identical to a live transmute.
+        on_transmute(t, oid, proxy_cls, node, remote_oid);
+    }
+};
+
+void Node::recover_from_wal() {
+    // Crash semantics: everything volatile dies; the durable image is the
+    // snapshot plus the log.  The observer is detached so replay does not
+    // re-journal the mutations it applies.
+    interp_.set_observer(nullptr);
+    interp_.reset_vm_state();
+    singletons_.clear();
+    imported_.clear();
+    reply_cache_.clear();
+    reply_cache_order_.clear();
+    NodeRecovery visitor(*this);
+    const Wal::ReplayResult res = wal_->recover(visitor);
+    interp_.set_observer(this);
+    log_info("node", "node ", id_, " recovered from WAL: ", res.records,
+             " records replayed (", res.bytes, " bytes), ", reply_cache_.size(),
+             " cached replies restored", res.clean ? "" : "; torn tail discarded");
+    system_->note_recovery(id_, res, clock_us_);
 }
 
 net::CallReply Node::handle_request(const net::CallRequest& req,
@@ -220,14 +406,10 @@ net::CallReply Node::handle_request(const net::CallRequest& req,
         reply.fault_class = e.class_name();
         reply.fault_msg = e.message();
     }
-    if (dedup) {
-        while (reply_cache_order_.size() >= rp.dedup_capacity) {
-            reply_cache_.erase(reply_cache_order_.front());
-            reply_cache_order_.pop_front();
-        }
-        reply_cache_.emplace(req.request_id, reply);
-        reply_cache_order_.push_back(req.request_id);
-    }
+    if (dedup) cache_reply(req.request_id, reply, /*journal=*/true);
+    // Request boundaries are the clean checkpoint points: no guest frame
+    // is live, so the heap is a consistent cut.
+    maybe_snapshot();
     return reply;
 }
 

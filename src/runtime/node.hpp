@@ -13,19 +13,22 @@
 
 #include <deque>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <tuple>
 
 #include "net/message.hpp"
 #include "net/network.hpp"
+#include "runtime/wal.hpp"
 #include "vm/interp.hpp"
+#include "vm/observer.hpp"
 
 namespace rafda::runtime {
 
 class System;
 
-class Node {
+class Node : private vm::MutationObserver {
 public:
     Node(System& system, net::NodeId id, const model::ClassPool& pool);
     Node(const Node&) = delete;
@@ -73,11 +76,29 @@ public:
     net::CallReply handle_request(const net::CallRequest& req, const std::string& protocol);
 
     /// Crash/restart bookkeeping: `restarts` is the number of NodeCrash
-    /// windows for this node that have ended so far.  A newly observed
-    /// restart sheds the node's soft state — the reply cache — which is
-    /// exactly what makes post-crash dedup a best-effort guarantee (the
-    /// heap and singletons are modelled as durable; see DESIGN.md §15).
+    /// windows for this node that have ended so far.  With durability off
+    /// a newly observed restart sheds the node's soft state — the reply
+    /// cache — which is what makes post-crash dedup a best-effort
+    /// guarantee (the heap and singletons are modelled as durable; see
+    /// DESIGN.md §15).  With durability on the whole VM is wiped and
+    /// rebuilt from the snapshot + WAL, reply cache included, so dedup
+    /// survives the crash (DESIGN.md §20).
     void apply_restarts(std::uint64_t restarts);
+
+    /// Turns on the durability layer (DESIGN.md §20): creates this node's
+    /// WAL, installs the VM mutation observer so every heap and static
+    /// mutation is journalled, and arms snapshotting at `policy`'s
+    /// interval.  Off (the default) leaves every legacy code path — and
+    /// every legacy experiment byte — untouched.
+    void enable_durability(const DurabilityPolicy& policy);
+    bool durable() const noexcept { return wal_ != nullptr; }
+    Wal* wal() noexcept { return wal_.get(); }
+    const Wal* wal() const noexcept { return wal_.get(); }
+
+    /// Writes a fresh checkpoint of the node's entire state (heap,
+    /// statics, initialised classes, singletons, imported proxies, reply
+    /// cache) and truncates the log.  No-op when durability is off.
+    void take_snapshot();
 
     /// Guest value -> wire value.  Throws RuntimeError for references to
     /// objects that have no generated family (non-substitutable classes).
@@ -106,10 +127,35 @@ public:
 
 private:
     friend class System;
+    friend struct NodeRecovery;  // WalVisitor applying replayed records
 
     /// Publishes a clock change: mirrors the runtime.node<N>.clock_us
     /// gauge and advances the network's global watermark.
     void clock_changed();
+
+    // vm::MutationObserver — journals guest mutations into the WAL,
+    // stamped with this node's virtual clock (stamps are informational;
+    // replay never reads them back into the clock).
+    void on_alloc(vm::ObjId id, const std::string& cls) override;
+    void on_alloc_array(vm::ObjId id, const std::string& elem_desc,
+                        std::size_t length) override;
+    void on_field_put(vm::ObjId id, std::size_t slot, const vm::Value& v) override;
+    void on_array_put(vm::ObjId id, std::size_t index, const vm::Value& v) override;
+    void on_static_put(const std::string& cls, const std::string& field,
+                       const vm::Value& v) override;
+    void on_class_init(const std::string& cls) override;
+
+    /// Bounded FIFO insert into the reply cache (shared by handle_request
+    /// and WAL replay); appends a Reply record when `journal` is set and
+    /// durability is on.
+    void cache_reply(std::uint64_t request_id, const net::CallReply& reply,
+                     bool journal);
+    /// Snapshot-interval check, called at request-dispatch boundaries
+    /// (a clean point: no guest frame is live).
+    void maybe_snapshot();
+    /// Durable restart: wipes the VM and node state, then replays the
+    /// snapshot and log to reconstruct the pre-crash image.
+    void recover_from_wal();
 
     System* system_;
     net::NodeId id_;
@@ -129,6 +175,10 @@ private:
     /// seen since the mode was turned on; drained by set_pipeline(false)).
     bool pipeline_ = false;
     std::uint64_t pipeline_horizon_us_ = 0;
+    /// Durability layer (null = off; DESIGN.md §20).
+    std::unique_ptr<Wal> wal_;
+    DurabilityPolicy durability_;
+    std::uint64_t last_snapshot_us_ = 0;
 };
 
 }  // namespace rafda::runtime

@@ -66,7 +66,8 @@ void parse_fault_window(const std::vector<std::string>& toks, std::size_t t,
 
 void apply_policy_config(std::string_view text, DistributionPolicy& policy,
                          net::SimNetwork* network, RetryPolicy* reliability,
-                         BatchPolicy* batching, AdaptPolicy* adaptation) {
+                         BatchPolicy* batching, AdaptPolicy* adaptation,
+                         DurabilityPolicy* durability) {
     int lineno = 0;
     for (const std::string& raw : split(text, '\n')) {
         ++lineno;
@@ -226,6 +227,22 @@ void apply_policy_config(std::string_view text, DistributionPolicy& policy,
                     throw ParseError("unknown adapt attribute '" + key + "'",
                                      lineno);
                 }
+            }
+        } else if (head == "durable") {
+            // durable on|off [snapshot-interval N]
+            if (!durability)
+                throw ParseError("'durable' line given but no durability policy",
+                                 lineno);
+            if (toks.size() != 2 && toks.size() != 4)
+                throw ParseError("syntax: durable on|off [snapshot-interval N]",
+                                 lineno);
+            if (toks[1] != "on" && toks[1] != "off")
+                throw ParseError("durable must be 'on' or 'off'", lineno);
+            durability->enabled = toks[1] == "on";
+            if (toks.size() == 4) {
+                if (toks[2] != "snapshot-interval")
+                    throw ParseError("expected 'snapshot-interval N'", lineno);
+                durability->snapshot_interval_us = parse_u64(toks[3], lineno);
             }
         } else if (head == "fault") {
             // fault link SRC -> DST down|flap from T until T [period P]

@@ -20,6 +20,7 @@
 //   breaker threshold 5 cooldown 10000
 //   batch on max 32                      # per-link call batching (§17)
 //   adapt on interval 2000 migrate-threshold 256 replicate-ratio 0.9  # §19
+//   durable on snapshot-interval 10000   # per-node WAL + snapshots (§20)
 //   fault link 0 -> 1 down from 5000 until 9000
 //   fault link 0 -> 1 flap from 5000 until 9000 period 500
 //   fault link 0 -> 1 drop 0.25 from 5000 until 9000
@@ -32,18 +33,21 @@
 #include "runtime/adapt.hpp"
 #include "runtime/policy.hpp"
 #include "runtime/reliable.hpp"
+#include "runtime/wal.hpp"
 
 namespace rafda::runtime {
 
 /// Parses `text` and applies it to `policy` (and, for `link`/`fault`
 /// lines, to `network`; for `retry`/`dedup`/`breaker` lines, to
 /// `reliability`; for `batch` lines, to `batching`; for `adapt` lines,
-/// to `adaptation` — each when given).  Throws ParseError with a line
-/// number on malformed input, including unknown protocols.
+/// to `adaptation`; for `durable` lines, to `durability` — each when
+/// given).  Throws ParseError with a line number on malformed input,
+/// including unknown protocols.
 void apply_policy_config(std::string_view text, DistributionPolicy& policy,
                          net::SimNetwork* network = nullptr,
                          RetryPolicy* reliability = nullptr,
                          BatchPolicy* batching = nullptr,
-                         AdaptPolicy* adaptation = nullptr);
+                         AdaptPolicy* adaptation = nullptr,
+                         DurabilityPolicy* durability = nullptr);
 
 }  // namespace rafda::runtime

@@ -90,6 +90,16 @@ System::System(const model::ClassPool& original, SystemOptions options)
     // The read/write classifier judges ORIGINAL bytecode — the
     // pre-transformation truth about what each method touches.
     replicas_.configure(original_);
+    durability_ = options.durability;
+    // Restart observation flows through one seam: any notify_restarts call
+    // (RPC arrival, driver sweep) lands on the node's apply_restarts,
+    // which decides soft-state shedding vs WAL recovery (DESIGN.md §20).
+    network_.fault_plan().set_restart_callback(
+        [this](net::NodeId n, std::uint64_t restarts, std::uint64_t) {
+            if (n >= 0 && static_cast<std::size_t>(n) < nodes_.size())
+                nodes_[static_cast<std::size_t>(n)]->apply_restarts(restarts);
+        });
+    if (durability_.enabled) enable_durability(durability_);
 }
 
 System::~System() { clear_log_time_source(this); }
@@ -140,7 +150,50 @@ Node& System::add_node() {
     node.clock_gauge_ =
         &metrics_.gauge("runtime.node" + std::to_string(node.id()) + ".clock_us");
     wire_node(node);
+    if (durability_.enabled) {
+        node.enable_durability(durability_);
+        node.wal()->attach_counters(wal_records_, wal_bytes_, wal_snapshots_);
+    }
     return node;
+}
+
+void System::enable_durability(DurabilityPolicy policy) {
+    policy.enabled = true;
+    durability_ = policy;
+    if (!wal_records_) {
+        wal_records_ = &metrics_.counter("wal.records");
+        wal_bytes_ = &metrics_.counter("wal.bytes");
+        wal_snapshots_ = &metrics_.counter("wal.snapshots");
+        wal_recoveries_ = &metrics_.counter("wal.recoveries");
+        wal_replayed_ = &metrics_.counter("wal.replayed_records");
+        wal_relocated_ = &metrics_.counter("wal.relocated_objects");
+    }
+    for (const auto& n : nodes_) {
+        n->enable_durability(durability_);
+        n->wal()->attach_counters(wal_records_, wal_bytes_, wal_snapshots_);
+    }
+}
+
+void System::observe_restarts() {
+    if (!durability_.enabled) return;
+    const net::FaultPlan& plan = network_.fault_plan();
+    if (plan.empty()) return;
+    const std::uint64_t now = network_.now_us();
+    for (const auto& n : nodes_) plan.notify_restarts(n->id(), now);
+}
+
+void System::note_recovery(net::NodeId node_id, const Wal::ReplayResult& res,
+                           std::uint64_t t_us) {
+    // The node is alive again and its replay applied any Relocate records,
+    // so it forwards for itself now — the relocation entry has served.
+    relocations_.erase(node_id);
+    if (wal_recoveries_) {
+        wal_recoveries_->add();
+        wal_replayed_->add(res.records);
+    }
+    if (journal_.enabled())
+        journal_.record(obs::JournalEvent::Kind::Recover, t_us, node_id, -1,
+                        res.records, res.bytes, {});
 }
 
 CircuitBreaker& System::breaker(net::NodeId dst, const std::string& protocol) {
@@ -403,7 +456,7 @@ net::CallReply System::rpc_attempt(net::NodeId src, net::NodeId dst,
     // node first sheds its soft state, which is how reply-cache loss
     // across a crash is modelled.)
     const net::FaultPlan& plan = network_.fault_plan();
-    callee.apply_restarts(plan.restarts_before(dst, inbound.at_us));
+    plan.notify_restarts(dst, inbound.at_us);
     if (plan.node_down(dst, inbound.at_us)) {
         pm.drops->add();
         if (traced) tracer_.note("dropped", "dest_crashed");
@@ -802,6 +855,11 @@ vm::ObjId System::migrate_instance(net::NodeId from, vm::ObjId oid, net::NodeId 
     f.interp().heap().transmute(
         oid, proxy_cls,
         {Value::of_int(to), Value::of_long(static_cast<std::int64_t>(new_oid))});
+    // The transmute bypasses the VM's mutation paths (it is a runtime
+    // substitution, not guest code), so the WAL must hear about it
+    // explicitly or a recovered `from` would resurrect the migrated object.
+    if (f.durable())
+        f.wal()->append_transmute(f.clock_us(), oid, proxy_cls.name, to, new_oid);
 
     migrations_counter_->add();
     migration_bytes_counter_->add(payload.size());
@@ -841,8 +899,277 @@ void System::migrate_singleton(const std::string& cls, net::NodeId to,
     auto it = home.singletons_.find(cls);
     if (it == home.singletons_.end()) return;  // not created yet: policy is enough
     vm::ObjId new_oid = migrate_instance(current.node, it->second, to, proto);
-    node(to).singletons_[cls] = new_oid;
+    Node& tgt = node(to);
+    tgt.singletons_[cls] = new_oid;
+    if (tgt.durable()) tgt.wal()->append_singleton(tgt.clock_us(), cls, new_oid);
     home.singletons_.erase(cls);
+    if (home.durable()) home.wal()->append_singleton_drop(home.clock_us(), cls);
+}
+
+namespace {
+
+/// Offline decode of a crashed node's durable image (snapshot + log) into
+/// a materializable picture: the heap as last-write-wins field maps, the
+/// singleton registry, the imported-proxy table and the reply cache in
+/// FIFO order.  Statics and class-init marks are deliberately ignored —
+/// they are per-address-space and the *target* node's own <clinit> runs
+/// govern there; all object state that matters lives in instance fields.
+struct RecoveredImage final : WalVisitor {
+    struct Obj {
+        bool is_array = false;
+        std::string cls;          // class name; element descriptor for arrays
+        std::uint64_t length = 0;  // arrays only
+        std::map<std::uint64_t, vm::Value> fields;  // slot -> last value
+    };
+    std::vector<Obj> objects;  // index = oid - 1 (arena order)
+    std::map<std::string, std::uint64_t> singletons;
+    std::vector<std::tuple<std::int32_t, std::uint64_t, std::string, std::string,
+                           std::uint64_t>>
+        imports;
+    std::vector<std::pair<std::uint64_t, net::CallReply>> replies;  // FIFO
+
+    void on_alloc(std::uint64_t, const std::string& cls) override {
+        objects.push_back({false, cls, 0, {}});
+    }
+    void on_alloc_array(std::uint64_t, const std::string& elem_desc,
+                        std::uint64_t length) override {
+        objects.push_back({true, elem_desc, length, {}});
+    }
+    void on_field_put(std::uint64_t, std::uint64_t oid, std::uint64_t slot,
+                      const vm::Value& v) override {
+        if (oid && oid <= objects.size()) objects[oid - 1].fields[slot] = v;
+    }
+    void on_array_put(std::uint64_t t, std::uint64_t oid, std::uint64_t index,
+                      const vm::Value& v) override {
+        on_field_put(t, oid, index, v);
+    }
+    void on_singleton(std::uint64_t, const std::string& cls,
+                      std::uint64_t oid) override {
+        singletons[cls] = oid;
+    }
+    void on_singleton_drop(std::uint64_t, const std::string& cls) override {
+        singletons.erase(cls);
+    }
+    void on_proxy_import(std::uint64_t, std::int32_t origin_node,
+                         std::uint64_t origin_oid, const std::string& iface,
+                         const std::string& protocol,
+                         std::uint64_t local_oid) override {
+        imports.emplace_back(origin_node, origin_oid, iface, protocol, local_oid);
+    }
+    void on_reply(std::uint64_t, std::uint64_t request_id,
+                  const net::CallReply& reply) override {
+        replies.emplace_back(request_id, reply);
+    }
+    void on_transmute(std::uint64_t, std::uint64_t oid, const std::string& proxy_cls,
+                      std::int32_t node, std::uint64_t remote_oid) override {
+        if (!oid || oid > objects.size()) return;
+        // The slot became a proxy before the crash: its state lives at
+        // (node, remote_oid), so the image carries only the proxy.
+        Obj& o = objects[oid - 1];
+        o.is_array = false;
+        o.cls = proxy_cls;
+        o.fields.clear();
+        o.fields[0] = Value::of_int(node);
+        o.fields[1] = Value::of_long(static_cast<std::int64_t>(remote_oid));
+    }
+    void on_relocate(std::uint64_t t, std::uint64_t oid, const std::string& proxy_cls,
+                     std::int32_t node, std::uint64_t remote_oid) override {
+        on_transmute(t, oid, proxy_cls, node, remote_oid);
+    }
+};
+
+}  // namespace
+
+std::size_t System::recover_node_onto(net::NodeId crashed, net::NodeId target,
+                                      const std::string& protocol) {
+    if (crashed == target)
+        throw RuntimeError("recover_node_onto: target is the crashed node itself");
+    if (relocations_.count(crashed)) return 0;  // already relocated this crash
+    const std::string proto = protocol.empty() ? policy_.default_protocol() : protocol;
+    Node& c = node(crashed);
+    Node& t = node(target);
+    if (!c.durable() || c.wal()->empty())
+        throw RuntimeError("node " + std::to_string(crashed) +
+                           " has no durable image to recover from");
+
+    obs::ScopedSpan span;
+    if (tracer_.enabled()) {
+        span = obs::ScopedSpan(tracer_, "runtime.recover_onto", target);
+        tracer_.note("crashed", std::to_string(crashed));
+    }
+
+    // Decode the durable image offline — the crashed node itself is not
+    // touched (it is down; its own in-memory state is dead anyway).
+    RecoveredImage img;
+    Wal::replay(c.wal()->snapshot(), img);
+    Wal::replay(c.wal()->log(), img);
+
+    // Reading the image is a bulk transfer from the crashed node's stable
+    // storage to the target: charged on the wire like a migration, and
+    // like migration it is a stop-the-world control operation — every
+    // node reconciles to the landing time (DESIGN.md §13 barrier).
+    const std::size_t image_bytes = c.wal()->snapshot().size() + c.wal()->log().size();
+    net::Delivery landed =
+        network_.transfer_at(crashed, target, image_bytes, t.clock_us());
+    for (const auto& n : nodes_) n->reconcile_clock(landed.at_us);
+    for (auto& [_, lane] : batch_lanes_) lane.joinable = false;
+
+    // Pass 1 — allocate every object on the target in image (arena)
+    // order; the remap table carries old oid -> new oid.
+    std::map<vm::ObjId, vm::ObjId> remap;
+    for (std::size_t i = 0; i < img.objects.size(); ++i) {
+        const RecoveredImage::Obj& o = img.objects[i];
+        vm::ObjId new_id;
+        if (o.is_array) {
+            new_id = t.interp().restore_array(o.cls,
+                                              static_cast<std::size_t>(o.length));
+            if (t.durable())
+                t.wal()->append_alloc_array(t.clock_us(), o.cls, o.length);
+        } else {
+            new_id = t.interp().restore_object(o.cls);
+            if (t.durable()) t.wal()->append_alloc(t.clock_us(), o.cls);
+        }
+        remap[static_cast<vm::ObjId>(i + 1)] = new_id;
+        if (replicas_.active())
+            replicas_.drop_primary(crashed, static_cast<vm::ObjId>(i + 1));
+    }
+
+    // Pass 2 — fill fields.  References were crashed-local object ids, so
+    // they remap; proxy node/oid fields are plain ints/longs (global
+    // values) and copy verbatim.
+    for (std::size_t i = 0; i < img.objects.size(); ++i) {
+        const RecoveredImage::Obj& o = img.objects[i];
+        const vm::ObjId new_id = remap.at(static_cast<vm::ObjId>(i + 1));
+        for (const auto& [slot, v] : o.fields) {
+            vm::Value w = v;
+            if (v.is_ref()) {
+                const auto it = remap.find(v.as_ref());
+                if (it == remap.end())
+                    throw RuntimeError("recovered image has a dangling reference");
+                w = Value::of_ref(it->second);
+            }
+            t.interp().restore_field(new_id, static_cast<std::size_t>(slot), w);
+            if (t.durable()) {
+                if (o.is_array)
+                    t.wal()->append_array_put(t.clock_us(), new_id, slot, w);
+                else
+                    t.wal()->append_field_put(t.clock_us(), new_id, slot, w);
+            }
+        }
+    }
+
+    // Singleton registry: the recovered instances are the authoritative
+    // singletons, and policy + directory must send future discover()
+    // traffic to their new home.
+    for (const auto& [cls, old_oid] : img.singletons) {
+        const auto it = remap.find(old_oid);
+        if (it == remap.end()) continue;
+        t.singletons_[cls] = it->second;
+        if (t.durable()) t.wal()->append_singleton(t.clock_us(), cls, it->second);
+        policy_.set_singleton_home(cls, target, proto);
+        if (directory_.enabled()) directory_.put_singleton(cls, target, proto);
+    }
+
+    // Imported-proxy table: the copies of the crashed node's proxies keep
+    // deduplicating against the same origin keys on the target (existing
+    // target entries win — they already point at live local proxies).
+    for (const auto& [origin_node, origin_oid, iface, ip, local_oid] : img.imports) {
+        const auto it = remap.find(local_oid);
+        if (it == remap.end()) continue;
+        auto key = std::make_tuple(static_cast<net::NodeId>(origin_node), origin_oid,
+                                   iface, ip);
+        if (t.imported_.emplace(key, it->second).second && t.durable())
+            t.wal()->append_proxy_import(t.clock_us(), origin_node, origin_oid, iface,
+                                         ip, it->second);
+    }
+
+    // Reply cache, FIFO order: retried requests the crashed node already
+    // executed keep deduplicating — exactly-once survives the node's
+    // death, not just its restart.  Replies that exported crashed-local
+    // references are remapped to the objects' new home.
+    for (auto& [rid, reply] : img.replies) {
+        if (reply.result.tag == net::ValueTag::Ref &&
+            reply.result.ref_node == crashed) {
+            const auto it = remap.find(reply.result.ref_oid);
+            if (it != remap.end()) {
+                reply.result.ref_node = target;
+                reply.result.ref_oid = it->second;
+            }
+        }
+        t.cache_reply(rid, reply, /*journal=*/true);
+    }
+
+    // Relocation records into the *crashed* node's own WAL: when it
+    // eventually restarts, replay transmutes every moved slot into a proxy
+    // to the new home — the recovery analogue of migrate_instance's
+    // vacated-slot substitution, and relocations chain exactly like
+    // migrations do.  Non-substitutable classes (and arrays) have no proxy
+    // family, and no external references either; the restarted node keeps
+    // its local copy of those.
+    std::size_t relocated = 0;
+    std::map<vm::ObjId, std::string> singleton_of;
+    for (const auto& [cls, old_oid] : img.singletons) singleton_of[old_oid] = cls;
+    for (std::size_t i = 0; i < img.objects.size(); ++i) {
+        const RecoveredImage::Obj& o = img.objects[i];
+        const vm::ObjId old_oid = static_cast<vm::ObjId>(i + 1);
+        if (o.is_array || naming::parse_proxy(o.cls)) continue;
+        auto iface = naming::local_to_interface(o.cls);
+        if (!iface) continue;
+        c.wal()->append_relocate(landed.at_us, old_oid,
+                                 naming::interface_to_proxy(*iface, proto), target,
+                                 remap.at(old_oid));
+        // A relocated singleton is no longer this node's singleton: the
+        // drop record makes the restart replay erase the registration
+        // (mirroring migrate_singleton), and the in-memory erase keeps
+        // find_singleton from reporting the dead node as home meanwhile —
+        // that memory is volatile state the restart wipes anyway.
+        const auto sit = singleton_of.find(old_oid);
+        if (sit != singleton_of.end()) {
+            c.wal()->append_singleton_drop(landed.at_us, sit->second);
+            c.singletons_.erase(sit->second);
+        }
+        if (directory_.enabled()) directory_.put_object(crashed, old_oid, target,
+                                                        remap.at(old_oid));
+        ++relocated;
+    }
+
+    // Live proxies elsewhere still aim at the dead node; repoint them at
+    // the new home (set_field runs the owner's own observer, so durable
+    // peers journal the repoint themselves).
+    for (const auto& n : nodes_) {
+        if (n->id() == crashed) continue;
+        vm::Interpreter& interp = n->interp();
+        for (vm::ObjId id = 1; id <= interp.heap().size(); ++id) {
+            const vm::Object& o = interp.heap().get(id);
+            if (o.is_array || !o.cls || !naming::parse_proxy(o.cls->name)) continue;
+            if (interp.get_field(id, naming::kProxyNodeField).as_int() != crashed)
+                continue;
+            const std::uint64_t old_oid = static_cast<std::uint64_t>(
+                interp.get_field(id, naming::kProxyOidField).as_long());
+            const auto it = remap.find(old_oid);
+            if (it == remap.end()) continue;
+            interp.set_field(id, naming::kProxyNodeField, Value::of_int(target));
+            interp.set_field(id, naming::kProxyOidField,
+                             Value::of_long(static_cast<std::int64_t>(it->second)));
+        }
+    }
+
+    if (directory_.enabled()) {
+        directory_.invalidate_caches();
+        dir_updates_->add();
+        dir_entries_->set(static_cast<std::int64_t>(directory_.total_entries()));
+    }
+    if (wal_relocated_) wal_relocated_->add(relocated);
+    if (journal_.enabled())
+        journal_.record(obs::JournalEvent::Kind::Recover, landed.at_us, crashed,
+                        target, img.objects.size(), image_bytes, {});
+    for (const auto& n : nodes_) n->sync_guest_time();
+    log_info("runtime", "recovered node ", crashed, " onto ", target, ": ",
+             img.objects.size(), " objects (", relocated, " relocated, ",
+             img.replies.size(), " cached replies) from a ", image_bytes,
+             "-byte durable image");
+    relocations_[crashed] = Relocation{target, std::move(remap)};
+    return img.objects.size();
 }
 
 void System::enable_adaptation(AdaptPolicy policy) {

@@ -49,6 +49,9 @@ struct SystemOptions {
     /// `rpc.class_bytes.overflow` aggregates instead of materializing —
     /// exact totals, bounded memory at hundreds of nodes.  0 = unbounded.
     std::size_t class_matrix_cap = 1024;
+    /// Per-node durability (WAL + snapshots, DESIGN.md §20).  Off by
+    /// default: no observer, no log, legacy runs byte-identical.
+    DurabilityPolicy durability;
 };
 
 /// Per-protocol accounting of remote traffic.
@@ -136,6 +139,56 @@ public:
     /// Backfills realized savings for still-pending decisions (the driver
     /// calls this once after the workload drains).
     void adaptation_finalize();
+
+    /// Durability (DESIGN.md §20): every node — present and future — gets
+    /// a write-ahead log with periodic snapshots, the wal.* counters are
+    /// registered, and the fault plan's restart seam is armed, so a
+    /// crashed node recovers its pre-crash heap and reply cache on
+    /// restart instead of shedding them (exactly-once becomes durable).
+    /// `enabled` is forced on.  Off by default: a run that never calls
+    /// this is byte-identical to one built before the WAL existed.
+    void enable_durability(DurabilityPolicy policy = {});
+    bool durability_enabled() const noexcept { return durability_.enabled; }
+    const DurabilityPolicy& durability() const noexcept { return durability_; }
+
+    /// Pull-based restart sweep for drivers (no-op when durability is
+    /// off): notifies every node of crash windows that ended by the
+    /// watermark, so a node recovers promptly even when no request lands
+    /// on it (the RPC path only detects restarts on arrival).
+    void observe_restarts();
+
+    /// Journals a completed node recovery and bumps wal.recoveries /
+    /// wal.replayed_records; called by Node after a WAL replay.
+    void note_recovery(net::NodeId node, const Wal::ReplayResult& res,
+                       std::uint64_t t_us);
+
+    /// Migration-by-recovery (DESIGN.md §20): rebuilds crashed node
+    /// `crashed`'s durable image — every heap object, its singleton
+    /// registry and its reply cache — onto live node `target`, repoints
+    /// directory shards and live proxies, and appends Relocate records to
+    /// the crashed node's own WAL so its eventual restart transmutes the
+    /// moved slots into proxies (chained relocations preserved).  Gives
+    /// the adaptation engine a defer-free path around crash windows.
+    /// Idempotent per crash: if the image was already relocated since the
+    /// node's last restart, nothing is re-materialized (0 is returned);
+    /// relocation_of() says where everything went.  Returns the number of
+    /// objects restored.
+    std::size_t recover_node_onto(net::NodeId crashed, net::NodeId target,
+                                  const std::string& protocol = "");
+
+    /// Outcome of the last migration-by-recovery for a crashed node.
+    struct Relocation {
+        net::NodeId target = -1;
+        /// Old oid on the crashed node -> new oid on `target`.
+        std::map<vm::ObjId, vm::ObjId> remap;
+    };
+    /// Non-null while `crashed`'s image has been relocated and the node
+    /// has not yet restarted (a restart replays the Relocate records and
+    /// clears this — the node is then a live forwarder again).
+    const Relocation* relocation_of(net::NodeId crashed) const {
+        const auto it = relocations_.find(crashed);
+        return it == relocations_.end() ? nullptr : &it->second;
+    }
 
     /// Actual home of the instantiated `cls` singleton: scans the node
     /// set for its C_Local instance.  {-1, 0} when never discovered.
@@ -452,6 +505,18 @@ private:
     obs::Counter* rpc_timeouts_ = nullptr;
     obs::Counter* rpc_dedup_hits_ = nullptr;
     obs::Counter* rpc_breaker_open_ = nullptr;
+    /// Durability (DESIGN.md §20).  Counters exist only once
+    /// enable_durability ran — the off state registers nothing.
+    DurabilityPolicy durability_;
+    /// Migration-by-recovery bookkeeping: crashed node -> where its image
+    /// went.  Entries die when the node itself restarts (note_recovery).
+    std::map<net::NodeId, Relocation> relocations_;
+    obs::Counter* wal_records_ = nullptr;
+    obs::Counter* wal_bytes_ = nullptr;
+    obs::Counter* wal_snapshots_ = nullptr;
+    obs::Counter* wal_recoveries_ = nullptr;
+    obs::Counter* wal_replayed_ = nullptr;
+    obs::Counter* wal_relocated_ = nullptr;
 };
 
 }  // namespace rafda::runtime

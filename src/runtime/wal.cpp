@@ -1,0 +1,391 @@
+#include "runtime/wal.hpp"
+
+#include <array>
+
+#include "support/error.hpp"
+
+namespace rafda::runtime {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t n = 0; n < 256; ++n) {
+        std::uint32_t c = n;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[n] = c;
+    }
+    return table;
+}
+
+// -- Value codecs -------------------------------------------------------
+// vm::Value refs are plain object ids, meaningful relative to the heap
+// the WAL belongs to — replay reproduces the same ids, so they round-trip
+// verbatim.
+
+enum class VTag : std::uint8_t { Null = 0, Bool, Int, Long, Double, Str, Ref };
+
+void put_value(ByteWriter& w, const vm::Value& v) {
+    if (v.is_null()) {
+        w.u8(static_cast<std::uint8_t>(VTag::Null));
+    } else if (v.is_bool()) {
+        w.u8(static_cast<std::uint8_t>(VTag::Bool));
+        w.u8(v.as_bool() ? 1 : 0);
+    } else if (v.is_int()) {
+        w.u8(static_cast<std::uint8_t>(VTag::Int));
+        w.i32(v.as_int());
+    } else if (v.is_long()) {
+        w.u8(static_cast<std::uint8_t>(VTag::Long));
+        w.i64(v.as_long());
+    } else if (v.is_double()) {
+        w.u8(static_cast<std::uint8_t>(VTag::Double));
+        w.f64(v.as_double());
+    } else if (v.is_str()) {
+        w.u8(static_cast<std::uint8_t>(VTag::Str));
+        w.str(v.as_str());
+    } else {
+        w.u8(static_cast<std::uint8_t>(VTag::Ref));
+        w.varu64(v.as_ref());
+    }
+}
+
+vm::Value get_value(ByteReader& r) {
+    switch (static_cast<VTag>(r.u8())) {
+        case VTag::Null: return vm::Value::null();
+        case VTag::Bool: return vm::Value::of_bool(r.u8() != 0);
+        case VTag::Int: return vm::Value::of_int(r.i32());
+        case VTag::Long: return vm::Value::of_long(r.i64());
+        case VTag::Double: return vm::Value::of_double(r.f64());
+        case VTag::Str: return vm::Value::of_str(r.str());
+        case VTag::Ref: return vm::Value::of_ref(r.varu64());
+    }
+    throw CodecError("bad WAL value tag");
+}
+
+void put_marshalled(ByteWriter& w, const net::MarshalledValue& v) {
+    w.u8(static_cast<std::uint8_t>(v.tag));
+    switch (v.tag) {
+        case net::ValueTag::Null: break;
+        case net::ValueTag::Bool: w.u8(v.b ? 1 : 0); break;
+        case net::ValueTag::Int: w.i32(v.i); break;
+        case net::ValueTag::Long: w.i64(v.j); break;
+        case net::ValueTag::Double: w.f64(v.d); break;
+        case net::ValueTag::Str: w.str(v.s); break;
+        case net::ValueTag::Ref:
+            w.i32(v.ref_node);
+            w.varu64(v.ref_oid);
+            w.str(v.ref_class);
+            break;
+    }
+}
+
+net::MarshalledValue get_marshalled(ByteReader& r) {
+    switch (static_cast<net::ValueTag>(r.u8())) {
+        case net::ValueTag::Null: return net::MarshalledValue::null();
+        case net::ValueTag::Bool: return net::MarshalledValue::of_bool(r.u8() != 0);
+        case net::ValueTag::Int: return net::MarshalledValue::of_int(r.i32());
+        case net::ValueTag::Long: return net::MarshalledValue::of_long(r.i64());
+        case net::ValueTag::Double: return net::MarshalledValue::of_double(r.f64());
+        case net::ValueTag::Str: return net::MarshalledValue::of_str(r.str());
+        case net::ValueTag::Ref: {
+            std::int32_t node = r.i32();
+            std::uint64_t oid = r.varu64();
+            return net::MarshalledValue::of_ref(node, oid, r.str());
+        }
+    }
+    throw CodecError("bad WAL marshalled tag");
+}
+
+void put_reply(ByteWriter& w, const net::CallReply& reply) {
+    w.varu64(reply.request_id);
+    w.u8(reply.is_fault ? 1 : 0);
+    put_marshalled(w, reply.result);
+    w.str(reply.fault_class);
+    w.str(reply.fault_msg);
+}
+
+net::CallReply get_reply(ByteReader& r) {
+    net::CallReply reply;
+    reply.request_id = r.varu64();
+    reply.is_fault = r.u8() != 0;
+    reply.result = get_marshalled(r);
+    reply.fault_class = r.str();
+    reply.fault_msg = r.str();
+    return reply;
+}
+
+}  // namespace
+
+std::uint32_t wal_crc32(const std::uint8_t* data, std::size_t len) {
+    static const std::array<std::uint32_t, 256> table = make_crc_table();
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (std::size_t k = 0; k < len; ++k)
+        c = table[(c ^ data[k]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+void Wal::stamp(ByteWriter& w, Kind kind, std::uint64_t t_us) {
+    w.u8(static_cast<std::uint8_t>(kind));
+    w.varu64(t_us);
+}
+
+void Wal::frame(const Bytes& payload) {
+    Bytes& sink = in_snapshot_ ? scratch_ : log_;
+    ByteWriter header;
+    header.u32(static_cast<std::uint32_t>(payload.size()));
+    header.u32(wal_crc32(payload.data(), payload.size()));
+    sink.insert(sink.end(), header.data().begin(), header.data().end());
+    sink.insert(sink.end(), payload.begin(), payload.end());
+    if (!in_snapshot_) {
+        ++stats_.records;
+        if (records_ctr_) records_ctr_->add();
+        if (bytes_ctr_) bytes_ctr_->add(8 + payload.size());
+    }
+}
+
+void Wal::append_alloc(std::uint64_t t_us, const std::string& cls) {
+    ByteWriter w;
+    stamp(w, Kind::Alloc, t_us);
+    w.str(cls);
+    frame(w.data());
+}
+
+void Wal::append_alloc_array(std::uint64_t t_us, const std::string& elem_desc,
+                             std::uint64_t length) {
+    ByteWriter w;
+    stamp(w, Kind::AllocArray, t_us);
+    w.str(elem_desc);
+    w.varu64(length);
+    frame(w.data());
+}
+
+void Wal::append_field_put(std::uint64_t t_us, std::uint64_t oid, std::uint64_t slot,
+                           const vm::Value& v) {
+    ByteWriter w;
+    stamp(w, Kind::FieldPut, t_us);
+    w.varu64(oid);
+    w.varu64(slot);
+    put_value(w, v);
+    frame(w.data());
+}
+
+void Wal::append_array_put(std::uint64_t t_us, std::uint64_t oid, std::uint64_t index,
+                           const vm::Value& v) {
+    ByteWriter w;
+    stamp(w, Kind::ArrayPut, t_us);
+    w.varu64(oid);
+    w.varu64(index);
+    put_value(w, v);
+    frame(w.data());
+}
+
+void Wal::append_static_put(std::uint64_t t_us, const std::string& cls,
+                            const std::string& field, const vm::Value& v) {
+    ByteWriter w;
+    stamp(w, Kind::StaticPut, t_us);
+    w.str(cls);
+    w.str(field);
+    put_value(w, v);
+    frame(w.data());
+}
+
+void Wal::append_class_init(std::uint64_t t_us, const std::string& cls) {
+    ByteWriter w;
+    stamp(w, Kind::ClassInit, t_us);
+    w.str(cls);
+    frame(w.data());
+}
+
+void Wal::append_singleton(std::uint64_t t_us, const std::string& cls,
+                           std::uint64_t oid) {
+    ByteWriter w;
+    stamp(w, Kind::Singleton, t_us);
+    w.str(cls);
+    w.varu64(oid);
+    frame(w.data());
+}
+
+void Wal::append_singleton_drop(std::uint64_t t_us, const std::string& cls) {
+    ByteWriter w;
+    stamp(w, Kind::SingletonDrop, t_us);
+    w.str(cls);
+    frame(w.data());
+}
+
+void Wal::append_proxy_import(std::uint64_t t_us, std::int32_t origin_node,
+                              std::uint64_t origin_oid, const std::string& iface,
+                              const std::string& protocol, std::uint64_t local_oid) {
+    ByteWriter w;
+    stamp(w, Kind::ProxyImport, t_us);
+    w.i32(origin_node);
+    w.varu64(origin_oid);
+    w.str(iface);
+    w.str(protocol);
+    w.varu64(local_oid);
+    frame(w.data());
+}
+
+void Wal::append_reply(std::uint64_t t_us, std::uint64_t request_id,
+                       const net::CallReply& reply) {
+    ByteWriter w;
+    stamp(w, Kind::Reply, t_us);
+    w.varu64(request_id);
+    put_reply(w, reply);
+    frame(w.data());
+}
+
+void Wal::append_transmute(std::uint64_t t_us, std::uint64_t oid,
+                           const std::string& proxy_cls, std::int32_t node,
+                           std::uint64_t remote_oid) {
+    ByteWriter w;
+    stamp(w, Kind::Transmute, t_us);
+    w.varu64(oid);
+    w.str(proxy_cls);
+    w.i32(node);
+    w.varu64(remote_oid);
+    frame(w.data());
+}
+
+void Wal::append_relocate(std::uint64_t t_us, std::uint64_t oid,
+                          const std::string& proxy_cls, std::int32_t node,
+                          std::uint64_t remote_oid) {
+    ByteWriter w;
+    stamp(w, Kind::Relocate, t_us);
+    w.varu64(oid);
+    w.str(proxy_cls);
+    w.i32(node);
+    w.varu64(remote_oid);
+    frame(w.data());
+}
+
+void Wal::begin_snapshot() {
+    scratch_.clear();
+    in_snapshot_ = true;
+}
+
+void Wal::commit_snapshot() {
+    in_snapshot_ = false;
+    snapshot_ = std::move(scratch_);
+    scratch_ = Bytes{};
+    log_.clear();
+    ++stats_.snapshots;
+    if (snapshots_ctr_) snapshots_ctr_->add();
+    if (bytes_ctr_) bytes_ctr_->add(snapshot_.size());
+}
+
+Wal::ReplayResult Wal::replay(const Bytes& stream, WalVisitor& v) {
+    ReplayResult result;
+    std::size_t pos = 0;
+    while (pos + 8 <= stream.size()) {
+        const std::uint32_t len = static_cast<std::uint32_t>(stream[pos]) |
+                                  static_cast<std::uint32_t>(stream[pos + 1]) << 8 |
+                                  static_cast<std::uint32_t>(stream[pos + 2]) << 16 |
+                                  static_cast<std::uint32_t>(stream[pos + 3]) << 24;
+        const std::uint32_t crc = static_cast<std::uint32_t>(stream[pos + 4]) |
+                                  static_cast<std::uint32_t>(stream[pos + 5]) << 8 |
+                                  static_cast<std::uint32_t>(stream[pos + 6]) << 16 |
+                                  static_cast<std::uint32_t>(stream[pos + 7]) << 24;
+        if (pos + 8 + len > stream.size()) break;  // torn frame
+        const std::uint8_t* payload = stream.data() + pos + 8;
+        if (wal_crc32(payload, len) != crc) break;  // corrupt frame
+        // A whole, checksummed record: decode and apply.  A decode error
+        // despite a matching CRC means a framing bug, not torn state —
+        // surface it.
+        Bytes body(payload, payload + len);
+        ByteReader r(body);
+        const Kind kind = static_cast<Kind>(r.u8());
+        const std::uint64_t t = r.varu64();
+        switch (kind) {
+            case Kind::Alloc: {
+                v.on_alloc(t, r.str());
+                break;
+            }
+            case Kind::AllocArray: {
+                std::string elem = r.str();
+                v.on_alloc_array(t, elem, r.varu64());
+                break;
+            }
+            case Kind::FieldPut: {
+                std::uint64_t oid = r.varu64();
+                std::uint64_t slot = r.varu64();
+                v.on_field_put(t, oid, slot, get_value(r));
+                break;
+            }
+            case Kind::ArrayPut: {
+                std::uint64_t oid = r.varu64();
+                std::uint64_t idx = r.varu64();
+                v.on_array_put(t, oid, idx, get_value(r));
+                break;
+            }
+            case Kind::StaticPut: {
+                std::string cls = r.str();
+                std::string field = r.str();
+                v.on_static_put(t, cls, field, get_value(r));
+                break;
+            }
+            case Kind::ClassInit: {
+                v.on_class_init(t, r.str());
+                break;
+            }
+            case Kind::Singleton: {
+                std::string cls = r.str();
+                v.on_singleton(t, cls, r.varu64());
+                break;
+            }
+            case Kind::SingletonDrop: {
+                v.on_singleton_drop(t, r.str());
+                break;
+            }
+            case Kind::ProxyImport: {
+                std::int32_t node = r.i32();
+                std::uint64_t oid = r.varu64();
+                std::string iface = r.str();
+                std::string proto = r.str();
+                v.on_proxy_import(t, node, oid, iface, proto, r.varu64());
+                break;
+            }
+            case Kind::Reply: {
+                std::uint64_t req = r.varu64();
+                v.on_reply(t, req, get_reply(r));
+                break;
+            }
+            case Kind::Transmute: {
+                std::uint64_t oid = r.varu64();
+                std::string cls = r.str();
+                std::int32_t node = r.i32();
+                v.on_transmute(t, oid, cls, node, r.varu64());
+                break;
+            }
+            case Kind::Relocate: {
+                std::uint64_t oid = r.varu64();
+                std::string cls = r.str();
+                std::int32_t node = r.i32();
+                v.on_relocate(t, oid, cls, node, r.varu64());
+                break;
+            }
+            default:
+                throw CodecError("unknown WAL record kind " +
+                                 std::to_string(static_cast<int>(kind)));
+        }
+        pos += 8 + len;
+        ++result.records;
+        result.bytes = pos;
+    }
+    result.clean = pos == stream.size();
+    return result;
+}
+
+Wal::ReplayResult Wal::recover(WalVisitor& v) {
+    ReplayResult snap = replay(snapshot_, v);
+    ReplayResult tail = replay(log_, v);
+    ReplayResult total;
+    total.records = snap.records + tail.records;
+    total.bytes = snap.bytes + tail.bytes;
+    total.clean = snap.clean && tail.clean;
+    ++stats_.recoveries;
+    stats_.replayed += total.records;
+    return total;
+}
+
+}  // namespace rafda::runtime

@@ -51,6 +51,11 @@ public:
 
     std::size_t size() const noexcept { return objects_.size(); }
 
+    /// Discards every object (a node restart, DESIGN.md §20).  Because the
+    /// arena allocates ids as index+1, a replay that re-allocates in the
+    /// original order reproduces the original ids exactly.
+    void clear() noexcept { objects_.clear(); }
+
 private:
     [[noreturn]] void throw_bad_id(ObjId id) const;
 

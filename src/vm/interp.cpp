@@ -1,5 +1,6 @@
 #include "vm/interp.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <tuple>
@@ -122,6 +123,7 @@ ObjId Interpreter::allocate_with(const ClassFile& cls, const model::Layout& layo
     for (int i = 0; i < layout.size(); ++i)
         obj.fields[static_cast<std::size_t>(i)] = default_value(layout.slots[i].type);
     ++counters_.allocations;
+    if (observer_) observer_->on_alloc(id, cls.name);
     return id;
 }
 
@@ -199,6 +201,7 @@ void Interpreter::set_static_field(const std::string& owner, const std::string& 
     });
     ++counters_.static_writes;
     const model::Layout& layout = pool_->static_layout_of(declaring->name);
+    if (observer_) observer_->on_static_put(declaring->name, field, v);
     statics_of(declaring->name)[static_cast<std::size_t>(layout.index_of(field))] =
         std::move(v);
 }
@@ -214,7 +217,9 @@ void Interpreter::set_field(ObjId obj, const std::string& field, Value v) {
     Object& o = heap_.get(obj);
     const model::Layout& layout = pool_->layout_of(o.cls->name);
     ++counters_.field_writes;
-    o.fields[static_cast<std::size_t>(layout.index_of(field))] = std::move(v);
+    const std::size_t slot = static_cast<std::size_t>(layout.index_of(field));
+    if (observer_) observer_->on_field_put(obj, slot, v);
+    o.fields[slot] = std::move(v);
 }
 
 const ClassFile& Interpreter::class_of(ObjId obj) const {
@@ -234,10 +239,11 @@ void Interpreter::ensure_initialized(const std::string& class_name) {
     }
     initializing_.erase(class_name);
     initialized_.insert(class_name);
+    if (observer_) observer_->on_class_init(class_name);
 }
 
 std::vector<Value>& Interpreter::statics_of(const std::string& class_name) {
-    if (statics_gen_ != pool_->generation()) reconcile_statics();
+    if (statics_gen_ != cache_gen()) reconcile_statics();
     auto it = statics_.find(class_name);
     if (it != statics_.end()) return it->second.values;
     const model::Layout& layout = pool_->static_layout_of(class_name);
@@ -252,7 +258,7 @@ std::vector<Value>& Interpreter::statics_of(const std::string& class_name) {
 }
 
 void Interpreter::reconcile_statics() {
-    statics_gen_ = pool_->generation();
+    statics_gen_ = cache_gen();
     for (auto it = statics_.begin(); it != statics_.end();) {
         if (!pool_->contains(it->first)) {
             it = statics_.erase(it);
@@ -297,9 +303,9 @@ std::pair<int, bool> Interpreter::sig_info(const std::string& desc) {
 const Method& Interpreter::resolve_virtual_cached(const std::string& dynamic,
                                                   const std::string& name,
                                                   const std::string& desc) {
-    if (vcache_gen_ != pool_->generation()) {
+    if (vcache_gen_ != cache_gen()) {
         vcache_.clear();
-        vcache_gen_ = pool_->generation();
+        vcache_gen_ = cache_gen();
     }
     std::string key = dynamic;
     key += '#';
@@ -566,8 +572,11 @@ Value Interpreter::compare(Op op, const Value& a, const Value& b) {
             std::int32_t len = pop().as_int();
             if (len < 0) throw VmError("negative array length");
             ++counters_.allocations;
-            stack.push_back(Value::of_ref(heap_.alloc_array(
-                model::TypeDesc::parse(i.desc), static_cast<std::size_t>(len))));
+            const ObjId id = heap_.alloc_array(model::TypeDesc::parse(i.desc),
+                                               static_cast<std::size_t>(len));
+            if (observer_)
+                observer_->on_alloc_array(id, i.desc, static_cast<std::size_t>(len));
+            stack.push_back(Value::of_ref(id));
             break;
         }
         case Op::ALoad: {
@@ -583,11 +592,14 @@ Value Interpreter::compare(Op op, const Value& a, const Value& b) {
         case Op::AStore: {
             Value v = pop();
             std::int32_t idx = pop().as_int();
-            Object& arr = heap_.get(pop().as_ref());
+            const ObjId aid = pop().as_ref();
+            Object& arr = heap_.get(aid);
             if (!arr.is_array) throw VmError("astore on non-array");
             if (idx < 0 || static_cast<std::size_t>(idx) >= arr.fields.size())
                 throw VmError("array index out of bounds: " + std::to_string(idx));
             ++counters_.field_writes;
+            if (observer_)
+                observer_->on_array_put(aid, static_cast<std::size_t>(idx), v);
             arr.fields[static_cast<std::size_t>(idx)] = std::move(v);
             break;
         }
@@ -608,7 +620,7 @@ Value Interpreter::compare(Op op, const Value& a, const Value& b) {
 [[gnu::noinline]] void Interpreter::op_invoke_virtual(const Instruction& i,
                                                       SiteCache& sc,
                                                       std::vector<Value>& stack) {
-    const std::uint64_t gen = pool_->generation();
+    const std::uint64_t gen = cache_gen();
     int nargs_i;
     bool ret_void;
     if (sc.gen == gen) {
@@ -650,7 +662,7 @@ Value Interpreter::compare(Op op, const Value& a, const Value& b) {
 [[gnu::noinline]] void Interpreter::op_invoke_static(const Instruction& i,
                                                      SiteCache& sc,
                                                      std::vector<Value>& stack) {
-    if (sc.gen != pool_->generation()) {
+    if (sc.gen != cache_gen()) {
         ++counters_.ic_invoke_misses;
         auto [nargs_i, ret_void] = sig_info(i.desc);
         ensure_initialized(i.owner);
@@ -660,7 +672,7 @@ Value Interpreter::compare(Op op, const Value& a, const Value& b) {
         sc.target = target;
         sc.nargs = nargs_i;
         sc.ret_void = ret_void;
-        sc.gen = pool_->generation();
+        sc.gen = cache_gen();
     } else {
         ++counters_.ic_invoke_hits;
     }
@@ -678,7 +690,7 @@ Value Interpreter::compare(Op op, const Value& a, const Value& b) {
 [[gnu::noinline]] void Interpreter::op_invoke_special(const Instruction& i,
                                                       SiteCache& sc,
                                                       std::vector<Value>& stack) {
-    if (sc.gen != pool_->generation()) {
+    if (sc.gen != cache_gen()) {
         ++counters_.ic_invoke_misses;
         auto [nargs_i, ret_void] = sig_info(i.desc);
         (void)ret_void;
@@ -689,7 +701,7 @@ Value Interpreter::compare(Op op, const Value& a, const Value& b) {
         sc.target = ctor;
         sc.nargs = nargs_i;
         sc.ret_void = true;
-        sc.gen = pool_->generation();
+        sc.gen = cache_gen();
     } else {
         ++counters_.ic_invoke_hits;
     }
@@ -935,14 +947,14 @@ Value Interpreter::execute(const ClassFile& cls, const Method& m,
                 }
                 case Op::New: {
                     SiteCache& sc = sites[pc];
-                    if (sc.gen == pool_->generation()) {
+                    if (sc.gen == cache_gen()) {
                         stack.push_back(Value::of_ref(allocate_with(*sc.cls, *sc.layout)));
                     } else {
                         ensure_initialized(i.owner);
                         stack.push_back(Value::of_ref(allocate(i.owner)));
                         sc.cls = &pool_->get(i.owner);
                         sc.layout = &pool_->layout_of(i.owner);
-                        sc.gen = pool_->generation();
+                        sc.gen = cache_gen();
                     }
                     break;
                 }
@@ -951,12 +963,12 @@ Value Interpreter::execute(const ClassFile& cls, const Method& m,
                     stack.pop_back();
                     Object& o = heap_.get(recv);
                     SiteCache& sc = sites[pc];
-                    if (sc.cls == o.cls && sc.gen == pool_->generation()) {
+                    if (sc.cls == o.cls && sc.gen == cache_gen()) {
                         ++counters_.ic_field_hits;
                     } else {
                         sc.slot = pool_->layout_of(o.cls->name).index_of(i.member);
                         sc.cls = o.cls;
-                        sc.gen = pool_->generation();
+                        sc.gen = cache_gen();
                         ++counters_.ic_field_misses;
                     }
                     ++counters_.field_reads;
@@ -969,21 +981,23 @@ Value Interpreter::execute(const ClassFile& cls, const Method& m,
                     stack.pop_back();
                     Object& o = heap_.get(recv);
                     SiteCache& sc = sites[pc];
-                    if (sc.cls == o.cls && sc.gen == pool_->generation()) {
+                    if (sc.cls == o.cls && sc.gen == cache_gen()) {
                         ++counters_.ic_field_hits;
                     } else {
                         sc.slot = pool_->layout_of(o.cls->name).index_of(i.member);
                         sc.cls = o.cls;
-                        sc.gen = pool_->generation();
+                        sc.gen = cache_gen();
                         ++counters_.ic_field_misses;
                     }
                     ++counters_.field_writes;
+                    if (observer_)
+                        observer_->on_field_put(recv, static_cast<std::size_t>(sc.slot), v);
                     o.fields[static_cast<std::size_t>(sc.slot)] = std::move(v);
                     break;
                 }
                 case Op::GetStatic: {
                     SiteCache& sc = sites[pc];
-                    if (sc.gen == pool_->generation()) {
+                    if (sc.gen == cache_gen()) {
                         ++counters_.ic_static_hits;
                         ++counters_.static_reads;
                         stack.push_back((*sc.statics)[static_cast<std::size_t>(sc.slot)]);
@@ -998,16 +1012,19 @@ Value Interpreter::execute(const ClassFile& cls, const Method& m,
                         sc.slot =
                             pool_->static_layout_of(declaring->name).index_of(i.member);
                         sc.cls = declaring;
-                        sc.gen = pool_->generation();
+                        sc.gen = cache_gen();
                     }
                     break;
                 }
                 case Op::PutStatic: {
                     SiteCache& sc = sites[pc];
-                    if (sc.gen == pool_->generation()) {
+                    if (sc.gen == cache_gen()) {
                         ++counters_.ic_static_hits;
                         ++counters_.static_writes;
-                        (*sc.statics)[static_cast<std::size_t>(sc.slot)] = pop();
+                        Value v = pop();
+                        if (observer_)
+                            observer_->on_static_put(sc.cls->name, i.member, v);
+                        (*sc.statics)[static_cast<std::size_t>(sc.slot)] = std::move(v);
                     } else {
                         ++counters_.ic_static_misses;
                         set_static_field(i.owner, i.member, pop());
@@ -1017,7 +1034,7 @@ Value Interpreter::execute(const ClassFile& cls, const Method& m,
                         sc.slot =
                             pool_->static_layout_of(declaring->name).index_of(i.member);
                         sc.cls = declaring;
-                        sc.gen = pool_->generation();
+                        sc.gen = cache_gen();
                     }
                     break;
                 }
@@ -1050,6 +1067,73 @@ Value Interpreter::execute(const ClassFile& cls, const Method& m,
         }
         ++pc;
     }
+}
+
+// -- Restart + restore (DESIGN.md §20) ----------------------------------
+
+void Interpreter::reset_vm_state() {
+    heap_.clear();
+    statics_.clear();
+    initialized_.clear();
+    initializing_.clear();
+    output_.clear();
+    // Every SiteCache, the virtual cache and the statics epoch were tied
+    // to the old incarnation; bumping it makes them all miss lazily.  The
+    // dangling SiteCache::statics pointers into the cleared map are never
+    // dereferenced: the fast paths re-check `gen == cache_gen()` first.
+    ++incarnation_;
+}
+
+ObjId Interpreter::restore_object(const std::string& class_name) {
+    const ClassFile& cls = pool_->get(class_name);
+    const model::Layout& layout = pool_->layout_of(class_name);
+    ObjId id = heap_.alloc(cls, static_cast<std::size_t>(layout.size()));
+    Object& obj = heap_.get(id);
+    for (int i = 0; i < layout.size(); ++i)
+        obj.fields[static_cast<std::size_t>(i)] = default_value(layout.slots[i].type);
+    return id;
+}
+
+ObjId Interpreter::restore_array(const std::string& elem_desc, std::size_t length) {
+    return heap_.alloc_array(model::TypeDesc::parse(elem_desc), length);
+}
+
+void Interpreter::restore_field(ObjId obj, std::size_t slot, Value v) {
+    Object& o = heap_.get(obj);
+    if (slot >= o.fields.size())
+        throw VmError("restore_field slot out of range: " + std::to_string(slot));
+    o.fields[slot] = std::move(v);
+}
+
+void Interpreter::restore_static(const std::string& class_name,
+                                 const std::string& field, Value v) {
+    std::vector<Value>& values = statics_of(class_name);
+    const model::Layout& layout = pool_->static_layout_of(class_name);
+    values[static_cast<std::size_t>(layout.index_of(field))] = std::move(v);
+}
+
+void Interpreter::mark_initialized(const std::string& class_name) {
+    initialized_.insert(class_name);
+}
+
+void Interpreter::visit_statics(
+    const std::function<void(const std::string&, const std::string&, const Value&)>&
+        fn) const {
+    std::vector<const std::pair<const std::string, StaticSlots>*> entries;
+    entries.reserve(statics_.size());
+    for (const auto& e : statics_) entries.push_back(&e);
+    std::sort(entries.begin(), entries.end(),
+              [](const auto* a, const auto* b) { return a->first < b->first; });
+    for (const auto* e : entries)
+        for (std::size_t k = 0; k < e->second.names.size(); ++k)
+            fn(e->first, e->second.names[k], e->second.values[k]);
+}
+
+void Interpreter::visit_initialized(
+    const std::function<void(const std::string&)>& fn) const {
+    std::vector<std::string> names(initialized_.begin(), initialized_.end());
+    std::sort(names.begin(), names.end());
+    for (const std::string& n : names) fn(n);
 }
 
 }  // namespace rafda::vm

@@ -1,0 +1,40 @@
+// Mutation observation hook for the durability layer (DESIGN.md §20).
+//
+// The interpreter reports every heap and static-storage mutation through
+// this interface so an embedder can maintain a write-ahead log.  The hook
+// is a raw pointer checked with a single branch on each mutation path:
+// with no observer installed (the default) the VM's behaviour and hot
+// paths are unchanged.  Observers must not call back into guest execution
+// — they see mutations mid-bytecode, when frames are live.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "vm/value.hpp"
+
+namespace rafda::vm {
+
+class MutationObserver {
+public:
+    virtual ~MutationObserver() = default;
+
+    /// A new instance of `cls` was allocated as `id` (fields zeroed to
+    /// their layout defaults; writes follow as on_field_put events).
+    virtual void on_alloc(ObjId id, const std::string& cls) = 0;
+    /// A new array of `length` elements of `elem_desc` was allocated.
+    virtual void on_alloc_array(ObjId id, const std::string& elem_desc,
+                                std::size_t length) = 0;
+    /// `fields[slot]` of object `id` is about to become `v`.
+    virtual void on_field_put(ObjId id, std::size_t slot, const Value& v) = 0;
+    /// Element `index` of array `id` is about to become `v`.
+    virtual void on_array_put(ObjId id, std::size_t index, const Value& v) = 0;
+    /// Static field `cls.field` is about to become `v`.
+    virtual void on_static_put(const std::string& cls, const std::string& field,
+                               const Value& v) = 0;
+    /// `<clinit>` of `cls` completed (its own mutations were reported
+    /// individually before this event).
+    virtual void on_class_init(const std::string& cls) = 0;
+};
+
+}  // namespace rafda::vm

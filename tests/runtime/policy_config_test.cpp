@@ -235,6 +235,45 @@ TEST(PolicyConfig, AdaptDirectiveNeedsItsTargetAndValidShape) {
     bad("adapt on replicate-ratio -0.1");
 }
 
+TEST(PolicyConfig, DurableDirectiveConfiguresDurability) {
+    DistributionPolicy policy;
+    DurabilityPolicy durability;
+    apply_policy_config("durable on snapshot-interval 2500", policy, nullptr,
+                        nullptr, nullptr, nullptr, &durability);
+    EXPECT_TRUE(durability.enabled);
+    EXPECT_EQ(durability.snapshot_interval_us, 2500u);
+
+    // Interval is optional and survives an off toggle (only the switch
+    // flips); 0 means never snapshot, which is legal.
+    apply_policy_config("durable off", policy, nullptr, nullptr, nullptr,
+                        nullptr, &durability);
+    EXPECT_FALSE(durability.enabled);
+    EXPECT_EQ(durability.snapshot_interval_us, 2500u);
+    apply_policy_config("durable on snapshot-interval 0", policy, nullptr,
+                        nullptr, nullptr, nullptr, &durability);
+    EXPECT_TRUE(durability.enabled);
+    EXPECT_EQ(durability.snapshot_interval_us, 0u);
+}
+
+TEST(PolicyConfig, DurableDirectiveNeedsItsTargetAndValidShape) {
+    DistributionPolicy policy;
+    // No DurabilityPolicy given: a durable line is an error.
+    EXPECT_THROW(apply_policy_config("durable on", policy), ParseError);
+
+    DurabilityPolicy durability;
+    auto bad = [&](const char* text) {
+        EXPECT_THROW(apply_policy_config(text, policy, nullptr, nullptr, nullptr,
+                                         nullptr, &durability),
+                     ParseError)
+            << text;
+    };
+    bad("durable");
+    bad("durable maybe");
+    bad("durable on snapshot-interval");
+    bad("durable on interval 100");
+    bad("durable on snapshot-interval -5");
+}
+
 TEST(PolicyConfig, LaterLinesOverrideEarlier) {
     DistributionPolicy policy;
     apply_policy_config(R"(

@@ -35,7 +35,8 @@ case " $presets " in
 *" default "*)
     for bench in bench_property_access bench_dispatch_matrix bench_concurrency \
                  bench_pipeline bench_transformability bench_reliability \
-                 bench_journal bench_batching bench_adaptive; do
+                 bench_journal bench_batching bench_adaptive \
+                 bench_durability; do
         echo "== perf smoke: $bench =="
         "build/bench/$bench" --benchmark_min_time=0.05s ||
             echo "WARN: $bench failed (non-gating)"
@@ -57,20 +58,32 @@ case " $presets " in
     # byte for byte (this also keeps the pooled-buffer encode and the
     # batching off-state provably inert).  E13 is excluded: its summary
     # carries host-varying peak RSS.
-    echo "== bench determinism guard (E5 E9 E10 E12 E14) =="
+    echo "== bench determinism guard (E5 E9 E10 E12 E14 E15) =="
     det_dir=$(mktemp -d /tmp/rafda_det_XXXXXX)
     trap 'rm -rf "$det_dir"' EXIT INT TERM
     cp BENCH_E5.json BENCH_E9.json BENCH_E10.json BENCH_E12.json \
-       BENCH_E14.json "$det_dir"/
+       BENCH_E14.json BENCH_E15.json "$det_dir"/
     build/bench/bench_dispatch_matrix --benchmark_min_time=0.05s >/dev/null
     build/bench/bench_concurrency --benchmark_min_time=0.05s >/dev/null
     build/bench/bench_reliability --benchmark_min_time=0.05s >/dev/null
     build/bench/bench_batching --benchmark_min_time=0.05s >/dev/null
     build/bench/bench_adaptive --benchmark_min_time=0.05s >/dev/null
-    for id in E5 E9 E10 E12 E14; do
+    build/bench/bench_durability --benchmark_min_time=0.05s >/dev/null
+    for id in E5 E9 E10 E12 E14 E15; do
         cmp "BENCH_$id.json" "$det_dir/BENCH_$id.json"
     done
-    echo "bench determinism OK: E5/E9/E10/E12/E14 re-runs byte-identical"
+    echo "bench determinism OK: E5/E9/E10/E12/E14/E15 re-runs byte-identical"
+
+    # Durability off-state guard (gating): E5 and E10 run with durability
+    # off, so their sidecars double as the proof that the WAL layer is
+    # inert when disabled — any off-path write or schedule perturbation
+    # shows up as a byte diff in the cmp above.  E15's own summary must
+    # assert exactly-once across the crash (executions == tasks after WAL
+    # replay) and a relocation identical to the uncrashed baseline.
+    echo "== durability invariants (E15) =="
+    grep -q '"exactly_once":1' BENCH_E15.json
+    grep -q '"relocation_match":1' BENCH_E15.json
+    echo "durability invariants OK: exactly_once + relocation_match"
 
     # Scheduler determinism contract (gating): the event-heap refactor's
     # headline claim — dispatch order is a pure function of workload and
@@ -78,12 +91,12 @@ case " $presets " in
     # reviewed numbers to asserted invariants: the sidecar must say
     # deterministic:1 and carry the event-order digest it proved it with.
     # E14 makes the same claim for the closed-loop controller.
-    echo "== determinism fields (E13 E14) =="
-    for id in E13 E14; do
+    echo "== determinism fields (E13 E14 E15) =="
+    for id in E13 E14 E15; do
         grep -q '"deterministic":1' "BENCH_$id.json"
         grep -q '"event_order_digest":' "BENCH_$id.json"
     done
-    echo "determinism fields OK: E13/E14 assert deterministic:1 + digest"
+    echo "determinism fields OK: E13/E14/E15 assert deterministic:1 + digest"
 
     # BENCH sidecar schema sanity (gating): every BENCH_*.json the smoke
     # runs produced must parse as a single JSON object whose experiment id
@@ -141,5 +154,17 @@ PYEOF
         grep -q '"pid":' "$trace_out"
         echo "chrome trace OK (grep fallback)"
     fi
+    ;;
+esac
+
+# WAL-replay fuzz smoke (gating when the sanitize preset ran): the torn-tail
+# sweep and the bit-flip fuzz replay adversarial byte streams through the
+# frame decoder — exactly the code that parses untrusted durable state on
+# recovery — under ASan+UBSan.
+case " $presets " in
+*" sanitize "*)
+    echo "== WAL replay fuzz smoke (sanitize) =="
+    build-sanitize/tests/runtime/wal_test \
+        --gtest_filter='Wal.TornTail*:Wal.BitFlip*'
     ;;
 esac

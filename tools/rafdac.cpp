@@ -41,6 +41,11 @@
 //                                         migrations, replications,
 //                                         deferrals, projected vs realized
 //                                         savings — and the adapt counters
+//   rafdac wal       app.rir policy.cfg Main [nodes] [--json]
+//                                         deploy, run, then print the
+//                                         per-node durability report
+//                                         (DESIGN.md §20): WAL/snapshot
+//                                         sizes, recoveries, relocations
 //
 // stats/trace print the application's own output on stderr so stdout
 // stays machine-readable.
@@ -152,16 +157,19 @@ int cmd_run(const std::string& input, const std::string& main_cls) {
 }
 
 /// Shared deploy-style setup: add the nodes, apply the policy
-/// configuration (every grammar, the `adapt` directive included), and
-/// bring up the adaptation engine when the config asks for it.
+/// configuration (every grammar, the `adapt` and `durable` directives
+/// included), and bring up the adaptation engine / durability layer when
+/// the config asks for them.
 void configure_system(runtime::System& system, const std::string& config_path,
                       int nodes) {
     for (int k = 0; k < nodes; ++k) system.add_node();
     runtime::AdaptPolicy adaptation;
+    runtime::DurabilityPolicy durability;
     runtime::apply_policy_config(read_file(config_path), system.policy(),
                                  &system.network(), &system.reliability(),
-                                 &system.batching(), &adaptation);
+                                 &system.batching(), &adaptation, &durability);
     if (adaptation.enabled) system.enable_adaptation(adaptation);
+    if (durability.enabled) system.enable_durability(durability);
 }
 
 int cmd_deploy(const std::string& input, const std::string& config_path,
@@ -359,6 +367,13 @@ int cmd_faults(const std::string& input, const std::string& config_path,
     auto counter = [&](const char* name) {
         return system.metrics().counter(name).value();
     };
+    // Restart counts are evaluated at the final virtual time, so every
+    // crash window that ended before the run did counts as one restart.
+    const std::uint64_t horizon = system.network().now_us();
+    auto restarts_of = [&](int k) {
+        return system.network().fault_plan().restarts_before(
+            static_cast<net::NodeId>(k), horizon);
+    };
     if (json) {
         std::ostringstream os;
         os << "{\"virtual_time_us\":" << system.network().now_us()
@@ -389,6 +404,10 @@ int cmd_faults(const std::string& input, const std::string& config_path,
                << "\",\"state\":\"" << runtime::breaker_state_name(b.state)
                << "\",\"consecutive_failures\":" << b.consecutive_failures << "}";
         });
+        os << "],\"nodes\":[";
+        for (int k = 0; k < nodes; ++k)
+            os << (k ? "," : "") << "{\"node\":" << k
+               << ",\"restarts\":" << restarts_of(k) << "}";
         os << "],\"rpc\":{\"retries\":" << counter("rpc.retries")
            << ",\"retries_reply_loss\":" << counter("rpc.retries_reply_loss")
            << ",\"timeouts\":" << counter("rpc.timeouts")
@@ -423,11 +442,107 @@ int cmd_faults(const std::string& input, const std::string& config_path,
                   << b.consecutive_failures << " consecutive failures)\n";
     });
     if (!any_breaker) std::cout << "  (none active)\n";
+    std::cout << "restarts:\n";
+    bool any_restart = false;
+    for (int k = 0; k < nodes; ++k) {
+        if (const std::uint64_t r = restarts_of(k)) {
+            any_restart = true;
+            std::cout << "  node " << k << ": " << r << "\n";
+        }
+    }
+    if (!any_restart) std::cout << "  (none)\n";
     std::cout << "rpc: retries " << counter("rpc.retries") << ", reply-loss retries "
               << counter("rpc.retries_reply_loss") << ", timeouts "
               << counter("rpc.timeouts") << ", dedup hits "
               << counter("rpc.dedup_hits") << ", breaker rejections "
               << counter("rpc.breaker_open") << "\n";
+    return 0;
+}
+
+/// Per-node durability report after a run (DESIGN.md §20): WAL/snapshot
+/// sizes, checkpoint and recovery counts, plus the system-wide wal.*
+/// counters and any migration-by-recovery relocations.  Durability comes
+/// from the config's `durable` line; a config without one reports every
+/// node as soft-state.
+int cmd_wal(const std::string& input, const std::string& config_path,
+            const std::string& main_cls, int nodes, bool json) {
+    model::ClassPool pool = load_input(input);
+    runtime::System system(pool);
+    configure_system(system, config_path, nodes);
+    system.call_static(0, main_cls, "main", "()V");
+    std::cerr << system.node(0).interp().output();
+
+    auto counter = [&](const char* name) {
+        return system.metrics().counter(name).value();
+    };
+    if (json) {
+        std::ostringstream os;
+        os << "{\"virtual_time_us\":" << system.network().now_us()
+           << ",\"durable\":" << (system.durability_enabled() ? "true" : "false")
+           << ",\"snapshot_interval_us\":" << system.durability().snapshot_interval_us
+           << ",\"nodes\":[";
+        for (int k = 0; k < nodes; ++k) {
+            const runtime::Node& n = system.node(static_cast<net::NodeId>(k));
+            os << (k ? "," : "") << "{\"node\":" << k << ",\"durable\":"
+               << (n.durable() ? "true" : "false");
+            if (n.durable()) {
+                const runtime::WalStats& s = n.wal()->stats();
+                os << ",\"log_bytes\":" << n.wal()->log().size()
+                   << ",\"snapshot_bytes\":" << n.wal()->snapshot().size()
+                   << ",\"records\":" << s.records << ",\"snapshots\":" << s.snapshots
+                   << ",\"recoveries\":" << s.recoveries
+                   << ",\"replayed\":" << s.replayed;
+            }
+            if (const runtime::System::Relocation* rel =
+                    system.relocation_of(static_cast<net::NodeId>(k)))
+                os << ",\"relocated_to\":" << rel->target
+                   << ",\"relocated_objects\":" << rel->remap.size();
+            os << "}";
+        }
+        os << "],\"counters\":{\"records\":" << counter("wal.records")
+           << ",\"bytes\":" << counter("wal.bytes")
+           << ",\"snapshots\":" << counter("wal.snapshots")
+           << ",\"recoveries\":" << counter("wal.recoveries")
+           << ",\"replayed_records\":" << counter("wal.replayed_records")
+           << ",\"relocated_objects\":" << counter("wal.relocated_objects") << "}}";
+        std::cout << os.str() << "\n";
+        return 0;
+    }
+    std::cout << "virtual time: " << system.network().now_us() << "us; durability "
+              << (system.durability_enabled() ? "on" : "off");
+    if (system.durability_enabled())
+        std::cout << " (snapshot interval "
+                  << system.durability().snapshot_interval_us << "us)";
+    std::cout << "\n"
+              << std::left << std::setw(6) << "node" << std::right << std::setw(10)
+              << "log_B" << std::setw(12) << "snap_B" << std::setw(10) << "records"
+              << std::setw(10) << "snaps" << std::setw(10) << "recov"
+              << std::setw(10) << "replayed" << "  relocated\n";
+    for (int k = 0; k < nodes; ++k) {
+        const runtime::Node& n = system.node(static_cast<net::NodeId>(k));
+        std::cout << std::left << std::setw(6) << k << std::right;
+        if (n.durable()) {
+            const runtime::WalStats& s = n.wal()->stats();
+            std::cout << std::setw(10) << n.wal()->log().size() << std::setw(12)
+                      << n.wal()->snapshot().size() << std::setw(10) << s.records
+                      << std::setw(10) << s.snapshots << std::setw(10)
+                      << s.recoveries << std::setw(10) << s.replayed;
+        } else {
+            std::cout << std::setw(10) << "-" << std::setw(12) << "-"
+                      << std::setw(10) << "-" << std::setw(10) << "-"
+                      << std::setw(10) << "-" << std::setw(10) << "-";
+        }
+        if (const runtime::System::Relocation* rel =
+                system.relocation_of(static_cast<net::NodeId>(k)))
+            std::cout << "  -> node " << rel->target << " (" << rel->remap.size()
+                      << " object(s))";
+        std::cout << "\n";
+    }
+    std::cout << "wal: " << counter("wal.records") << " record(s), "
+              << counter("wal.bytes") << " byte(s), " << counter("wal.snapshots")
+              << " snapshot(s), " << counter("wal.recoveries") << " recover(ies), "
+              << counter("wal.replayed_records") << " replayed, "
+              << counter("wal.relocated_objects") << " relocated\n";
     return 0;
 }
 
@@ -528,6 +643,7 @@ int usage() {
               << "                   [--all]\n"
               << "  rafdac faults    <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n"
               << "  rafdac adapt     <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n"
+              << "  rafdac wal       <app.rir> <policy.cfg> <MainClass> [nodes=2] [--json]\n"
               << "\n"
               << "stats/net tables list the top samples/links (by name / by bytes);\n"
               << "--all lifts the cap.  JSON output is always complete.\n"
@@ -586,6 +702,9 @@ int main(int argc, char** argv) {
         if ((args.size() == 4 || args.size() == 5) && args[0] == "adapt")
             return cmd_adapt(args[1], args[2], args[3],
                              args.size() == 5 ? std::atoi(args[4].c_str()) : 2, json);
+        if ((args.size() == 4 || args.size() == 5) && args[0] == "wal")
+            return cmd_wal(args[1], args[2], args[3],
+                           args.size() == 5 ? std::atoi(args[4].c_str()) : 2, json);
         return usage();
     } catch (const std::exception& e) {
         std::cerr << "rafdac: " << e.what() << "\n";
